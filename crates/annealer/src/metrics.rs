@@ -1,0 +1,167 @@
+//! Standard annealer benchmarking metrics from the literature the paper
+//! builds on: *time-to-solution* (Rønnow et al., "Defining and detecting
+//! quantum speedup", Science 2014) and *time-to-target* (King et al.,
+//! "Benchmarking a quantum annealing processor with the time-to-target
+//! metric", 2015) — both discussed in the paper's Sections 1 and 8.
+//!
+//! Time-to-solution answers: given that one annealing run succeeds with
+//! probability `p`, how much total device time is needed to see at least one
+//! success with confidence `c`? `TTS(c) = t_read · ln(1−c) / ln(1−p)`.
+//! Time-to-target is simpler and closer to the paper's own Figures 4–6
+//! reading: device time until the first read at or below a target energy.
+
+use crate::sampler::SampleSet;
+use std::time::Duration;
+
+/// Tolerance used when comparing energies against targets.
+pub const ENERGY_TOL: f64 = 1e-9;
+
+/// Empirical per-read success probability: the fraction of reads with
+/// energy ≤ `target` (within tolerance). Returns `None` on an empty set.
+pub fn success_probability(samples: &SampleSet, target: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let hits = samples
+        .reads()
+        .iter()
+        .filter(|r| r.energy <= target + ENERGY_TOL)
+        .count();
+    Some(hits as f64 / samples.len() as f64)
+}
+
+/// Expected number of annealing runs for one success at `confidence`
+/// (the `R99` statistic when `confidence = 0.99`). `None` when no read ever
+/// succeeded (the estimate would be unbounded) or the set is empty.
+pub fn runs_to_solution(samples: &SampleSet, target: f64, confidence: f64) -> Option<f64> {
+    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0);
+    let p = success_probability(samples, target)?;
+    if p <= 0.0 {
+        return None;
+    }
+    if p >= 1.0 {
+        return Some(1.0);
+    }
+    Some(((1.0 - confidence).ln() / (1.0 - p).ln()).max(1.0))
+}
+
+/// Time-to-solution: total device time for one success at `confidence`,
+/// assuming each read costs `time_per_read`.
+pub fn time_to_solution(
+    samples: &SampleSet,
+    target: f64,
+    confidence: f64,
+    time_per_read: Duration,
+) -> Option<Duration> {
+    let runs = runs_to_solution(samples, target, confidence)?;
+    Some(Duration::from_secs_f64(runs * time_per_read.as_secs_f64()))
+}
+
+/// Time-to-target: device time at which the first read reached `target`.
+/// `None` when no read did.
+pub fn time_to_target(samples: &SampleSet, target: f64) -> Option<Duration> {
+    samples
+        .reads()
+        .iter()
+        .find(|r| r.energy <= target + ENERGY_TOL)
+        .map(|r| Duration::from_secs_f64(r.elapsed_us * 1e-6))
+}
+
+/// Residual energy statistics of a sample set relative to a reference
+/// optimum: `(mean, min, max)` of `energy − optimum`. `None` on empty sets.
+pub fn residual_energy(samples: &SampleSet, optimum: f64) -> Option<(f64, f64, f64)> {
+    if samples.is_empty() {
+        return None;
+    }
+    let residuals: Vec<f64> = samples
+        .reads()
+        .iter()
+        .map(|r| r.energy - optimum)
+        .collect();
+    let mean = residuals.iter().sum::<f64>() / residuals.len() as f64;
+    let min = residuals.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = residuals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Some((mean, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::Read;
+
+    fn set(energies: &[f64]) -> SampleSet {
+        SampleSet::new(
+            energies
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| Read {
+                    assignment: vec![],
+                    energy: e,
+                    elapsed_us: 376.0 * (i + 1) as f64,
+                    gauge: 0,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn success_probability_counts_hits() {
+        let s = set(&[5.0, 3.0, 3.0, 4.0]);
+        assert_eq!(success_probability(&s, 3.0), Some(0.5));
+        assert_eq!(success_probability(&s, 2.0), Some(0.0));
+        assert_eq!(success_probability(&s, 10.0), Some(1.0));
+        assert_eq!(success_probability(&SampleSet::default(), 0.0), None);
+    }
+
+    #[test]
+    fn runs_to_solution_follows_the_geometric_formula() {
+        let s = set(&[3.0, 5.0, 5.0, 5.0]); // p = 0.25
+        let r = runs_to_solution(&s, 3.0, 0.99).unwrap();
+        let expect = (0.01f64).ln() / (0.75f64).ln();
+        assert!((r - expect).abs() < 1e-9, "{r} vs {expect}");
+        // Guaranteed success → one run.
+        assert_eq!(runs_to_solution(&s, 10.0, 0.99), Some(1.0));
+        // Never succeeded → unbounded.
+        assert_eq!(runs_to_solution(&s, 0.0, 0.99), None);
+    }
+
+    #[test]
+    fn time_to_solution_scales_with_read_time() {
+        let s = set(&[3.0, 5.0]); // p = 0.5 → R99 = ln(0.01)/ln(0.5) ≈ 6.64
+        let tts = time_to_solution(&s, 3.0, 0.99, Duration::from_micros(376)).unwrap();
+        let expect = ((0.01f64).ln() / (0.5f64).ln()) * 376e-6;
+        assert!((tts.as_secs_f64() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_to_target_finds_the_first_crossing() {
+        let s = set(&[5.0, 4.0, 3.0, 3.0]);
+        assert_eq!(
+            time_to_target(&s, 3.0),
+            Some(Duration::from_secs_f64(3.0 * 376e-6))
+        );
+        assert_eq!(
+            time_to_target(&s, 4.5),
+            Some(Duration::from_secs_f64(2.0 * 376e-6))
+        );
+        assert_eq!(time_to_target(&s, 1.0), None);
+    }
+
+    #[test]
+    fn residual_statistics() {
+        let s = set(&[5.0, 3.0, 4.0]);
+        let (mean, min, max) = residual_energy(&s, 3.0).unwrap();
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert_eq!(min, 0.0);
+        assert_eq!(max, 2.0);
+        assert!(residual_energy(&SampleSet::default(), 0.0).is_none());
+    }
+
+    #[test]
+    fn higher_confidence_needs_more_runs() {
+        let s = set(&[3.0, 5.0, 5.0, 5.0]);
+        let r90 = runs_to_solution(&s, 3.0, 0.90).unwrap();
+        let r99 = runs_to_solution(&s, 3.0, 0.99).unwrap();
+        assert!(r99 > r90);
+    }
+}

@@ -1,0 +1,136 @@
+//! Control-error noise: the imperfection that makes annealing runs
+//! stochastic.
+//!
+//! Programming a weight onto a D-Wave qubit or coupler realises it only up to
+//! analog control error; together with thermal disturbances this is why "a
+//! multitude of runs must be executed before finding an optimal solution"
+//! (Section 2). The device model reproduces it by perturbing every
+//! programmed field and coupling with independent Gaussian noise of standard
+//! deviation `relative_sigma · max|w|`, re-drawn at every programming (i.e.
+//! per gauge batch), while sample energies are always evaluated against the
+//! *true* problem.
+
+use mqo_core::ising::Ising;
+use rand::{Rng, RngCore};
+
+/// Gaussian control-error model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlErrorModel {
+    /// Noise standard deviation relative to the largest absolute weight.
+    /// D-Wave 2X-era hardware is commonly modelled with a few percent.
+    pub relative_sigma: f64,
+}
+
+impl ControlErrorModel {
+    /// A noiseless model (useful for oracle comparisons).
+    pub const NONE: ControlErrorModel = ControlErrorModel { relative_sigma: 0.0 };
+
+    /// Creates a model with the given relative noise level.
+    pub fn new(relative_sigma: f64) -> Self {
+        assert!(
+            relative_sigma >= 0.0 && relative_sigma.is_finite(),
+            "noise level must be a non-negative finite number"
+        );
+        ControlErrorModel { relative_sigma }
+    }
+
+    /// Returns the problem as the hardware would actually realise it.
+    pub fn perturb(&self, ising: &Ising, rng: &mut dyn RngCore) -> Ising {
+        if self.relative_sigma == 0.0 {
+            return ising.clone();
+        }
+        let sigma = self.relative_sigma * ising.max_abs_weight();
+        let h = ising
+            .fields()
+            .iter()
+            .map(|&hi| hi + sigma * standard_normal(rng))
+            .collect();
+        let couplings = ising
+            .couplings()
+            .iter()
+            .map(|&(i, j, w)| (i, j, w + sigma * standard_normal(rng)))
+            .collect();
+        Ising::new(h, couplings, ising.offset())
+    }
+}
+
+/// Standard normal deviate via Box–Muller (avoids a rand_distr dependency).
+fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_core::ids::VarId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn problem() -> Ising {
+        Ising::new(
+            vec![1.0, -2.0],
+            vec![(VarId(0), VarId(1), 1.5)],
+            0.0,
+        )
+    }
+
+    #[test]
+    fn zero_noise_is_the_identity() {
+        let ising = problem();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(ControlErrorModel::NONE.perturb(&ising, &mut rng), ising);
+    }
+
+    #[test]
+    fn noise_perturbs_weights_at_the_requested_scale() {
+        let ising = problem();
+        let model = ControlErrorModel::new(0.05);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut deviations = Vec::new();
+        for _ in 0..200 {
+            let p = model.perturb(&ising, &mut rng);
+            deviations.push(p.fields()[0] - 1.0);
+        }
+        let mean = deviations.iter().sum::<f64>() / deviations.len() as f64;
+        let var = deviations.iter().map(|d| (d - mean).powi(2)).sum::<f64>()
+            / deviations.len() as f64;
+        // σ = 0.05 · 2.0 = 0.1 → variance 0.01 (±50% tolerance for sampling).
+        assert!(mean.abs() < 0.03, "mean deviation {mean}");
+        assert!((0.005..0.02).contains(&var), "variance {var}");
+    }
+
+    #[test]
+    fn structure_is_preserved() {
+        let ising = problem();
+        let model = ControlErrorModel::new(0.1);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p = model.perturb(&ising, &mut rng);
+        assert_eq!(p.num_spins(), 2);
+        assert_eq!(p.couplings().len(), 1);
+        assert_eq!(p.couplings()[0].0, VarId(0));
+        assert_eq!(p.offset(), 0.0);
+    }
+
+    #[test]
+    fn standard_normal_moments_are_sane() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_noise_is_rejected() {
+        ControlErrorModel::new(-0.1);
+    }
+}

@@ -1,0 +1,169 @@
+//! The sampler abstraction: anything that can draw low-energy spin
+//! configurations from an Ising problem.
+//!
+//! The real D-Wave 2X performs one *annealing run* per read; a sampler here
+//! plays the role of one such run. The device model in [`crate::device`]
+//! wraps a sampler with gauge transformations, control-error noise, and the
+//! per-read timing model.
+
+use mqo_core::ising::Ising;
+use rand::RngCore;
+
+/// Host-side structure hints the device may hand to a sampler.
+///
+/// The host *programmed* the minor embedding, so host-side machinery (like
+/// D-Wave's own chain-aware unembedding and postprocessing tools) knows
+/// which spins form chains. Samplers may use this for collective moves;
+/// chain strengths alone cannot reveal it, because Choi's per-chain bound
+/// makes chains of cheap-to-deselect variables arbitrarily weak.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SamplerHints<'a> {
+    /// Spin groups (by dense spin index) that represent one logical
+    /// variable each. Empty when the problem was not minor-embedded.
+    pub chains: &'a [Vec<usize>],
+}
+
+/// Draws one spin configuration per call, aiming for low energy.
+///
+/// Implementations must be deterministic given the RNG stream, so that
+/// experiments are reproducible from a seed.
+pub trait Sampler {
+    /// Performs one annealing run and returns the final spin configuration
+    /// (`±1` per spin).
+    fn sample(&self, ising: &Ising, rng: &mut dyn RngCore) -> Vec<i8>;
+
+    /// Like [`Sampler::sample`], with embedding hints available. The
+    /// default implementation ignores the hints.
+    fn sample_hinted(
+        &self,
+        ising: &Ising,
+        hints: &SamplerHints<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Vec<i8> {
+        let _ = hints;
+        self.sample(ising, rng)
+    }
+
+    /// Human-readable sampler name for experiment logs.
+    fn name(&self) -> &'static str;
+}
+
+/// A single annealed-and-read-out configuration with bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Read {
+    /// Spin configuration mapped to binary (QUBO) variables.
+    pub assignment: Vec<bool>,
+    /// True (noise-free) energy of the assignment under the programmed QUBO.
+    pub energy: f64,
+    /// Simulated device time elapsed when this read completed, in
+    /// microseconds (anneal + read-out, accumulated over the run so far).
+    pub elapsed_us: f64,
+    /// Which gauge transformation batch produced this read.
+    pub gauge: usize,
+}
+
+/// An ordered collection of reads from one device run.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSet {
+    reads: Vec<Read>,
+}
+
+impl SampleSet {
+    /// Wraps reads in chronological order.
+    pub fn new(reads: Vec<Read>) -> Self {
+        debug_assert!(reads.windows(2).all(|w| w[0].elapsed_us <= w[1].elapsed_us));
+        SampleSet { reads }
+    }
+
+    /// All reads in chronological order.
+    pub fn reads(&self) -> &[Read] {
+        &self.reads
+    }
+
+    /// Number of reads.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// The lowest-energy read overall.
+    pub fn best(&self) -> Option<&Read> {
+        self.reads
+            .iter()
+            .min_by(|a, b| a.energy.total_cmp(&b.energy))
+    }
+
+    /// The lowest-energy read among those completed within `elapsed_us`
+    /// simulated device time — the anytime view used in Figures 4 and 5.
+    pub fn best_within(&self, elapsed_us: f64) -> Option<&Read> {
+        self.reads
+            .iter()
+            .take_while(|r| r.elapsed_us <= elapsed_us)
+            .min_by(|a, b| a.energy.total_cmp(&b.energy))
+    }
+
+    /// Iterates `(elapsed_us, best_energy_so_far)` — the quality-vs-time
+    /// trajectory of the run.
+    pub fn trajectory(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::with_capacity(self.reads.len());
+        let mut best = f64::INFINITY;
+        for r in &self.reads {
+            if r.energy < best {
+                best = r.energy;
+            }
+            out.push((r.elapsed_us, best));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(e: f64, t: f64) -> Read {
+        Read {
+            assignment: vec![],
+            energy: e,
+            elapsed_us: t,
+            gauge: 0,
+        }
+    }
+
+    #[test]
+    fn best_and_best_within_respect_time_cutoffs() {
+        let s = SampleSet::new(vec![read(5.0, 376.0), read(2.0, 752.0), read(3.0, 1128.0)]);
+        assert_eq!(s.best().unwrap().energy, 2.0);
+        assert_eq!(s.best_within(400.0).unwrap().energy, 5.0);
+        assert_eq!(s.best_within(800.0).unwrap().energy, 2.0);
+        assert!(s.best_within(100.0).is_none());
+    }
+
+    #[test]
+    fn trajectory_is_monotone_non_increasing() {
+        let s = SampleSet::new(vec![
+            read(5.0, 1.0),
+            read(7.0, 2.0),
+            read(2.0, 3.0),
+            read(4.0, 4.0),
+        ]);
+        let t = s.trajectory();
+        assert_eq!(
+            t,
+            vec![(1.0, 5.0), (2.0, 5.0), (3.0, 2.0), (4.0, 2.0)]
+        );
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let s = SampleSet::default();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.best().is_none());
+        assert!(s.trajectory().is_empty());
+    }
+}

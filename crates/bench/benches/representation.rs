@@ -1,0 +1,95 @@
+//! Representation ablation from DESIGN.md: the crate's sparse QUBO
+//! (triplets + CSR adjacency) against a naive dense-matrix evaluation, and
+//! the heuristic sparse embedder against the TRIAD clique pattern.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqo_chimera::embedding::{heuristic, triad};
+use mqo_chimera::graph::ChimeraGraph;
+use mqo_core::ids::VarId;
+use mqo_core::logical::LogicalMapping;
+use mqo_core::qubo::Qubo;
+use mqo_workload::paper::{self, PaperWorkloadConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Naive dense QUBO: an n×n upper-triangular matrix.
+struct DenseQubo {
+    n: usize,
+    w: Vec<f64>,
+}
+
+impl DenseQubo {
+    fn from_sparse(q: &Qubo) -> Self {
+        let n = q.num_vars();
+        let mut w = vec![0.0; n * n];
+        for (i, &c) in q.linear().iter().enumerate() {
+            w[i * n + i] = c;
+        }
+        for &(i, j, c) in q.quadratic() {
+            w[i.index() * n + j.index()] = c;
+        }
+        DenseQubo { n, w }
+    }
+
+    fn energy(&self, x: &[bool]) -> f64 {
+        let mut e = 0.0;
+        for i in 0..self.n {
+            if !x[i] {
+                continue;
+            }
+            let row = &self.w[i * self.n..(i + 1) * self.n];
+            for (j, &w) in row.iter().enumerate().skip(i) {
+                if w != 0.0 && x[j] {
+                    e += w;
+                }
+            }
+        }
+        e
+    }
+}
+
+fn bench_representation(c: &mut Criterion) {
+    let graph = ChimeraGraph::new(6, 6);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng);
+    let mapping = LogicalMapping::with_default_epsilon(&inst.problem);
+    let sparse = mapping.qubo();
+    let dense = DenseQubo::from_sparse(sparse);
+    let x: Vec<bool> = (0..sparse.num_vars()).map(|i| i % 2 == 0).collect();
+    assert!((sparse.energy(&x) - dense.energy(&x)).abs() < 1e-9);
+
+    let mut g = c.benchmark_group("representation");
+    g.bench_function("qubo_energy_sparse_144v", |b| b.iter(|| sparse.energy(&x)));
+    g.bench_function("qubo_energy_dense_144v", |b| b.iter(|| dense.energy(&x)));
+    g.bench_function("qubo_flip_sweep_sparse", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..sparse.num_vars() {
+                acc += sparse.flip_delta(&x, VarId::new(i));
+            }
+            acc
+        })
+    });
+
+    // Embedding ablation: clique pattern vs sparse routing for 16 variables
+    // with a chain-shaped interaction graph.
+    let edges: Vec<(VarId, VarId)> = (0..15)
+        .map(|i| (VarId::new(i), VarId::new(i + 1)))
+        .collect();
+    let target = ChimeraGraph::new(4, 4);
+    g.bench_function("embed_triad_clique_16v", |b| {
+        b.iter(|| triad::triad(&target, 0, 0, 16).unwrap())
+    });
+    g.bench_function("embed_heuristic_sparse_16v", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        b.iter(|| heuristic::find_embedding(16, &edges, &target, &mut rng, 4).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_representation
+}
+criterion_main!(benches);

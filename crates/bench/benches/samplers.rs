@@ -1,0 +1,64 @@
+//! Sampler ablation: one annealing read with the classical-SA back-end vs
+//! the path-integral-QMC back-end on the same programmed physical problem,
+//! plus the core energy-evaluation primitives they are built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqo_annealer::sa::{SaConfig, SimulatedAnnealingSampler};
+use mqo_annealer::sampler::Sampler;
+use mqo_annealer::sqa::{PathIntegralQmcSampler, SqaConfig};
+use mqo_chimera::graph::ChimeraGraph;
+use mqo_chimera::physical::PhysicalMapping;
+use mqo_core::ids::VarId;
+use mqo_core::ising::{bits_to_spins, Ising};
+use mqo_core::logical::LogicalMapping;
+use mqo_workload::paper::{self, PaperWorkloadConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn programmed_problem() -> Ising {
+    let graph = ChimeraGraph::new(4, 4);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng);
+    let logical = LogicalMapping::with_default_epsilon(&inst.problem);
+    let pm =
+        PhysicalMapping::new(logical.qubo(), inst.layout.embedding.clone(), &graph, 0.25).unwrap();
+    Ising::from_qubo(pm.physical_qubo())
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let ising = programmed_problem();
+    let mut g = c.benchmark_group("samplers");
+    g.sample_size(10);
+
+    g.bench_function("sa_read_128_qubits", |b| {
+        let sampler = SimulatedAnnealingSampler::new(SaConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        b.iter(|| sampler.sample(&ising, &mut rng))
+    });
+    g.bench_function("piqmc_read_128_qubits", |b| {
+        let sampler = PathIntegralQmcSampler::new(SqaConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        b.iter(|| sampler.sample(&ising, &mut rng))
+    });
+
+    // Core primitives: full evaluation vs O(deg) flip delta.
+    let spins: Vec<i8> = bits_to_spins(&vec![true; ising.num_spins()]);
+    g.bench_function("ising_energy_full", |b| b.iter(|| ising.energy(&spins)));
+    g.bench_function("ising_flip_delta", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..ising.num_spins() {
+                acc += ising.flip_delta(&spins, VarId::new(i));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_samplers
+}
+criterion_main!(benches);

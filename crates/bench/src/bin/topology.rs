@@ -1,0 +1,115 @@
+//! Regenerates Figures 1–3 of the paper as ASCII art plus structural
+//! verification:
+//!
+//! * Figure 1 — four neighbouring unit cells of the Chimera graph;
+//! * Figure 2 — the TRIAD pattern with 5, 8, and 12 chains, plus the
+//!   broken-qubit variant;
+//! * Figure 3 — the clustered embedding pattern (four clusters of eight
+//!   plans).
+//!
+//! Usage: `cargo run --release -p mqo-bench --bin topology [-- --out DIR]`
+
+use mqo_bench::cli::HarnessOptions;
+use mqo_bench::report::write_result_file;
+use mqo_chimera::embedding::{clustered, triad, Embedding};
+use mqo_chimera::graph::{ChimeraGraph, Side};
+use mqo_chimera::render;
+use mqo_core::ids::VarId;
+
+fn all_pairs(n: usize) -> Vec<(VarId, VarId)> {
+    let mut v = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            v.push((VarId::new(i), VarId::new(j)));
+        }
+    }
+    v
+}
+
+fn figure_1(out: &mut String) {
+    out.push_str("## Figure 1: four neighbouring unit cells (Chimera)\n\n");
+    let g = ChimeraGraph::new(2, 2);
+    out.push_str(&render::render(&g, None));
+    let max_degree = (0..g.num_qubits() as u32)
+        .map(|q| g.neighbours(mqo_chimera::graph::QubitId(q)).len())
+        .max()
+        .unwrap();
+    out.push_str(&format!(
+        "\ncells: 4, qubits: {}, couplers: {}, max qubit degree: {} (paper: ≤ 6)\n\n",
+        g.num_qubits(),
+        g.couplers().len(),
+        max_degree
+    ));
+    assert!(max_degree <= 6);
+}
+
+fn figure_2(out: &mut String) {
+    out.push_str("## Figure 2: TRIAD patterns\n");
+    for n in [5usize, 8, 12] {
+        let g = ChimeraGraph::new(3, 3);
+        let e = triad::triad(&g, 0, 0, n).expect("intact grid embeds the pattern");
+        e.verify(&g, all_pairs(n)).expect("TRIAD connects all chain pairs");
+        out.push_str(&format!(
+            "\n### TRIAD with {n} chains ({} qubits)\n\n",
+            e.qubits_used()
+        ));
+        out.push_str(&render::render(&g, Some(&e)));
+        out.push_str(&render::chain_summary(&g, &e));
+    }
+
+    // Figure 2(d): broken qubits kill whole chains.
+    out.push_str("\n### TRIAD with 12 chains and two broken qubits\n\n");
+    let g = ChimeraGraph::new(3, 3);
+    let broken = [
+        g.qubit(0, 0, Side::Vertical, 2),
+        g.qubit(2, 2, Side::Horizontal, 0),
+    ];
+    let g = g.with_broken(&broken);
+    match triad::triad(&g, 0, 0, 12) {
+        Err(e) => out.push_str(&format!(
+            "full K12 fails as in the paper: {e}\n(the defective chains are unusable; \
+             the remaining chains still form a smaller clique)\n"
+        )),
+        Ok(_) => unreachable!("broken qubits must invalidate their chains"),
+    }
+    out.push_str(&render::render(&g, None));
+}
+
+fn figure_3(out: &mut String) {
+    out.push_str("\n## Figure 3: clustered embedding pattern (4 clusters × 8 plans)\n\n");
+    let g = ChimeraGraph::new(4, 4);
+    let layout = clustered::layout_clusters(&g, &[8, 8, 8, 8]).expect("fits a 4x4 grid");
+    layout.verify(&g).expect("all intra-cluster pairs realisable");
+    out.push_str(&render::render(&g, Some(&layout.embedding)));
+    let sharing = layout.sharing_pairs(&g);
+    out.push_str(&format!(
+        "\nclusters: {}, qubits used: {}, intra-cluster pairs (EM/ES): {}, \
+         inter-cluster sharing pairs (sparse ES): {}\n",
+        layout.num_clusters,
+        layout.embedding.qubits_used(),
+        layout.intra_cluster_pairs().len(),
+        sharing.len()
+    ));
+}
+
+fn single_cell_figure(out: &mut String) {
+    out.push_str("\n## Bonus: the one-cell K5 pattern behind the paper's 5-plan classes\n\n");
+    let g = ChimeraGraph::new(1, 1);
+    let chains = triad::single_cell(&g, 0, 0, 5).expect("intact cell");
+    let e = Embedding::new(chains, g.num_qubits()).unwrap();
+    e.verify(&g, all_pairs(5)).unwrap();
+    out.push_str(&render::render(&g, Some(&e)));
+}
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let mut out = String::from("# Topology figures (paper Figures 1-3)\n\n");
+    figure_1(&mut out);
+    figure_2(&mut out);
+    figure_3(&mut out);
+    single_cell_figure(&mut out);
+    println!("{out}");
+    if let Some(path) = write_result_file(&opts.out_dir, "topology.md", &out) {
+        eprintln!("wrote {}", path.display());
+    }
+}

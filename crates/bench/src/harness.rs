@@ -1,0 +1,202 @@
+//! Experiment driver: paper classes, instance batches, and aggregates.
+
+use crate::algorithms::{run_all, AlgoRun, CompetitorConfig};
+use mqo_chimera::graph::ChimeraGraph;
+use mqo_workload::paper::{self, PaperWorkloadConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Seed that fixes the paper machine's broken-qubit pattern across all
+/// experiments (the real pattern is proprietary; only the count matters).
+pub const MACHINE_SEED: u64 = 0xD_2016;
+
+/// The defective D-Wave 2X all experiments run against.
+pub fn paper_machine() -> ChimeraGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(MACHINE_SEED);
+    ChimeraGraph::dwave_2x_as_used_in_paper(&mut rng)
+}
+
+/// A scaled-down machine for fast harness runs and CI.
+pub fn small_machine() -> ChimeraGraph {
+    let mut g = ChimeraGraph::new(4, 4);
+    let mut rng = ChaCha8Rng::seed_from_u64(MACHINE_SEED);
+    g.break_random_qubits(6, &mut rng); // same ~5% defect rate
+    g
+}
+
+/// Results of one competitor batch on one instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstanceResult {
+    /// Instance seed.
+    pub seed: u64,
+    /// Number of queries the machine fit.
+    pub queries: usize,
+    /// Best cost any competitor reached (the normalisation anchor).
+    pub best_known: f64,
+    /// Per-competitor traces.
+    pub runs: Vec<AlgoRun>,
+}
+
+/// Results of one test-case class (fixed plans-per-query).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassResult {
+    /// Plans per query.
+    pub plans: usize,
+    /// Queries per instance (identical across instances: same machine).
+    pub queries: usize,
+    /// Average physical qubits per logical variable (Figure 6 x-axis).
+    pub qubits_per_variable: f64,
+    /// Per-instance results.
+    pub instances: Vec<InstanceResult>,
+}
+
+impl ClassResult {
+    /// Display label in the paper's style, e.g. `537 Queries, 2 Plans`.
+    pub fn label(&self) -> String {
+        format!("{} Queries, {} Plans", self.queries, self.plans)
+    }
+}
+
+/// Runs `num_instances` instances of the class with `plans` plans per query
+/// on `graph`, executing all six competitors on each.
+pub fn run_class(
+    graph: &ChimeraGraph,
+    plans: usize,
+    num_instances: usize,
+    cfg: &CompetitorConfig,
+) -> ClassResult {
+    let workload = PaperWorkloadConfig::paper_class(plans);
+    let mut instances = Vec::with_capacity(num_instances);
+    let mut queries = 0;
+    let mut qubits_per_variable = 0.0;
+    for i in 0..num_instances {
+        let seed = cfg.seed.wrapping_add(1000 * i as u64 + 17);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let inst = paper::generate(graph, &workload, &mut rng);
+        queries = inst.problem.num_queries();
+        qubits_per_variable = inst.layout.embedding.qubits_per_variable();
+        let run_cfg = CompetitorConfig { seed, ..*cfg };
+        let runs = run_all(&inst, graph, &run_cfg);
+        let best_known = runs
+            .iter()
+            .filter_map(|r| r.trace.best())
+            .fold(f64::INFINITY, f64::min);
+        instances.push(InstanceResult {
+            seed,
+            queries,
+            best_known,
+            runs,
+        });
+    }
+    ClassResult {
+        plans,
+        queries,
+        qubits_per_variable,
+        instances,
+    }
+}
+
+/// Mean normalised cost of a competitor at a checkpoint across a class's
+/// instances: `(cost − best_known) / best_known`, or `None` when the
+/// competitor had no solution yet on any instance.
+pub fn mean_normalised_cost(
+    class: &ClassResult,
+    algo: &str,
+    checkpoint: Duration,
+) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for inst in &class.instances {
+        let run = inst.runs.iter().find(|r| r.name == algo)?;
+        if let Some(value) = run.trace.value_at(checkpoint) {
+            let anchor = inst.best_known.abs().max(1e-9);
+            sum += (value - inst.best_known) / anchor;
+            n += 1;
+        }
+    }
+    (n == class.instances.len() && n > 0).then(|| sum / n as f64)
+}
+
+/// The paper's Figure 6 speedup for one instance: time until the *best*
+/// classical competitor matches the quality of QA's first annealing run,
+/// divided by the duration of that first run. `None` when no classical
+/// competitor matched it within budget (the caller reports a `≥` bound).
+pub fn quantum_speedup(inst: &InstanceResult, first_read: Duration) -> Option<f64> {
+    let qa = inst.runs.iter().find(|r| r.name == "QA")?;
+    let target = qa.trace.value_at(first_read)?;
+    let fastest_classical = inst
+        .runs
+        .iter()
+        .filter(|r| r.name != "QA")
+        .filter_map(|r| r.trace.time_to_reach(target + 1e-9))
+        .min()?;
+    Some(fastest_classical.as_secs_f64() / first_read.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> CompetitorConfig {
+        CompetitorConfig {
+            classical_budget: Duration::from_millis(50),
+            qa_reads: 50,
+            qa_gauges: 5,
+            seed: 9,
+            ..CompetitorConfig::default()
+        }
+    }
+
+    #[test]
+    fn run_class_produces_full_batches() {
+        let g = ChimeraGraph::new(2, 2);
+        let res = run_class(&g, 2, 2, &fast_cfg());
+        assert_eq!(res.plans, 2);
+        assert_eq!(res.instances.len(), 2);
+        assert!(res.queries > 0);
+        assert!((res.qubits_per_variable - 1.0).abs() < 1e-9);
+        for inst in &res.instances {
+            assert_eq!(inst.runs.len(), 6);
+            assert!(inst.best_known.is_finite());
+        }
+        assert!(res.label().contains("Queries"));
+    }
+
+    #[test]
+    fn normalised_cost_is_zero_for_the_best_competitor_at_the_end() {
+        let g = ChimeraGraph::new(2, 2);
+        let res = run_class(&g, 2, 1, &fast_cfg());
+        let end = Duration::from_secs(3600);
+        let mins: Vec<f64> = ["LIN-MQO", "LIN-QUB", "QA", "CLIMB", "GA(50)", "GA(200)"]
+            .iter()
+            .filter_map(|a| mean_normalised_cost(&res, a, end))
+            .collect();
+        assert_eq!(mins.len(), 6);
+        let best = mins.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(best.abs() < 1e-9, "someone must sit at the anchor: {mins:?}");
+        assert!(mins.iter().all(|&v| v >= -1e-9));
+    }
+
+    #[test]
+    fn speedup_is_positive_when_classical_matches_qa() {
+        let g = ChimeraGraph::new(2, 2);
+        let res = run_class(&g, 2, 1, &fast_cfg());
+        let first_read = Duration::from_secs_f64(376e-6);
+        // On toy instances the classical solvers reach QA quality, so the
+        // speedup is defined and positive.
+        let s = quantum_speedup(&res.instances[0], first_read);
+        if let Some(v) = s {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn machines_have_the_documented_scale() {
+        assert_eq!(paper_machine().num_working_qubits(), 1097);
+        let small = small_machine();
+        assert_eq!(small.num_qubits(), 128);
+        assert_eq!(small.num_working_qubits(), 122);
+    }
+}

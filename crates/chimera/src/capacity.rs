@@ -1,0 +1,152 @@
+//! Closed-form capacity analysis: which MQO problem dimensions fit a given
+//! qubit budget (paper Section 6 and Figure 7).
+//!
+//! Under the clustered pattern with one query per cluster, a query with `l`
+//! plans consumes a fixed slice of the qubit matrix:
+//!
+//! | plans `l` | layout                      | queries per cell/block |
+//! |-----------|-----------------------------|------------------------|
+//! | 2         | two singleton chains        | 4 per cell             |
+//! | 3         | singleton ×2 + one pair     | 2 per cell             |
+//! | 4         | singleton ×2 + two pairs    | 1 per cell             |
+//! | 5         | singleton ×2 + three pairs  | 1 per cell             |
+//! | > 5       | TRIAD on an m×m block, m=⌈l/4⌉ | 1 per block        |
+//!
+//! All figures below assume an intact matrix (Figure 7 explicitly assumes no
+//! broken qubits); `mqo-chimera::embedding::clustered` handles defects.
+
+use crate::graph::CELL_SIZE;
+use crate::embedding::triad::triad_block_side;
+
+/// Queries with `plans_per_query` plans that fit one intact unit cell
+/// (0 when a single cell is too small).
+pub fn queries_per_cell(plans_per_query: usize) -> usize {
+    match plans_per_query {
+        0 => 0,
+        1 => CELL_SIZE,
+        l @ 2..=5 => 4 / (l - 1),
+        _ => 0,
+    }
+}
+
+/// Maximal number of uniform queries representable with `num_qubits` qubits
+/// arranged as a (conceptually square) Chimera matrix.
+pub fn max_queries(num_qubits: usize, plans_per_query: usize) -> usize {
+    let cells = num_qubits / CELL_SIZE;
+    if plans_per_query == 0 {
+        return 0;
+    }
+    if plans_per_query <= 5 {
+        return cells * queries_per_cell(plans_per_query);
+    }
+    let m = triad_block_side(plans_per_query);
+    // Blocks tile the square grid; a rectangular remainder is ignored, which
+    // matches how the embedder tiles whole blocks.
+    let side = (cells as f64).sqrt().floor() as usize;
+    (side / m) * (side / m)
+}
+
+/// Maximal number of plans per query representable when `num_queries`
+/// queries must fit in `num_qubits` qubits (the y-axis of Figure 7 for a
+/// given x). Returns 0 when not even 1-plan queries fit.
+pub fn max_plans_per_query(num_qubits: usize, num_queries: usize) -> usize {
+    if num_queries == 0 {
+        return usize::MAX;
+    }
+    let mut best = 0;
+    for l in 1.. {
+        if max_queries(num_qubits, l) >= num_queries {
+            best = l;
+        } else if l > 5 {
+            // max_queries is non-increasing in l beyond the per-cell regime.
+            break;
+        }
+        if l > 4 * 100 {
+            break;
+        }
+    }
+    best
+}
+
+/// Average physical qubits consumed per logical variable for uniform
+/// `l`-plan queries — the x-axis of Figure 6.
+pub fn qubits_per_variable(plans_per_query: usize) -> f64 {
+    match plans_per_query {
+        0 => 0.0,
+        1 => 1.0,
+        l @ 2..=5 => (2 * (l - 1)) as f64 / l as f64,
+        l => (triad_block_side(l) + 1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::clustered::max_uniform_queries;
+    use crate::graph::ChimeraGraph;
+
+    #[test]
+    fn closed_form_matches_the_embedder_on_intact_graphs() {
+        let g = ChimeraGraph::dwave_2x();
+        for l in [1, 2, 3, 4, 5] {
+            assert_eq!(
+                max_queries(1152, l),
+                max_uniform_queries(&g, l),
+                "plans = {l}"
+            );
+        }
+        // Multi-cell regime: 8 plans → 2×2 blocks → 36 on a 12×12 grid.
+        assert_eq!(max_queries(1152, 8), max_uniform_queries(&g, 8));
+    }
+
+    #[test]
+    fn paper_figure_7_budget_doublings() {
+        // 1152 qubits: 576 two-plan queries; doubling budgets doubles them.
+        assert_eq!(max_queries(1152, 2), 576);
+        assert_eq!(max_queries(2304, 2), 1152);
+        assert_eq!(max_queries(4608, 2), 2304);
+        // Five-plan queries: one per cell.
+        assert_eq!(max_queries(1152, 5), 144);
+        assert_eq!(max_queries(4608, 5), 576);
+    }
+
+    #[test]
+    fn max_queries_is_non_increasing_in_plan_count() {
+        for budget in [1152usize, 2304, 4608] {
+            let caps: Vec<usize> = (1..=20).map(|l| max_queries(budget, l)).collect();
+            assert!(
+                caps.windows(2).all(|w| w[0] >= w[1]),
+                "budget {budget}: {caps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_plans_inverts_max_queries() {
+        for (budget, queries) in [(1152, 576), (1152, 144), (2304, 500), (4608, 36)] {
+            let l = max_plans_per_query(budget, queries);
+            assert!(max_queries(budget, l) >= queries);
+            assert!(max_queries(budget, l + 1) < queries);
+        }
+    }
+
+    #[test]
+    fn qubits_per_variable_matches_paper_figure_6_axis() {
+        assert_eq!(qubits_per_variable(2), 1.0);
+        assert!((qubits_per_variable(3) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(qubits_per_variable(4), 1.5);
+        assert_eq!(qubits_per_variable(5), 1.6);
+        // Monotone non-decreasing.
+        let vals: Vec<f64> = (2..=20).map(qubits_per_variable).collect();
+        assert!(vals.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+    }
+
+    #[test]
+    fn queries_per_cell_table() {
+        assert_eq!(queries_per_cell(2), 4);
+        assert_eq!(queries_per_cell(3), 2);
+        assert_eq!(queries_per_cell(4), 1);
+        assert_eq!(queries_per_cell(5), 1);
+        assert_eq!(queries_per_cell(6), 0);
+    }
+}

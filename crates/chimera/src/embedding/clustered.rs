@@ -1,0 +1,436 @@
+//! The clustered embedding pattern (Section 5, Figure 3).
+//!
+//! Instead of one global TRIAD — whose qubit consumption grows quadratically
+//! in the *total* number of plans — each query cluster gets its own TRIAD
+//! block. All connections required by the at-most-one-plan term `EM` and by
+//! intra-cluster work sharing are realised inside the block; sharing between
+//! clusters is limited to the sparse couplers between adjacent blocks, which
+//! matches MQO preprocessing that clusters queries so that inter-cluster
+//! sharing is rare.
+//!
+//! For the paper's experiments every query forms its own cluster and has at
+//! most five plans, so a cluster fits inside a single unit cell (see
+//! [`super::triad::single_cell`]) and multiple queries can share one cell:
+//! 4 queries/cell for 2 plans, 2 for 3 plans, 1 for 4–5 plans. That packing
+//! is what makes 537 two-plan queries representable on 1097 working qubits.
+
+use super::triad::{single_cell, triad, triad_block_side};
+use super::{Embedding, EmbeddingError};
+use crate::graph::{ChimeraGraph, QubitId, Side, HALF_CELL};
+use mqo_core::ids::VarId;
+
+/// A clustered embedding: chains per variable plus the cluster (query group)
+/// each variable belongs to.
+#[derive(Debug, Clone)]
+pub struct ClusteredLayout {
+    /// The physical chains, variable-indexed. Variables are numbered cluster
+    /// by cluster in embedding order.
+    pub embedding: Embedding,
+    /// Cluster index of each variable.
+    pub cluster_of_var: Vec<usize>,
+    /// Number of clusters embedded.
+    pub num_clusters: usize,
+}
+
+impl ClusteredLayout {
+    /// Variables belonging to one cluster.
+    pub fn vars_of_cluster(&self, cluster: usize) -> Vec<VarId> {
+        self.cluster_of_var
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == cluster)
+            .map(|(v, _)| VarId::new(v))
+            .collect()
+    }
+
+    /// All intra-cluster variable pairs — the edges `EM` and intra-cluster
+    /// `ES` may need; the pattern guarantees they are all realisable.
+    pub fn intra_cluster_pairs(&self) -> Vec<(VarId, VarId)> {
+        let mut pairs = Vec::new();
+        for cluster in 0..self.num_clusters {
+            let vars = self.vars_of_cluster(cluster);
+            for (i, &a) in vars.iter().enumerate() {
+                for &b in &vars[i + 1..] {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Variable pairs in *different* clusters whose chains share at least one
+    /// coupler: the work-sharing opportunities this layout can represent.
+    /// The paper's workload generator draws its savings from exactly this
+    /// set ("we consider test cases that map well to the quantum annealer").
+    pub fn sharing_pairs(&self, graph: &ChimeraGraph) -> Vec<(VarId, VarId)> {
+        self.embedding
+            .connectable_pairs(graph)
+            .into_iter()
+            .filter(|&(a, b)| self.cluster_of_var[a.index()] != self.cluster_of_var[b.index()])
+            .collect()
+    }
+
+    /// Verifies chains and all intra-cluster edges against the graph.
+    pub fn verify(&self, graph: &ChimeraGraph) -> Result<(), EmbeddingError> {
+        self.embedding.verify(graph, self.intra_cluster_pairs())
+    }
+}
+
+/// Remaining working `k` indices of one cell during packing.
+struct CellPool {
+    left: Vec<usize>,
+    right: Vec<usize>,
+}
+
+impl CellPool {
+    fn new(graph: &ChimeraGraph, row: usize, col: usize) -> Self {
+        CellPool {
+            left: graph
+                .working_in_cell(row, col, Side::Vertical)
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect(),
+            right: graph
+                .working_in_cell(row, col, Side::Horizontal)
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect(),
+        }
+    }
+
+    /// Tries to carve chains for one `l`-plan query out of this cell.
+    fn allocate(
+        &mut self,
+        graph: &ChimeraGraph,
+        row: usize,
+        col: usize,
+        l: usize,
+    ) -> Option<Vec<Vec<QubitId>>> {
+        debug_assert!((1..=5).contains(&l));
+        if l == 1 {
+            let q = if self.left.len() >= self.right.len() {
+                let k = self.left.pop()?;
+                graph.qubit(row, col, Side::Vertical, k)
+            } else {
+                let k = self.right.pop()?;
+                graph.qubit(row, col, Side::Horizontal, k)
+            };
+            return Some(vec![vec![q]]);
+        }
+        let pairs_needed = l - 2;
+        let pairable: Vec<usize> = self
+            .left
+            .iter()
+            .copied()
+            .filter(|k| self.right.contains(k))
+            .collect();
+        if pairable.len() < pairs_needed
+            || self.left.len() < pairs_needed + 1
+            || self.right.len() < pairs_needed + 1
+        {
+            return None;
+        }
+        let pair_ks: Vec<usize> = pairable[..pairs_needed].to_vec();
+        let single_l = *self.left.iter().find(|k| !pair_ks.contains(k))?;
+        let single_r = *self.right.iter().find(|k| !pair_ks.contains(k))?;
+
+        self.left.retain(|k| !pair_ks.contains(k) && *k != single_l);
+        self.right.retain(|k| !pair_ks.contains(k) && *k != single_r);
+
+        let mut chains = Vec::with_capacity(l);
+        chains.push(vec![graph.qubit(row, col, Side::Vertical, single_l)]);
+        chains.push(vec![graph.qubit(row, col, Side::Horizontal, single_r)]);
+        for k in pair_ks {
+            chains.push(vec![
+                graph.qubit(row, col, Side::Vertical, k),
+                graph.qubit(row, col, Side::Horizontal, k),
+            ]);
+        }
+        Some(chains)
+    }
+}
+
+/// Embeds up to `max_queries` uniform queries of `plans_per_query`
+/// alternative plans each, one cluster per query, packing as densely as the
+/// working graph allows. Returns the layout with however many queries fit
+/// (callers check `num_clusters`); fails only on degenerate inputs.
+pub fn layout_uniform(
+    graph: &ChimeraGraph,
+    max_queries: usize,
+    plans_per_query: usize,
+) -> Result<ClusteredLayout, EmbeddingError> {
+    assert!(plans_per_query >= 1, "queries need at least one plan");
+    let mut chains: Vec<Vec<QubitId>> = Vec::new();
+    let mut cluster_of_var = Vec::new();
+    let mut clusters = 0usize;
+
+    if plans_per_query <= 5 {
+        'cells: for row in 0..graph.rows() {
+            for col in 0..graph.cols() {
+                let mut pool = CellPool::new(graph, row, col);
+                while clusters < max_queries {
+                    match pool.allocate(graph, row, col, plans_per_query) {
+                        Some(query_chains) => {
+                            for chain in query_chains {
+                                chains.push(chain);
+                                cluster_of_var.push(clusters);
+                            }
+                            clusters += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if clusters >= max_queries {
+                    break 'cells;
+                }
+            }
+        }
+    } else {
+        let m = triad_block_side(plans_per_query);
+        let block_rows = graph.rows() / m;
+        let block_cols = graph.cols() / m;
+        'blocks: for br in 0..block_rows {
+            for bc in 0..block_cols {
+                if clusters >= max_queries {
+                    break 'blocks;
+                }
+                match triad(graph, br * m, bc * m, plans_per_query) {
+                    Ok(e) => {
+                        for chain in e.chains() {
+                            chains.push(chain.clone());
+                            cluster_of_var.push(clusters);
+                        }
+                        clusters += 1;
+                    }
+                    Err(EmbeddingError::BrokenQubit(..)) => continue,
+                    Err(other) => return Err(other),
+                }
+            }
+        }
+    }
+
+    let embedding = Embedding::new(chains, graph.num_qubits())?;
+    Ok(ClusteredLayout {
+        embedding,
+        cluster_of_var,
+        num_clusters: clusters,
+    })
+}
+
+/// The maximal number of uniform `plans_per_query` queries this graph can
+/// host under the clustered pattern.
+pub fn max_uniform_queries(graph: &ChimeraGraph, plans_per_query: usize) -> usize {
+    layout_uniform(graph, usize::MAX, plans_per_query)
+        .map(|l| l.num_clusters)
+        .unwrap_or(0)
+}
+
+/// Embeds heterogeneous clusters (`cluster_sizes[i]` = number of plans in
+/// cluster `i`), one TRIAD block per cluster, placed left-to-right and
+/// top-to-bottom. Used for the Figure 3 rendering and for workloads with
+/// several queries per cluster. Fails if not all clusters fit.
+pub fn layout_clusters(
+    graph: &ChimeraGraph,
+    cluster_sizes: &[usize],
+) -> Result<ClusteredLayout, EmbeddingError> {
+    let mut chains: Vec<Vec<QubitId>> = Vec::new();
+    let mut cluster_of_var = Vec::new();
+    let mut row = 0usize;
+    let mut col = 0usize;
+    let mut row_height = 0usize;
+
+    for (cluster, &size) in cluster_sizes.iter().enumerate() {
+        assert!(size >= 1, "clusters need at least one plan");
+        let m = if size <= 5 { 1 } else { triad_block_side(size) };
+        let mut placed = false;
+        while !placed {
+            if col + m > graph.cols() {
+                row += row_height.max(1);
+                col = 0;
+                row_height = 0;
+            }
+            if row + m > graph.rows() {
+                return Err(EmbeddingError::InsufficientCapacity {
+                    requested: cluster_sizes.len(),
+                    available: cluster,
+                });
+            }
+            let attempt = if size <= 5 {
+                single_cell(graph, row, col, size)
+                    .map(|c| Embedding::new(c, graph.num_qubits()))
+                    .transpose()?
+            } else {
+                match triad(graph, row, col, size) {
+                    Ok(e) => Some(e),
+                    Err(EmbeddingError::BrokenQubit(..)) => None,
+                    Err(other) => return Err(other),
+                }
+            };
+            match attempt {
+                Some(e) => {
+                    for chain in e.chains() {
+                        chains.push(chain.clone());
+                        cluster_of_var.push(cluster);
+                    }
+                    row_height = row_height.max(m);
+                    col += m;
+                    placed = true;
+                }
+                None => col += 1, // skip defective region
+            }
+        }
+    }
+
+    let embedding = Embedding::new(chains, graph.num_qubits())?;
+    Ok(ClusteredLayout {
+        embedding,
+        cluster_of_var,
+        num_clusters: cluster_sizes.len(),
+    })
+}
+
+/// Qubits one uniform query consumes under the clustered pattern — the
+/// closed form behind the capacity analysis (Figure 7).
+pub fn qubits_per_query(plans_per_query: usize) -> f64 {
+    match plans_per_query {
+        0 => 0.0,
+        1 => 1.0,
+        // One cell hosts ⌊4/(l−1)⌋ queries of 2·(l−1) qubits each for l ≤ 5.
+        l @ 2..=5 => (2 * (l - 1)) as f64,
+        l => {
+            let m = triad_block_side(l);
+            // A whole m×m block of cells is consumed per query.
+            (m * m * (2 * HALF_CELL)) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_two_plan_queries_pack_four_per_cell() {
+        let g = ChimeraGraph::new(2, 2);
+        let l = layout_uniform(&g, usize::MAX, 2).unwrap();
+        assert_eq!(l.num_clusters, 16); // 4 cells × 4 queries
+        assert_eq!(l.embedding.num_vars(), 32);
+        l.verify(&g).unwrap();
+    }
+
+    #[test]
+    fn uniform_packing_densities_match_the_pattern() {
+        let g = ChimeraGraph::new(3, 3); // 9 intact cells
+        assert_eq!(max_uniform_queries(&g, 2), 36); // 4 per cell
+        assert_eq!(max_uniform_queries(&g, 3), 18); // 2 per cell
+        assert_eq!(max_uniform_queries(&g, 4), 9); // 1 per cell
+        assert_eq!(max_uniform_queries(&g, 5), 9); // 1 per cell
+        assert_eq!(max_uniform_queries(&g, 8), 1); // 8 plans → one 2×2 block fits
+    }
+
+    #[test]
+    fn uniform_multi_cell_clusters_use_block_tiling() {
+        let g = ChimeraGraph::new(4, 4);
+        // 8 plans → 2×2 blocks → 4 blocks.
+        let l = layout_uniform(&g, usize::MAX, 8).unwrap();
+        assert_eq!(l.num_clusters, 4);
+        l.verify(&g).unwrap();
+    }
+
+    #[test]
+    fn paper_machine_capacities_have_the_paper_shape() {
+        // With 55 broken qubits the capacities must land near the paper's
+        // 537/253/140/108 for 2/3/4/5 plans per query.
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let g = ChimeraGraph::dwave_2x_as_used_in_paper(&mut rng);
+        let caps: Vec<usize> = (2..=5).map(|l| max_uniform_queries(&g, l)).collect();
+        assert!(caps[0] >= 500 && caps[0] <= 576, "2 plans: {}", caps[0]);
+        assert!(caps[1] >= 230 && caps[1] <= 288, "3 plans: {}", caps[1]);
+        assert!(caps[2] >= 100 && caps[2] <= 144, "4 plans: {}", caps[2]);
+        assert!(caps[3] >= 80 && caps[3] <= 144, "5 plans: {}", caps[3]);
+        // Strictly decreasing in the number of plans.
+        assert!(caps.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn quota_is_respected() {
+        let g = ChimeraGraph::new(3, 3);
+        let l = layout_uniform(&g, 5, 2).unwrap();
+        assert_eq!(l.num_clusters, 5);
+        assert_eq!(l.embedding.num_vars(), 10);
+    }
+
+    #[test]
+    fn sharing_pairs_cross_clusters_only() {
+        let g = ChimeraGraph::new(2, 2);
+        let l = layout_uniform(&g, usize::MAX, 2).unwrap();
+        let pairs = l.sharing_pairs(&g);
+        assert!(!pairs.is_empty());
+        for (a, b) in pairs {
+            assert_ne!(
+                l.cluster_of_var[a.index()],
+                l.cluster_of_var[b.index()],
+                "{a}-{b} is intra-cluster"
+            );
+        }
+    }
+
+    #[test]
+    fn intra_cluster_pairs_are_all_realisable() {
+        let g = ChimeraGraph::new(2, 2);
+        for l in [2, 3, 4, 5] {
+            let layout = layout_uniform(&g, usize::MAX, l).unwrap();
+            layout.verify(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn broken_qubits_reduce_capacity_gracefully() {
+        let g = ChimeraGraph::new(2, 2);
+        let intact = max_uniform_queries(&g, 5);
+        // Breaking one qubit kills exactly one 5-plan cell.
+        let g2 = g.clone().with_broken(&[g.qubit(0, 0, Side::Vertical, 0)]);
+        assert_eq!(max_uniform_queries(&g2, 5), intact - 1);
+        // ...but two-plan queries lose only one of four slots in that cell.
+        assert_eq!(max_uniform_queries(&g2, 2), 16 - 1);
+    }
+
+    #[test]
+    fn heterogeneous_clusters_place_like_figure_3() {
+        let g = ChimeraGraph::new(4, 4);
+        // Figure 3: four clusters of eight plans each.
+        let l = layout_clusters(&g, &[8, 8, 8, 8]).unwrap();
+        assert_eq!(l.num_clusters, 4);
+        l.verify(&g).unwrap();
+        assert!(!l.sharing_pairs(&g).is_empty());
+    }
+
+    #[test]
+    fn heterogeneous_clusters_can_exhaust_capacity() {
+        let g = ChimeraGraph::new(1, 1);
+        let err = layout_clusters(&g, &[5, 5]).unwrap_err();
+        assert!(matches!(err, EmbeddingError::InsufficientCapacity { .. }));
+    }
+
+    #[test]
+    fn cluster_variable_numbering_is_contiguous() {
+        let g = ChimeraGraph::new(2, 2);
+        let l = layout_uniform(&g, 6, 3).unwrap();
+        for q in 0..6 {
+            let vars = l.vars_of_cluster(q);
+            assert_eq!(vars.len(), 3);
+            assert!(vars.windows(2).all(|w| w[1].index() == w[0].index() + 1));
+        }
+    }
+
+    #[test]
+    fn qubits_per_query_closed_form() {
+        assert_eq!(qubits_per_query(2), 2.0);
+        assert_eq!(qubits_per_query(3), 4.0);
+        assert_eq!(qubits_per_query(4), 6.0);
+        assert_eq!(qubits_per_query(5), 8.0);
+        assert_eq!(qubits_per_query(8), 32.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! TRIAD clique-embedding patterns (Choi; paper Figure 2).
+//!
+//! A TRIAD connects *every* pair of chains, so any QUBO over `n` variables can
+//! be embedded. Two constructions are provided:
+//!
+//! * [`single_cell`] — for `n ≤ 5` variables a single unit cell suffices: two
+//!   singleton chains (one per cell column) plus up to three two-qubit
+//!   chains `{L_k, R_k}`. This is the pattern behind the paper's
+//!   one-cell-per-query layouts and tolerates broken qubits by choosing
+//!   which `k` indices to use.
+//! * [`triad`] — the general diagonal construction embedding `K_n` into an
+//!   `m × m` block of cells with `m = ⌈n/4⌉`; every chain has exactly
+//!   `m + 1` qubits, so the pattern consumes `n·(m+1) = Θ(n²/4)` qubits,
+//!   matching the quadratic growth of Theorem 3.
+
+use super::{Embedding, EmbeddingError};
+use crate::graph::{ChimeraGraph, QubitId, Side, HALF_CELL};
+use mqo_core::ids::VarId;
+
+/// Number of cells along one side of the block [`triad`] needs for `n`
+/// chains.
+pub fn triad_block_side(n: usize) -> usize {
+    n.div_ceil(HALF_CELL)
+}
+
+/// Number of qubits consumed by [`triad`] for `n` chains (every chain has
+/// `m + 1` qubits).
+pub fn triad_qubits(n: usize) -> usize {
+    n * (triad_block_side(n) + 1)
+}
+
+/// Embeds `K_n` (`1 ≤ n ≤ 5`) into the unit cell at `(row, col)`, working
+/// around broken qubits by choosing suitable `k` indices. Returns the chains
+/// or `None` when the cell's defects make the pattern infeasible.
+///
+/// Chain shapes for `n ≥ 2`: chain 0 = one left qubit, chain 1 = one right
+/// qubit, chains 2..n = `{L_k, R_k}` pairs. All pairs of chains share an
+/// intra-cell coupler because the cell is a complete bipartite K4,4.
+pub fn single_cell(
+    graph: &ChimeraGraph,
+    row: usize,
+    col: usize,
+    n: usize,
+) -> Option<Vec<Vec<QubitId>>> {
+    assert!((1..=5).contains(&n), "single_cell supports 1..=5 chains");
+    let left: Vec<usize> = graph
+        .working_in_cell(row, col, Side::Vertical)
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    let right: Vec<usize> = graph
+        .working_in_cell(row, col, Side::Horizontal)
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+
+    if n == 1 {
+        let q = left
+            .first()
+            .map(|&k| graph.qubit(row, col, Side::Vertical, k))
+            .or_else(|| {
+                right
+                    .first()
+                    .map(|&k| graph.qubit(row, col, Side::Horizontal, k))
+            })?;
+        return Some(vec![vec![q]]);
+    }
+
+    let pairs_needed = n - 2;
+    let pairable: Vec<usize> = left
+        .iter()
+        .copied()
+        .filter(|k| right.contains(k))
+        .collect();
+    if pairable.len() < pairs_needed || left.len() < pairs_needed + 1 || right.len() < pairs_needed + 1
+    {
+        return None;
+    }
+    let pair_ks = &pairable[..pairs_needed];
+    let single_l = *left.iter().find(|k| !pair_ks.contains(k))?;
+    let single_r = *right.iter().find(|k| !pair_ks.contains(k))?;
+
+    let mut chains = Vec::with_capacity(n);
+    chains.push(vec![graph.qubit(row, col, Side::Vertical, single_l)]);
+    chains.push(vec![graph.qubit(row, col, Side::Horizontal, single_r)]);
+    for &k in pair_ks {
+        chains.push(vec![
+            graph.qubit(row, col, Side::Vertical, k),
+            graph.qubit(row, col, Side::Horizontal, k),
+        ]);
+    }
+    Some(chains)
+}
+
+/// Qubits of one general-TRIAD chain: variable `i` of a block anchored at
+/// cell `(origin_row, origin_col)` with side length `m`.
+///
+/// With `b = i / 4` and `o = i % 4`, the chain consists of the vertical
+/// qubits `(origin_row + r, origin_col + b, L, o)` for `r ∈ 0..=b` and the
+/// horizontal qubits `(origin_row + b, origin_col + c, R, o)` for
+/// `c ∈ b..m`. The two segments join through the intra-cell coupler of cell
+/// `(b, b)`; chains `i` and `j` with block indices `b_i < b_j` meet in cell
+/// `(b_i, b_j)` of the block, and chains of the same block index meet in cell
+/// `(b, b)`.
+fn triad_chain(
+    graph: &ChimeraGraph,
+    origin_row: usize,
+    origin_col: usize,
+    m: usize,
+    i: usize,
+) -> Vec<QubitId> {
+    let b = i / HALF_CELL;
+    let o = i % HALF_CELL;
+    let mut chain = Vec::with_capacity(m + 1);
+    for r in 0..=b {
+        chain.push(graph.qubit(origin_row + r, origin_col + b, Side::Vertical, o));
+    }
+    for c in b..m {
+        chain.push(graph.qubit(origin_row + b, origin_col + c, Side::Horizontal, o));
+    }
+    chain
+}
+
+/// Embeds `K_n` into the `m × m` cell block anchored at
+/// `(origin_row, origin_col)` using the diagonal TRIAD construction.
+///
+/// Fails with [`EmbeddingError::InsufficientCapacity`] when the block falls
+/// off the grid and with [`EmbeddingError::BrokenQubit`] when a needed qubit
+/// is broken (a broken qubit invalidates its whole chain, Figure 2(d)).
+pub fn triad(
+    graph: &ChimeraGraph,
+    origin_row: usize,
+    origin_col: usize,
+    n: usize,
+) -> Result<Embedding, EmbeddingError> {
+    assert!(n >= 1, "cannot embed an empty clique");
+    let m = triad_block_side(n);
+    if origin_row + m > graph.rows() || origin_col + m > graph.cols() {
+        let fits = (graph.rows().saturating_sub(origin_row))
+            .min(graph.cols().saturating_sub(origin_col))
+            * HALF_CELL;
+        return Err(EmbeddingError::InsufficientCapacity {
+            requested: n,
+            available: fits,
+        });
+    }
+    let mut chains = Vec::with_capacity(n);
+    for i in 0..n {
+        let chain = triad_chain(graph, origin_row, origin_col, m, i);
+        for &q in &chain {
+            if !graph.is_working(q) {
+                return Err(EmbeddingError::BrokenQubit(VarId::new(i), q));
+            }
+        }
+        chains.push(chain);
+    }
+    Embedding::new(chains, graph.num_qubits())
+}
+
+/// Largest clique the general TRIAD can host on an intact `rows × cols`
+/// grid: `4 · min(rows, cols)`.
+pub fn max_clique(graph: &ChimeraGraph) -> usize {
+    HALF_CELL * graph.rows().min(graph.cols())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_pairs(n: usize) -> Vec<(VarId, VarId)> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                v.push((VarId::new(i), VarId::new(j)));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn single_cell_embeds_k1_through_k5_on_an_intact_cell() {
+        let g = ChimeraGraph::new(1, 1);
+        for n in 1..=5 {
+            let chains = single_cell(&g, 0, 0, n).unwrap_or_else(|| panic!("K{n} failed"));
+            let e = Embedding::new(chains, g.num_qubits()).unwrap();
+            e.verify(&g, all_pairs(n)).unwrap_or_else(|err| panic!("K{n}: {err}"));
+        }
+    }
+
+    #[test]
+    fn single_cell_k5_uses_exactly_eight_qubits() {
+        let g = ChimeraGraph::new(1, 1);
+        let e = Embedding::new(single_cell(&g, 0, 0, 5).unwrap(), g.num_qubits()).unwrap();
+        assert_eq!(e.qubits_used(), 8);
+        assert!((e.qubits_per_variable() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cell_works_around_broken_qubits() {
+        let g = ChimeraGraph::new(1, 1);
+        // Break L0 and R2: K4 needs 2 pair indices + 1 L + 1 R.
+        let broken = [
+            g.qubit(0, 0, Side::Vertical, 0),
+            g.qubit(0, 0, Side::Horizontal, 2),
+        ];
+        let g = g.with_broken(&broken);
+        let chains = single_cell(&g, 0, 0, 4).expect("K4 should survive 2 defects");
+        let e = Embedding::new(chains, g.num_qubits()).unwrap();
+        e.verify(&g, all_pairs(4)).unwrap();
+        // K5 needs all eight qubits, so it must fail here.
+        assert!(single_cell(&g, 0, 0, 5).is_none());
+    }
+
+    #[test]
+    fn single_cell_k1_survives_a_fully_broken_left_column() {
+        let g = ChimeraGraph::new(1, 1);
+        let broken: Vec<_> = (0..4).map(|k| g.qubit(0, 0, Side::Vertical, k)).collect();
+        let g = g.with_broken(&broken);
+        let chains = single_cell(&g, 0, 0, 1).unwrap();
+        assert_eq!(chains.len(), 1);
+        // K2 needs one qubit per column, so it fails.
+        assert!(single_cell(&g, 0, 0, 2).is_none());
+    }
+
+    #[test]
+    fn triad_embeds_cliques_of_paper_figure_sizes() {
+        let g = ChimeraGraph::new(4, 4);
+        for n in [5, 8, 12] {
+            let e = triad(&g, 0, 0, n).unwrap_or_else(|err| panic!("K{n}: {err}"));
+            e.verify(&g, all_pairs(n)).unwrap_or_else(|err| panic!("K{n}: {err}"));
+            assert_eq!(e.qubits_used(), triad_qubits(n));
+        }
+    }
+
+    #[test]
+    fn triad_chain_lengths_are_uniform() {
+        let g = ChimeraGraph::new(3, 3);
+        let e = triad(&g, 0, 0, 12).unwrap();
+        let m = triad_block_side(12);
+        for v in 0..12 {
+            assert_eq!(e.chain(VarId::new(v)).len(), m + 1);
+        }
+    }
+
+    #[test]
+    fn triad_grows_quadratically_in_chain_count() {
+        // Theorem 3: Θ(n²) qubits for n chains.
+        assert_eq!(triad_qubits(4), 8);
+        assert_eq!(triad_qubits(8), 24);
+        assert_eq!(triad_qubits(16), 80);
+        assert_eq!(triad_qubits(32), 288);
+        // Ratio approaches n²/4.
+        let n = 48;
+        let q = triad_qubits(n) as f64;
+        assert!(q / (n as f64 * n as f64 / 4.0) < 1.2);
+    }
+
+    #[test]
+    fn triad_at_offset_origin_is_valid() {
+        let g = ChimeraGraph::new(5, 5);
+        let e = triad(&g, 2, 1, 9).unwrap();
+        e.verify(&g, all_pairs(9)).unwrap();
+    }
+
+    #[test]
+    fn triad_rejects_blocks_off_the_grid() {
+        let g = ChimeraGraph::new(2, 2);
+        // K12 needs a 3×3 block.
+        let err = triad(&g, 0, 0, 12).unwrap_err();
+        assert!(matches!(err, EmbeddingError::InsufficientCapacity { .. }));
+    }
+
+    #[test]
+    fn triad_reports_broken_qubits() {
+        let g = ChimeraGraph::new(2, 2);
+        let dead = g.qubit(0, 0, Side::Vertical, 0);
+        let g = g.with_broken(&[dead]);
+        let err = triad(&g, 0, 0, 8).unwrap_err();
+        assert!(matches!(err, EmbeddingError::BrokenQubit(_, q) if q == dead));
+    }
+
+    #[test]
+    fn max_clique_on_dwave_2x_is_48() {
+        assert_eq!(max_clique(&ChimeraGraph::dwave_2x()), 48);
+    }
+
+    #[test]
+    fn full_dwave_2x_clique_embedding_is_valid() {
+        let g = ChimeraGraph::dwave_2x();
+        let n = max_clique(&g);
+        let e = triad(&g, 0, 0, n).unwrap();
+        e.verify(&g, all_pairs(n)).unwrap();
+        assert!(e.qubits_used() <= g.num_qubits());
+    }
+}

@@ -1,0 +1,421 @@
+//! The Chimera hardware graph of the D-Wave 2X (Section 2, Figure 1).
+//!
+//! Qubits are partitioned into *unit cells* of eight qubits arranged in two
+//! columns ("colons" in the paper) of four. Within a cell every left qubit is
+//! coupled to every right qubit (a complete bipartite K4,4) but qubits in the
+//! same column are not coupled. Left-column qubits couple to their
+//! counterparts in the cells above and below; right-column qubits couple to
+//! their counterparts in the cells to the left and to the right. Each qubit
+//! therefore touches at most six couplers.
+//!
+//! The D-Wave 2X is a 12×12 grid of unit cells (1152 qubits); the machine the
+//! paper used had 55 broken qubits, leaving 1097 functional. Broken qubits
+//! are first-class here: [`ChimeraGraph::with_broken`] marks qubits unusable
+//! and every adjacency query respects them.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which column of a unit cell a qubit sits in.
+///
+/// The paper's "left colon" carries the vertical inter-cell couplers and the
+/// "right colon" the horizontal ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// Left column: coupled vertically across cells.
+    Vertical,
+    /// Right column: coupled horizontally across cells.
+    Horizontal,
+}
+
+/// A physical qubit, identified by its linear index in the qubit matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QubitId(pub u32);
+
+impl QubitId {
+    /// The underlying array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for QubitId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Structured coordinates of a qubit: cell row, cell column, side, and index
+/// within the side (0..4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QubitCoord {
+    /// Unit-cell row.
+    pub row: usize,
+    /// Unit-cell column.
+    pub col: usize,
+    /// Which column of the cell.
+    pub side: Side,
+    /// Position within the column (0..4).
+    pub k: usize,
+}
+
+/// A Chimera graph: `rows × cols` unit cells of eight qubits, with an
+/// optional set of broken (unusable) qubits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChimeraGraph {
+    rows: usize,
+    cols: usize,
+    /// `true` for qubits that are functional.
+    working: Vec<bool>,
+}
+
+/// Number of qubits per unit cell.
+pub const CELL_SIZE: usize = 8;
+/// Number of qubits per cell column.
+pub const HALF_CELL: usize = 4;
+
+impl ChimeraGraph {
+    /// A fully functional `rows × cols` Chimera graph.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "graph must contain at least one cell");
+        ChimeraGraph {
+            rows,
+            cols,
+            working: vec![true; rows * cols * CELL_SIZE],
+        }
+    }
+
+    /// The ideal D-Wave 2X topology: 144 unit cells (12×12), 1152 qubits.
+    pub fn dwave_2x() -> Self {
+        Self::new(12, 12)
+    }
+
+    /// The machine the paper experimented with: a D-Wave 2X with 55 broken
+    /// qubits (1097 functional). The broken set is sampled uniformly from the
+    /// given RNG; the real machine's defect pattern is proprietary, but the
+    /// paper's capacity numbers depend only on defect *counts* at this rate.
+    pub fn dwave_2x_as_used_in_paper(rng: &mut impl Rng) -> Self {
+        let mut g = Self::dwave_2x();
+        g.break_random_qubits(55, rng);
+        g
+    }
+
+    /// Marks the given qubits broken.
+    pub fn with_broken(mut self, broken: &[QubitId]) -> Self {
+        for &q in broken {
+            assert!(q.index() < self.working.len(), "qubit out of range");
+            self.working[q.index()] = false;
+        }
+        self
+    }
+
+    /// Breaks `count` distinct, uniformly chosen qubits.
+    pub fn break_random_qubits(&mut self, count: usize, rng: &mut impl Rng) {
+        assert!(count <= self.num_qubits(), "cannot break more qubits than exist");
+        let mut ids: Vec<u32> = (0..self.num_qubits() as u32).collect();
+        ids.shuffle(rng);
+        for &id in &ids[..count] {
+            self.working[id as usize] = false;
+        }
+    }
+
+    /// Grid height in unit cells.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid width in unit cells.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of qubits, broken ones included.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.working.len()
+    }
+
+    /// Number of functional qubits.
+    pub fn num_working_qubits(&self) -> usize {
+        self.working.iter().filter(|&&w| w).count()
+    }
+
+    /// Whether a qubit is functional.
+    #[inline]
+    pub fn is_working(&self, q: QubitId) -> bool {
+        self.working[q.index()]
+    }
+
+    /// The qubit at structured coordinates.
+    #[inline]
+    pub fn qubit(&self, row: usize, col: usize, side: Side, k: usize) -> QubitId {
+        debug_assert!(row < self.rows && col < self.cols && k < HALF_CELL);
+        let side_offset = match side {
+            Side::Vertical => 0,
+            Side::Horizontal => HALF_CELL,
+        };
+        QubitId(((row * self.cols + col) * CELL_SIZE + side_offset + k) as u32)
+    }
+
+    /// Structured coordinates of a qubit.
+    #[inline]
+    pub fn coords(&self, q: QubitId) -> QubitCoord {
+        let idx = q.index();
+        let cell = idx / CELL_SIZE;
+        let within = idx % CELL_SIZE;
+        QubitCoord {
+            row: cell / self.cols,
+            col: cell % self.cols,
+            side: if within < HALF_CELL {
+                Side::Vertical
+            } else {
+                Side::Horizontal
+            },
+            k: within % HALF_CELL,
+        }
+    }
+
+    /// Whether the hardware provides a coupler between two *functional*
+    /// qubits. Couplers adjacent to a broken qubit are unusable (`false`).
+    pub fn has_coupler(&self, a: QubitId, b: QubitId) -> bool {
+        if a == b || !self.is_working(a) || !self.is_working(b) {
+            return false;
+        }
+        let ca = self.coords(a);
+        let cb = self.coords(b);
+        if ca.row == cb.row && ca.col == cb.col {
+            // Intra-cell: complete bipartite between the two sides.
+            return ca.side != cb.side;
+        }
+        if ca.side != cb.side || ca.k != cb.k {
+            return false;
+        }
+        match ca.side {
+            Side::Vertical => ca.col == cb.col && ca.row.abs_diff(cb.row) == 1,
+            Side::Horizontal => ca.row == cb.row && ca.col.abs_diff(cb.col) == 1,
+        }
+    }
+
+    /// Functional neighbours of a functional qubit (≤ 6 entries; empty for a
+    /// broken qubit).
+    pub fn neighbours(&self, q: QubitId) -> Vec<QubitId> {
+        if !self.is_working(q) {
+            return Vec::new();
+        }
+        let c = self.coords(q);
+        let mut out = Vec::with_capacity(6);
+        // Opposite side of the same cell.
+        let opposite = match c.side {
+            Side::Vertical => Side::Horizontal,
+            Side::Horizontal => Side::Vertical,
+        };
+        for k in 0..HALF_CELL {
+            let n = self.qubit(c.row, c.col, opposite, k);
+            if self.is_working(n) {
+                out.push(n);
+            }
+        }
+        // Same-index counterparts in adjacent cells.
+        match c.side {
+            Side::Vertical => {
+                if c.row > 0 {
+                    let n = self.qubit(c.row - 1, c.col, c.side, c.k);
+                    if self.is_working(n) {
+                        out.push(n);
+                    }
+                }
+                if c.row + 1 < self.rows {
+                    let n = self.qubit(c.row + 1, c.col, c.side, c.k);
+                    if self.is_working(n) {
+                        out.push(n);
+                    }
+                }
+            }
+            Side::Horizontal => {
+                if c.col > 0 {
+                    let n = self.qubit(c.row, c.col - 1, c.side, c.k);
+                    if self.is_working(n) {
+                        out.push(n);
+                    }
+                }
+                if c.col + 1 < self.cols {
+                    let n = self.qubit(c.row, c.col + 1, c.side, c.k);
+                    if self.is_working(n) {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates all usable couplers (both endpoints functional), each once,
+    /// with the smaller qubit id first.
+    pub fn couplers(&self) -> Vec<(QubitId, QubitId)> {
+        let mut out = Vec::new();
+        for idx in 0..self.num_qubits() as u32 {
+            let q = QubitId(idx);
+            if !self.is_working(q) {
+                continue;
+            }
+            for n in self.neighbours(q) {
+                if q < n {
+                    out.push((q, n));
+                }
+            }
+        }
+        out
+    }
+
+    /// Functional qubits of one cell column, as (k, qubit) pairs.
+    pub fn working_in_cell(&self, row: usize, col: usize, side: Side) -> Vec<(usize, QubitId)> {
+        (0..HALF_CELL)
+            .filter_map(|k| {
+                let q = self.qubit(row, col, side, k);
+                self.is_working(q).then_some((k, q))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dwave_2x_has_1152_qubits_in_144_cells() {
+        let g = ChimeraGraph::dwave_2x();
+        assert_eq!(g.num_qubits(), 1152);
+        assert_eq!(g.rows() * g.cols(), 144);
+        assert_eq!(g.num_working_qubits(), 1152);
+    }
+
+    #[test]
+    fn paper_machine_has_1097_working_qubits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = ChimeraGraph::dwave_2x_as_used_in_paper(&mut rng);
+        assert_eq!(g.num_working_qubits(), 1097);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let g = ChimeraGraph::new(3, 5);
+        for idx in 0..g.num_qubits() as u32 {
+            let q = QubitId(idx);
+            let c = g.coords(q);
+            assert_eq!(g.qubit(c.row, c.col, c.side, c.k), q);
+        }
+    }
+
+    #[test]
+    fn intra_cell_is_complete_bipartite() {
+        let g = ChimeraGraph::new(2, 2);
+        for kl in 0..4 {
+            for kr in 0..4 {
+                let l = g.qubit(0, 0, Side::Vertical, kl);
+                let r = g.qubit(0, 0, Side::Horizontal, kr);
+                assert!(g.has_coupler(l, r));
+                assert!(g.has_coupler(r, l));
+            }
+        }
+        // Same side is never coupled.
+        let l0 = g.qubit(0, 0, Side::Vertical, 0);
+        let l1 = g.qubit(0, 0, Side::Vertical, 1);
+        assert!(!g.has_coupler(l0, l1));
+        let r0 = g.qubit(0, 0, Side::Horizontal, 0);
+        let r1 = g.qubit(0, 0, Side::Horizontal, 1);
+        assert!(!g.has_coupler(r0, r1));
+    }
+
+    #[test]
+    fn inter_cell_couplers_follow_side_orientation() {
+        let g = ChimeraGraph::new(3, 3);
+        // Vertical (left) qubits couple up/down in the same column.
+        let v = g.qubit(1, 1, Side::Vertical, 2);
+        assert!(g.has_coupler(v, g.qubit(0, 1, Side::Vertical, 2)));
+        assert!(g.has_coupler(v, g.qubit(2, 1, Side::Vertical, 2)));
+        assert!(!g.has_coupler(v, g.qubit(1, 0, Side::Vertical, 2)));
+        assert!(!g.has_coupler(v, g.qubit(0, 1, Side::Vertical, 3)));
+        // Horizontal (right) qubits couple left/right in the same row.
+        let h = g.qubit(1, 1, Side::Horizontal, 0);
+        assert!(g.has_coupler(h, g.qubit(1, 0, Side::Horizontal, 0)));
+        assert!(g.has_coupler(h, g.qubit(1, 2, Side::Horizontal, 0)));
+        assert!(!g.has_coupler(h, g.qubit(0, 1, Side::Horizontal, 0)));
+    }
+
+    #[test]
+    fn every_qubit_has_at_most_six_neighbours() {
+        let g = ChimeraGraph::new(4, 4);
+        let mut interior_seen = false;
+        for idx in 0..g.num_qubits() as u32 {
+            let q = QubitId(idx);
+            let n = g.neighbours(q).len();
+            assert!(n <= 6, "{q} has {n} neighbours");
+            if n == 6 {
+                interior_seen = true;
+            }
+        }
+        assert!(interior_seen, "interior qubits should reach degree 6");
+    }
+
+    #[test]
+    fn coupler_count_matches_closed_form() {
+        // rows×cols cells: 16 intra-cell couplers each, 4·(rows−1)·cols
+        // vertical and 4·rows·(cols−1) horizontal inter-cell couplers.
+        for (r, c) in [(1, 1), (2, 3), (12, 12)] {
+            let g = ChimeraGraph::new(r, c);
+            let expect = 16 * r * c + 4 * (r - 1) * c + 4 * r * (c - 1);
+            assert_eq!(g.couplers().len(), expect, "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn broken_qubits_disable_their_couplers_and_neighbours() {
+        let g = ChimeraGraph::new(2, 2);
+        let dead = g.qubit(0, 0, Side::Vertical, 0);
+        let g = g.with_broken(&[dead]);
+        assert!(!g.is_working(dead));
+        assert!(g.neighbours(dead).is_empty());
+        let r = g.qubit(0, 0, Side::Horizontal, 1);
+        assert!(!g.has_coupler(dead, r));
+        assert!(!g.neighbours(r).contains(&dead));
+        assert_eq!(g.num_working_qubits(), 31);
+    }
+
+    #[test]
+    fn break_random_qubits_breaks_exactly_count_distinct() {
+        let mut g = ChimeraGraph::new(4, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        g.break_random_qubits(20, &mut rng);
+        assert_eq!(g.num_working_qubits(), 4 * 4 * 8 - 20);
+    }
+
+    #[test]
+    fn working_in_cell_filters_broken() {
+        let g = ChimeraGraph::new(1, 1);
+        let dead = g.qubit(0, 0, Side::Vertical, 2);
+        let g = g.with_broken(&[dead]);
+        let left = g.working_in_cell(0, 0, Side::Vertical);
+        assert_eq!(left.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![0, 1, 3]);
+        let right = g.working_in_cell(0, 0, Side::Horizontal);
+        assert_eq!(right.len(), 4);
+    }
+
+    #[test]
+    fn couplers_are_symmetric_and_valid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut g = ChimeraGraph::new(3, 3);
+        g.break_random_qubits(10, &mut rng);
+        for (a, b) in g.couplers() {
+            assert!(a < b);
+            assert!(g.has_coupler(a, b) && g.has_coupler(b, a));
+            assert!(g.is_working(a) && g.is_working(b));
+        }
+    }
+}

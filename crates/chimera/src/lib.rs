@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # mqo-chimera
+//!
+//! The physical side of the paper's pipeline: the D-Wave 2X **Chimera qubit
+//! matrix** (Section 2, Figure 1), **minor embeddings** of logical QUBO
+//! variables onto qubit chains (Section 5, Figures 2–3), the **physical
+//! mapping** that programs a logical energy formula onto qubit weights and
+//! coupler strengths with Choi's chain-strength rule, and the closed-form
+//! **capacity analysis** behind Theorems 2–3 and Figure 7.
+//!
+//! The crate is hardware-faithful but hardware-free: broken qubits, sparse
+//! couplers, and unit-cell structure are modelled exactly, so anything that
+//! embeds here would embed on the physical machine with the same defect set.
+//!
+//! ```
+//! use mqo_chimera::graph::ChimeraGraph;
+//! use mqo_chimera::embedding::triad;
+//! use mqo_chimera::physical::PhysicalMapping;
+//! use mqo_core::{Qubo, VarId};
+//!
+//! // A 3-variable logical problem embedded on an intact 2x2 Chimera patch.
+//! let mut b = Qubo::builder(3);
+//! b.add_linear(VarId(0), -1.0);
+//! b.add_quadratic(VarId(0), VarId(1), 2.0);
+//! b.add_quadratic(VarId(1), VarId(2), -1.5);
+//! let logical = b.build();
+//!
+//! let graph = ChimeraGraph::new(2, 2);
+//! let embedding = triad::triad(&graph, 0, 0, 3).unwrap();
+//! let pm = PhysicalMapping::new(&logical, embedding, &graph, 0.25).unwrap();
+//!
+//! // The physical ground state decodes back to the logical ground state.
+//! let (phys, _) = pm.physical_qubo().brute_force_minimum();
+//! let decoded = pm.unembed(&phys);
+//! assert_eq!(decoded.broken_chains, 0);
+//! assert_eq!(logical.brute_force_minimum().0, decoded.logical);
+//! ```
+
+pub mod capacity;
+pub mod embedding;
+pub mod graph;
+pub mod physical;
+pub mod render;
+
+pub use embedding::{Embedding, EmbeddingError};
+pub use graph::{ChimeraGraph, QubitId, Side};
+pub use physical::{PhysicalMapping, UnembedResult};

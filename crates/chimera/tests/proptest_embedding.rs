@@ -1,0 +1,140 @@
+//! Property-based tests of the embedding layer and the physical mapping:
+//! the decisive end-to-end invariant is that for *any* logical QUBO that
+//! fits, the physical ground state is chain-consistent and decodes to the
+//! logical ground state.
+
+use mqo_chimera::embedding::{clustered, triad, Embedding};
+use mqo_chimera::graph::{ChimeraGraph, QubitId};
+use mqo_chimera::physical::PhysicalMapping;
+use mqo_core::ids::VarId;
+use mqo_core::qubo::Qubo;
+use proptest::prelude::*;
+
+fn arb_qubo(n: usize) -> impl Strategy<Value = Qubo> {
+    let linear = proptest::collection::vec(-6.0f64..6.0, n);
+    let quad = proptest::collection::vec(((0..n, 0..n), -4.0f64..4.0), 0..=n * 2);
+    (linear, quad).prop_map(move |(linear, quad)| {
+        let mut b = Qubo::builder(n);
+        for (i, w) in linear.into_iter().enumerate() {
+            b.add_linear(VarId::new(i), w);
+        }
+        for ((i, j), w) in quad {
+            if i != j {
+                b.add_quadratic(VarId::new(i), VarId::new(j), w);
+            }
+        }
+        b.build()
+    })
+}
+
+fn all_pairs(n: usize) -> Vec<(VarId, VarId)> {
+    (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (VarId::new(i), VarId::new(j))))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Physical ground states are chain-consistent and decode to logical
+    /// ground states, for arbitrary 5-variable QUBOs on a TRIAD embedding.
+    #[test]
+    fn physical_ground_state_decodes_to_logical(qubo in arb_qubo(5)) {
+        let graph = ChimeraGraph::new(2, 2);
+        let embedding = triad::triad(&graph, 0, 0, 5).unwrap();
+        let pm = PhysicalMapping::new(&qubo, embedding, &graph, 0.25).unwrap();
+        prop_assume!(pm.num_physical_vars() <= 20);
+        let (phys, phys_e) = pm.physical_qubo().brute_force_minimum();
+        let un = pm.unembed(&phys);
+        prop_assert_eq!(un.broken_chains, 0);
+        let (_, logical_e) = qubo.brute_force_minimum();
+        prop_assert!((qubo.energy(&un.logical) - logical_e).abs() < 1e-9);
+        prop_assert!((phys_e - logical_e).abs() < 1e-9);
+    }
+
+    /// Consistent extensions preserve energy exactly for any assignment.
+    #[test]
+    fn consistent_extension_preserves_energy(qubo in arb_qubo(6), mask in 0u32..64) {
+        let graph = ChimeraGraph::new(2, 2);
+        let embedding = triad::triad(&graph, 0, 0, 6).unwrap();
+        let pm = PhysicalMapping::new(&qubo, embedding, &graph, 0.25).unwrap();
+        let x: Vec<bool> = (0..6).map(|i| mask & (1 << i) != 0).collect();
+        let phys = pm.extend(&x);
+        prop_assert!((qubo.energy(&x) - pm.physical_qubo().energy(&phys)).abs() < 1e-9);
+    }
+
+    /// TRIAD embeddings remain valid under random broken qubits *outside*
+    /// the pattern's block, and fail loudly when a chain qubit breaks.
+    #[test]
+    fn triad_handles_defects(broken_idx in 0usize..128, n in 4usize..=8) {
+        let graph = ChimeraGraph::new(4, 4);
+        let dead = QubitId(broken_idx as u32);
+        let graph = graph.with_broken(&[dead]);
+        match triad::triad(&graph, 0, 0, n) {
+            Ok(e) => {
+                // The pattern avoided the dead qubit entirely.
+                prop_assert!(e.verify(&graph, all_pairs(n)).is_ok());
+                prop_assert!(e.chains().iter().all(|c| !c.contains(&dead)));
+            }
+            Err(err) => {
+                prop_assert!(matches!(
+                    err,
+                    mqo_chimera::embedding::EmbeddingError::BrokenQubit(_, q) if q == dead
+                ));
+            }
+        }
+    }
+
+    /// The clustered layout is always verifiable and numbers variables
+    /// contiguously per cluster, for any defect pattern.
+    #[test]
+    fn clustered_layout_is_always_valid(
+        defects in proptest::collection::hash_set(0u32..72, 0..12),
+        plans in 2usize..=5,
+    ) {
+        let broken: Vec<QubitId> = defects.into_iter().map(QubitId).collect();
+        let graph = ChimeraGraph::new(3, 3).with_broken(&broken);
+        let layout = clustered::layout_uniform(&graph, usize::MAX, plans).unwrap();
+        layout.verify(&graph).unwrap();
+        for cluster in 0..layout.num_clusters {
+            let vars = layout.vars_of_cluster(cluster);
+            prop_assert_eq!(vars.len(), plans);
+            prop_assert!(vars.windows(2).all(|w| w[1].index() == w[0].index() + 1));
+        }
+        // Sharing pairs always cross clusters.
+        for (a, b) in layout.sharing_pairs(&graph) {
+            prop_assert_ne!(
+                layout.cluster_of_var[a.index()],
+                layout.cluster_of_var[b.index()]
+            );
+        }
+    }
+
+    /// Embedding statistics are internally consistent.
+    #[test]
+    fn embedding_statistics_are_consistent(n in 2usize..=12) {
+        let graph = ChimeraGraph::new(3, 3);
+        let e = triad::triad(&graph, 0, 0, n).unwrap();
+        let total: usize = (0..n).map(|v| e.chain(VarId::new(v)).len()).sum();
+        prop_assert_eq!(total, e.qubits_used());
+        prop_assert!((e.qubits_per_variable() - total as f64 / n as f64).abs() < 1e-12);
+        // Owner map agrees with chains.
+        for v in 0..n {
+            for &q in e.chain(VarId::new(v)) {
+                prop_assert_eq!(e.owner(q), Some(VarId::new(v)));
+            }
+        }
+    }
+}
+
+/// Deterministic (non-proptest) regression: an Embedding built from chains
+/// with an out-of-graph qubit is rejected before any physical mapping.
+#[test]
+fn embedding_rejects_out_of_range_chains() {
+    let graph = ChimeraGraph::new(1, 1);
+    let err = Embedding::new(vec![vec![QubitId(8)]], graph.num_qubits()).unwrap_err();
+    assert!(matches!(
+        err,
+        mqo_chimera::embedding::EmbeddingError::QubitOutOfRange(_)
+    ));
+}

@@ -1,0 +1,92 @@
+//! Error types for problem construction and solution decoding.
+
+use crate::ids::{PlanId, QueryId};
+
+/// Errors produced while building or decoding MQO problems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A query was declared without any alternative plan.
+    EmptyQuery(QueryId),
+    /// A plan id referenced a plan that does not exist.
+    UnknownPlan(PlanId),
+    /// A cost saving was declared between two plans of the same query; such a
+    /// saving can never be realised because a valid solution executes at most
+    /// one plan per query.
+    SavingWithinQuery(PlanId, PlanId),
+    /// A cost saving was declared between a plan and itself.
+    SelfSaving(PlanId),
+    /// A cost saving must be strictly positive (the paper defines
+    /// `s_{p1,p2} > 0`).
+    NonPositiveSaving(PlanId, PlanId, f64),
+    /// A plan execution cost was negative or non-finite.
+    InvalidCost(PlanId, f64),
+    /// A QUBO assignment selected no plan for this query, so it does not
+    /// decode into a valid MQO solution.
+    NoPlanSelected(QueryId),
+    /// A QUBO assignment selected more than one plan for this query.
+    MultiplePlansSelected(QueryId),
+    /// An assignment had the wrong number of variables.
+    AssignmentLength {
+        /// Variables the problem defines.
+        expected: usize,
+        /// Variables the assignment supplied.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::EmptyQuery(q) => write!(f, "query {q} has no alternative plans"),
+            CoreError::UnknownPlan(p) => write!(f, "plan {p} does not exist"),
+            CoreError::SavingWithinQuery(a, b) => write!(
+                f,
+                "cost saving between {a} and {b} is impossible: both are plans of the same query"
+            ),
+            CoreError::SelfSaving(p) => {
+                write!(f, "cost saving between {p} and itself is meaningless")
+            }
+            CoreError::NonPositiveSaving(a, b, s) => {
+                write!(f, "cost saving between {a} and {b} must be > 0, got {s}")
+            }
+            CoreError::InvalidCost(p, c) => {
+                write!(f, "plan {p} has invalid execution cost {c}")
+            }
+            CoreError::NoPlanSelected(q) => {
+                write!(f, "assignment selects no plan for query {q}")
+            }
+            CoreError::MultiplePlansSelected(q) => {
+                write!(f, "assignment selects more than one plan for query {q}")
+            }
+            CoreError::AssignmentLength { expected, actual } => write!(
+                f,
+                "assignment has {actual} variables but the problem has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = CoreError::SavingWithinQuery(PlanId(1), PlanId(2));
+        assert!(e.to_string().contains("same query"));
+        let e = CoreError::AssignmentLength {
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("3 variables"));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&CoreError::SelfSaving(PlanId(0)));
+    }
+}

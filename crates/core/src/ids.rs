@@ -1,0 +1,96 @@
+//! Strongly-typed identifiers used across the whole workspace.
+//!
+//! All three are thin wrappers around `u32` indices into the owning
+//! container; they exist so that a plan index can never be confused with a
+//! query index or a QUBO variable index at compile time. Conversions to
+//! `usize` are explicit via [`PlanId::index`] etc.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Builds an id from a container index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index exceeds u32::MAX"))
+            }
+
+            /// The underlying container index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Identifies a query within an [`crate::problem::MqoProblem`].
+    QueryId
+}
+
+id_type! {
+    /// Identifies a plan globally within an [`crate::problem::MqoProblem`]
+    /// (not relative to its query).
+    PlanId
+}
+
+id_type! {
+    /// Identifies a binary variable of a [`crate::qubo::Qubo`] /
+    /// [`crate::ising::Ising`] problem.
+    VarId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_usize() {
+        let p = PlanId::new(42);
+        assert_eq!(p.index(), 42);
+        assert_eq!(usize::from(p), 42);
+        assert_eq!(p, PlanId(42));
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(QueryId::new(1) < QueryId::new(2));
+        assert!(VarId::new(0) < VarId::new(100));
+    }
+
+    #[test]
+    fn display_contains_type_name_and_index() {
+        assert_eq!(PlanId::new(7).to_string(), "PlanId(7)");
+        assert_eq!(QueryId::new(0).to_string(), "QueryId(0)");
+    }
+
+    #[test]
+    #[should_panic(expected = "id index exceeds u32::MAX")]
+    fn oversized_index_panics() {
+        let _ = PlanId::new(usize::try_from(u32::MAX).unwrap() + 1);
+    }
+}

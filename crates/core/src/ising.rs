@@ -1,0 +1,307 @@
+//! Ising-model formulation and the exact QUBO ⇄ Ising correspondence.
+//!
+//! The D-Wave hardware natively minimises an Ising energy
+//! `E(s) = Σ_i h_i s_i + Σ_{i<j} J_ij s_i s_j` over spins `s ∈ {−1,+1}^n`.
+//! The substitution `x_i = (1 + s_i)/2` maps any QUBO onto an Ising problem
+//! (plus a constant offset) and back, preserving the ordering of all
+//! solutions. Samplers in `mqo-annealer` operate on [`Ising`] while the rest
+//! of the pipeline reasons in QUBO terms.
+
+use crate::ids::VarId;
+use crate::qubo::Qubo;
+use serde::{Deserialize, Serialize};
+
+/// A sparse Ising problem `Σ h_i s_i + Σ_{i<j} J_ij s_i s_j + offset`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ising {
+    h: Vec<f64>,
+    j: Vec<(VarId, VarId, f64)>,
+    offset: f64,
+    adj_offsets: Vec<u32>,
+    adj_entries: Vec<(VarId, f64)>,
+}
+
+impl Ising {
+    /// Builds an Ising problem from explicit fields and couplings.
+    ///
+    /// `couplings` must reference distinct in-range variables; duplicate
+    /// (unordered) pairs accumulate.
+    pub fn new(h: Vec<f64>, couplings: Vec<(VarId, VarId, f64)>, offset: f64) -> Self {
+        let n = h.len();
+        let mut merged = std::collections::BTreeMap::new();
+        for (i, j, w) in couplings {
+            assert!(i.index() < n && j.index() < n, "coupling out of range");
+            assert_ne!(i, j, "self-coupling is not an Ising term");
+            let key = if i < j { (i, j) } else { (j, i) };
+            *merged.entry(key).or_insert(0.0) += w;
+        }
+        let j: Vec<(VarId, VarId, f64)> = merged
+            .into_iter()
+            .filter(|(_, w)| *w != 0.0)
+            .map(|((a, b), w)| (a, b, w))
+            .collect();
+
+        let mut degree = vec![0u32; n];
+        for &(a, b, _) in &j {
+            degree[a.index()] += 1;
+            degree[b.index()] += 1;
+        }
+        let mut adj_offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            adj_offsets[i + 1] = adj_offsets[i] + degree[i];
+        }
+        let mut cursor: Vec<u32> = adj_offsets[..n].to_vec();
+        let mut adj_entries = vec![(VarId(0), 0.0); adj_offsets[n] as usize];
+        for &(a, b, w) in &j {
+            adj_entries[cursor[a.index()] as usize] = (b, w);
+            cursor[a.index()] += 1;
+            adj_entries[cursor[b.index()] as usize] = (a, w);
+            cursor[b.index()] += 1;
+        }
+
+        Ising {
+            h,
+            j,
+            offset,
+            adj_offsets,
+            adj_entries,
+        }
+    }
+
+    /// Number of spins.
+    #[inline]
+    pub fn num_spins(&self) -> usize {
+        self.h.len()
+    }
+
+    /// Per-spin fields `h_i`.
+    #[inline]
+    pub fn fields(&self) -> &[f64] {
+        &self.h
+    }
+
+    /// Upper-triangular couplings `(i, j, J_ij)`.
+    #[inline]
+    pub fn couplings(&self) -> &[(VarId, VarId, f64)] {
+        &self.j
+    }
+
+    /// Constant energy offset relative to the source QUBO.
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Coupled neighbours of spin `i`: pairs `(j, J_ij)`.
+    #[inline]
+    pub fn neighbours(&self, i: VarId) -> &[(VarId, f64)] {
+        let lo = self.adj_offsets[i.index()] as usize;
+        let hi = self.adj_offsets[i.index() + 1] as usize;
+        &self.adj_entries[lo..hi]
+    }
+
+    /// Evaluates the energy of a spin configuration (`s_i ∈ {−1, +1}`),
+    /// including the offset so it is directly comparable to QUBO energies.
+    pub fn energy(&self, s: &[i8]) -> f64 {
+        assert_eq!(s.len(), self.num_spins(), "spin vector length mismatch");
+        debug_assert!(s.iter().all(|&v| v == 1 || v == -1));
+        let mut e = self.offset;
+        for (h, &si) in self.h.iter().zip(s) {
+            e += h * f64::from(si);
+        }
+        for &(i, j, w) in &self.j {
+            e += w * f64::from(s[i.index()]) * f64::from(s[j.index()]);
+        }
+        e
+    }
+
+    /// Energy change from flipping spin `i`, in `O(deg(i))`.
+    #[inline]
+    pub fn flip_delta(&self, s: &[i8], i: VarId) -> f64 {
+        let mut field = self.h[i.index()];
+        for &(j, w) in self.neighbours(i) {
+            field += w * f64::from(s[j.index()]);
+        }
+        -2.0 * f64::from(s[i.index()]) * field
+    }
+
+    /// Local field at spin `i` (`h_i + Σ_j J_ij s_j`), used by annealing
+    /// sweeps that precompute fields.
+    #[inline]
+    pub fn local_field(&self, s: &[i8], i: VarId) -> f64 {
+        let mut field = self.h[i.index()];
+        for &(j, w) in self.neighbours(i) {
+            field += w * f64::from(s[j.index()]);
+        }
+        field
+    }
+
+    /// Largest absolute field/coupling magnitude; the annealer normalises by
+    /// this before programming the device model.
+    pub fn max_abs_weight(&self) -> f64 {
+        let h = self.h.iter().map(|w| w.abs()).fold(0.0, f64::max);
+        let j = self.j.iter().map(|(_, _, w)| w.abs()).fold(0.0, f64::max);
+        h.max(j)
+    }
+
+    /// Converts a QUBO into the equivalent Ising problem via
+    /// `x_i = (1 + s_i)/2`. Energies are preserved exactly:
+    /// `qubo.energy(x) == ising.energy(s)` for corresponding assignments.
+    pub fn from_qubo(qubo: &Qubo) -> Self {
+        let n = qubo.num_vars();
+        let mut h = vec![0.0; n];
+        let mut offset = 0.0;
+        for (i, &a) in qubo.linear().iter().enumerate() {
+            h[i] += a / 2.0;
+            offset += a / 2.0;
+        }
+        let mut couplings = Vec::with_capacity(qubo.num_quadratic());
+        for &(i, j, b) in qubo.quadratic() {
+            couplings.push((i, j, b / 4.0));
+            h[i.index()] += b / 4.0;
+            h[j.index()] += b / 4.0;
+            offset += b / 4.0;
+        }
+        Ising::new(h, couplings, offset)
+    }
+
+    /// Converts back to a QUBO (inverse of [`Ising::from_qubo`] up to the
+    /// constant offset, which QUBO cannot represent; the returned f64 is that
+    /// residual constant so `qubo.energy(x) + residual == ising.energy(s)`).
+    pub fn to_qubo(&self) -> (Qubo, f64) {
+        let n = self.num_spins();
+        let mut b = Qubo::builder(n);
+        let mut residual = self.offset;
+        for (i, &hi) in self.h.iter().enumerate() {
+            // h s = h (2x − 1) = 2h x − h
+            b.add_linear(VarId::new(i), 2.0 * hi);
+            residual -= hi;
+        }
+        for &(i, j, w) in &self.j {
+            // J s_i s_j = J (2x_i−1)(2x_j−1) = 4J x_i x_j − 2J x_i − 2J x_j + J
+            b.add_quadratic(i, j, 4.0 * w);
+            b.add_linear(i, -2.0 * w);
+            b.add_linear(j, -2.0 * w);
+            residual += w;
+        }
+        (b.build(), residual)
+    }
+}
+
+/// Converts a boolean assignment to spins (`true → +1`, `false → −1`).
+pub fn bits_to_spins(x: &[bool]) -> Vec<i8> {
+    x.iter().map(|&b| if b { 1 } else { -1 }).collect()
+}
+
+/// Converts spins to a boolean assignment (`+1 → true`).
+pub fn spins_to_bits(s: &[i8]) -> Vec<bool> {
+    s.iter().map(|&v| v > 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_qubo() -> Qubo {
+        let mut b = Qubo::builder(3);
+        b.add_linear(VarId(0), 2.0);
+        b.add_linear(VarId(1), -3.0);
+        b.add_linear(VarId(2), 1.0);
+        b.add_quadratic(VarId(0), VarId(1), 4.0);
+        b.add_quadratic(VarId(1), VarId(2), -2.0);
+        b.build()
+    }
+
+    #[test]
+    fn qubo_and_ising_energies_agree_on_all_assignments() {
+        let q = small_qubo();
+        let ising = Ising::from_qubo(&q);
+        for mask in 0u32..8 {
+            let x: Vec<bool> = (0..3).map(|i| mask & (1 << i) != 0).collect();
+            let s = bits_to_spins(&x);
+            assert!(
+                (q.energy(&x) - ising.energy(&s)).abs() < 1e-12,
+                "mismatch on {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_qubo_ising_qubo_preserves_energies() {
+        let q = small_qubo();
+        let ising = Ising::from_qubo(&q);
+        let (q2, residual) = ising.to_qubo();
+        for mask in 0u32..8 {
+            let x: Vec<bool> = (0..3).map(|i| mask & (1 << i) != 0).collect();
+            assert!(
+                (q.energy(&x) - (q2.energy(&x) + residual)).abs() < 1e-12,
+                "round-trip mismatch on {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flip_delta_matches_energy_difference() {
+        let ising = Ising::from_qubo(&small_qubo());
+        for mask in 0u32..8 {
+            let mut s: Vec<i8> = (0..3)
+                .map(|i| if mask & (1 << i) != 0 { 1 } else { -1 })
+                .collect();
+            for i in 0..3 {
+                let before = ising.energy(&s);
+                let delta = ising.flip_delta(&s, VarId::new(i));
+                s[i] = -s[i];
+                let after = ising.energy(&s);
+                s[i] = -s[i];
+                assert!(
+                    ((after - before) - delta).abs() < 1e-12,
+                    "flip {i} mask {mask}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spin_bit_conversions_are_inverse() {
+        let x = vec![true, false, true, true, false];
+        assert_eq!(spins_to_bits(&bits_to_spins(&x)), x);
+        let s = vec![1i8, -1, -1, 1];
+        assert_eq!(bits_to_spins(&spins_to_bits(&s)), s);
+    }
+
+    #[test]
+    fn duplicate_couplings_merge_and_self_couplings_panic() {
+        let i = Ising::new(
+            vec![0.0, 0.0],
+            vec![(VarId(0), VarId(1), 1.0), (VarId(1), VarId(0), 0.5)],
+            0.0,
+        );
+        assert_eq!(i.couplings(), &[(VarId(0), VarId(1), 1.5)]);
+
+        let result = std::panic::catch_unwind(|| {
+            Ising::new(vec![0.0], vec![(VarId(0), VarId(0), 1.0)], 0.0)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn local_field_and_flip_delta_are_consistent() {
+        let ising = Ising::from_qubo(&small_qubo());
+        let s = vec![1i8, -1, 1];
+        for i in 0..3 {
+            let v = VarId::new(i);
+            let expect = -2.0 * f64::from(s[i]) * ising.local_field(&s, v);
+            assert!((ising.flip_delta(&s, v) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_abs_weight_covers_fields_and_couplings() {
+        let ising = Ising::new(
+            vec![0.5, -3.0],
+            vec![(VarId(0), VarId(1), 2.0)],
+            10.0,
+        );
+        assert_eq!(ising.max_abs_weight(), 3.0);
+    }
+}

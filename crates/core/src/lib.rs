@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! # mqo-core
+//!
+//! Core problem model and logical mapping for *Multiple Query Optimization on
+//! the D-Wave 2X Adiabatic Quantum Computer* (Trummer & Koch, PVLDB 9(9),
+//! 2016).
+//!
+//! This crate contains everything from Sections 3 and 4 of the paper:
+//!
+//! * the formal **MQO problem model** ([`problem::MqoProblem`]): a batch of
+//!   queries, alternative plans per query with execution costs `c_p`, and
+//!   pairwise cost savings `s_{p1,p2}` between plans that can share
+//!   intermediate results;
+//! * **solutions** ([`solution::Selection`]) — one plan per query — and their
+//!   accumulated execution cost `C(Pe) = Σ c_p − Σ s_{p1,p2}` with both full
+//!   and incremental (delta) evaluation;
+//! * the **QUBO** formalism ([`qubo::Qubo`]) accepted by the annealer, and the
+//!   equivalent **Ising** formulation ([`ising::Ising`]) that physical
+//!   samplers operate on;
+//! * the **logical mapping** ([`logical::LogicalMapping`]) that turns an MQO
+//!   instance into an energy formula `wL·EL + wM·EM + EC + ES` whose global
+//!   minimum encodes the optimal plan selection (Theorem 1 of the paper), and
+//!   its inverse that turns variable assignments back into plan selections.
+//!
+//! The physical mapping onto the Chimera qubit matrix lives in `mqo-chimera`,
+//! samplers in `mqo-annealer`, and classical baselines in `mqo-milp` /
+//! `mqo-heuristics`.
+//!
+//! ## Example 1 from the paper
+//!
+//! ```
+//! use mqo_core::problem::MqoProblem;
+//! use mqo_core::logical::LogicalMapping;
+//!
+//! // Two queries; q1 has plans with costs {2, 4}, q2 has plans {3, 1}.
+//! // Plans p2 and p3 (indices 1 and 2) share work worth 5 cost units.
+//! let mut b = MqoProblem::builder();
+//! let q1 = b.add_query(&[2.0, 4.0]);
+//! let q2 = b.add_query(&[3.0, 1.0]);
+//! let p2 = b.plans_of(q1)[1];
+//! let p3 = b.plans_of(q2)[0];
+//! b.add_saving(p2, p3, 5.0).unwrap();
+//! let problem = b.build().unwrap();
+//!
+//! let mapping = LogicalMapping::new(&problem, 0.25);
+//! let (best, _energy) = mapping.qubo().brute_force_minimum();
+//! let selection = mapping.decode_strict(&best).unwrap();
+//! // The optimum executes p2 and p3 despite their higher individual costs.
+//! assert_eq!(selection.plan_of(q1), p2);
+//! assert_eq!(selection.plan_of(q2), p3);
+//! assert_eq!(problem.selection_cost(&selection), 4.0 + 3.0 - 5.0);
+//! ```
+
+pub mod error;
+pub mod ids;
+pub mod ising;
+pub mod logical;
+pub mod problem;
+pub mod qubo;
+pub mod solution;
+pub mod tasks;
+pub mod trace;
+
+pub use error::CoreError;
+pub use ids::{PlanId, QueryId, VarId};
+pub use ising::Ising;
+pub use logical::LogicalMapping;
+pub use problem::{MqoProblem, ProblemBuilder};
+pub use qubo::{Qubo, QuboBuilder};
+pub use solution::{CostEvaluator, Selection};
+pub use trace::{Trace, TracePoint};

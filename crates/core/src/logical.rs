@@ -1,0 +1,395 @@
+//! The logical mapping of Section 4: MQO → QUBO and back.
+//!
+//! One binary variable `X_p` per plan (`X_p = 1` ⇔ plan `p` executes). The
+//! logical energy formula is
+//!
+//! ```text
+//! wL·EL + wM·EM + EC + ES
+//!   EL = −Σ_p X_p                          (at least one plan per query)
+//!   EM =  Σ_q Σ_{p1<p2 ∈ Pq} X_p1 X_p2    (at most one plan per query)
+//!   EC =  Σ_p c_p X_p                      (execution cost)
+//!   ES = −Σ_{p1,p2} s_{p1,p2} X_p1 X_p2   (shared work)
+//! ```
+//!
+//! with `wL = max_p c_p + ε` and `wM = wL + max_{p1} Σ_{p2} s_{p1,p2} + ε`.
+//! Theorem 1 of the paper (proved here as property tests in
+//! `tests/theorem1.rs` of the workspace root and unit tests below) states the
+//! QUBO optimum encodes an optimal valid MQO solution.
+//!
+//! The energy of a *valid* selection differs from its execution cost by the
+//! constant `−wL·|Q|` (term EL contributes `−wL` per query, EM contributes 0),
+//! exposed as [`LogicalMapping::energy_offset`].
+
+use crate::error::CoreError;
+use crate::ids::{PlanId, QueryId, VarId};
+use crate::problem::MqoProblem;
+use crate::qubo::Qubo;
+use crate::solution::Selection;
+
+/// Default weight slack used by the paper's implementation (Section 4).
+pub const DEFAULT_EPSILON: f64 = 0.25;
+
+/// The logical mapping from an MQO instance to a QUBO instance, retaining
+/// everything needed to interpret QUBO assignments as plan selections.
+///
+/// Variable `VarId(i)` corresponds to `PlanId(i)`: the mapping is the
+/// identity on indices because plans are already densely numbered.
+#[derive(Debug, Clone)]
+pub struct LogicalMapping {
+    qubo: Qubo,
+    w_l: f64,
+    w_m: f64,
+    epsilon: f64,
+    num_queries: usize,
+    /// `plan_range[q]` — global plan id range of query `q` (copied from the
+    /// problem so decoding does not need the problem itself).
+    plan_range: Vec<(u32, u32)>,
+}
+
+impl LogicalMapping {
+    /// Maps `problem` into a QUBO using weight slack `epsilon` (`ε > 0`;
+    /// the paper uses 0.25).
+    ///
+    /// Runs in `O(|P| + Σ_q |P_q|² + |S|)` — the `O(n·(m·l)²)` bound of
+    /// Theorem 4 restricted to the logical phase.
+    pub fn new(problem: &MqoProblem, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        let w_l = problem.max_plan_cost() + epsilon;
+        let w_m = w_l + problem.max_savings_sum() + epsilon;
+
+        let mut b = Qubo::builder(problem.num_plans());
+        for p in problem.plans() {
+            let var = VarId(p.0);
+            // EC: + c_p X_p ; wL·EL: − wL X_p
+            b.add_linear(var, problem.plan_cost(p) - w_l);
+        }
+        // wM·EM: + wM X_p1 X_p2 for alternative plans of the same query.
+        for q in problem.queries() {
+            let plans: Vec<PlanId> = problem.plans_of(q).collect();
+            for (i, &p1) in plans.iter().enumerate() {
+                for &p2 in &plans[i + 1..] {
+                    b.add_quadratic(VarId(p1.0), VarId(p2.0), w_m);
+                }
+            }
+        }
+        // ES: − s X_p1 X_p2 for sharing pairs.
+        for &(p1, p2, s) in problem.savings() {
+            b.add_quadratic(VarId(p1.0), VarId(p2.0), -s);
+        }
+
+        let plan_range = problem
+            .queries()
+            .map(|q| {
+                let mut it = problem.plans_of(q);
+                let first = it.next().expect("non-empty query").0;
+                let last = it.last().map_or(first, |p| p.0);
+                (first, last + 1)
+            })
+            .collect();
+
+        LogicalMapping {
+            qubo: b.build(),
+            w_l,
+            w_m,
+            epsilon,
+            num_queries: problem.num_queries(),
+            plan_range,
+        }
+    }
+
+    /// Maps with the paper's default `ε = 0.25`.
+    pub fn with_default_epsilon(problem: &MqoProblem) -> Self {
+        Self::new(problem, DEFAULT_EPSILON)
+    }
+
+    /// The logical energy formula as a QUBO.
+    #[inline]
+    pub fn qubo(&self) -> &Qubo {
+        &self.qubo
+    }
+
+    /// Weight `wL` scaling the at-least-one-plan term.
+    #[inline]
+    pub fn w_l(&self) -> f64 {
+        self.w_l
+    }
+
+    /// Weight `wM` scaling the at-most-one-plan term.
+    #[inline]
+    pub fn w_m(&self) -> f64 {
+        self.w_m
+    }
+
+    /// The slack `ε` used when deriving the weights.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Constant difference between QUBO energy and MQO execution cost for
+    /// valid selections: `energy(x) = cost(selection) + energy_offset()`.
+    #[inline]
+    pub fn energy_offset(&self) -> f64 {
+        -self.w_l * self.num_queries as f64
+    }
+
+    /// The QUBO variable representing a plan.
+    #[inline]
+    pub fn var_of_plan(&self, p: PlanId) -> VarId {
+        VarId(p.0)
+    }
+
+    /// The plan represented by a QUBO variable.
+    #[inline]
+    pub fn plan_of_var(&self, v: VarId) -> PlanId {
+        PlanId(v.0)
+    }
+
+    /// Encodes a valid selection as a QUBO assignment (inverse of
+    /// [`decode_strict`](Self::decode_strict)).
+    pub fn encode(&self, selection: &Selection) -> Vec<bool> {
+        let mut x = vec![false; self.qubo.num_vars()];
+        for &p in selection.plans() {
+            x[p.index()] = true;
+        }
+        x
+    }
+
+    /// Decodes a QUBO assignment into a selection, failing when the
+    /// assignment violates the one-plan-per-query constraint.
+    pub fn decode_strict(&self, x: &[bool]) -> Result<Selection, CoreError> {
+        if x.len() != self.qubo.num_vars() {
+            return Err(CoreError::AssignmentLength {
+                expected: self.qubo.num_vars(),
+                actual: x.len(),
+            });
+        }
+        let mut plans = Vec::with_capacity(self.num_queries);
+        for (q, &(a, b)) in self.plan_range.iter().enumerate() {
+            let mut chosen = None;
+            for p in a..b {
+                if x[p as usize] {
+                    if chosen.is_some() {
+                        return Err(CoreError::MultiplePlansSelected(QueryId::new(q)));
+                    }
+                    chosen = Some(PlanId(p));
+                }
+            }
+            plans.push(chosen.ok_or(CoreError::NoPlanSelected(QueryId::new(q)))?);
+        }
+        Ok(Selection::new(plans))
+    }
+
+    /// Decodes with repair: queries that violate the one-plan constraint
+    /// get a greedy fix — among their candidates (the selected plans when
+    /// over-selected, all plans when none was selected) the plan with the
+    /// lowest *marginal* cost against everything else currently selected is
+    /// kept. Used to salvage near-feasible annealer samples (with correctly
+    /// scaled weights the ground state never needs repair, but noisy reads
+    /// can).
+    ///
+    /// Returns the repaired selection and whether any repair was necessary.
+    pub fn decode_with_repair(
+        &self,
+        problem: &MqoProblem,
+        x: &[bool],
+    ) -> (Selection, bool) {
+        assert_eq!(x.len(), self.qubo.num_vars(), "assignment length mismatch");
+        // First pass: settle the valid queries, remember the violated ones.
+        let mut selected_mask = vec![false; problem.num_plans()];
+        let mut plans: Vec<Option<PlanId>> = Vec::with_capacity(self.num_queries);
+        let mut violated: Vec<(usize, Vec<PlanId>)> = Vec::new();
+        for (qi, &(a, b)) in self.plan_range.iter().enumerate() {
+            let chosen: Vec<PlanId> = (a..b).filter(|&p| x[p as usize]).map(PlanId).collect();
+            if chosen.len() == 1 {
+                selected_mask[chosen[0].index()] = true;
+                plans.push(Some(chosen[0]));
+            } else {
+                let candidates = if chosen.is_empty() {
+                    (a..b).map(PlanId).collect()
+                } else {
+                    chosen
+                };
+                violated.push((qi, candidates));
+                plans.push(None);
+            }
+        }
+        let repaired = !violated.is_empty();
+        // Second pass: greedy marginal-cost repair against the running
+        // selection (valid queries plus repairs made so far).
+        for (qi, candidates) in violated {
+            let best = candidates
+                .into_iter()
+                .min_by(|&p1, &p2| {
+                    let marginal = |p: PlanId| {
+                        let mut c = problem.plan_cost(p);
+                        for &(p2, s) in problem.savings_of(p) {
+                            if selected_mask[p2.index()] {
+                                c -= s;
+                            }
+                        }
+                        c
+                    };
+                    marginal(p1).total_cmp(&marginal(p2))
+                })
+                .expect("non-empty candidate set");
+            selected_mask[best.index()] = true;
+            plans[qi] = Some(best);
+        }
+        let plans = plans
+            .into_iter()
+            .map(|p| p.expect("every query settled"))
+            .collect();
+        (Selection::new(plans), repaired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 1 of the paper.
+    fn example_problem() -> MqoProblem {
+        let mut b = MqoProblem::builder();
+        let q1 = b.add_query(&[2.0, 4.0]);
+        let q2 = b.add_query(&[3.0, 1.0]);
+        let p2 = b.plans_of(q1)[1];
+        let p3 = b.plans_of(q2)[0];
+        b.add_saving(p2, p3, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn weights_match_paper_example() {
+        let p = example_problem();
+        let m = LogicalMapping::new(&p, 0.25);
+        // wL = max cost + ε = 4.25; wM = wL + max savings sum + ε = 9.5.
+        assert_eq!(m.w_l(), 4.25);
+        assert_eq!(m.w_m(), 4.25 + 5.0 + 0.25);
+    }
+
+    #[test]
+    fn qubo_optimum_is_the_mqo_optimum_on_the_paper_example() {
+        let p = example_problem();
+        let m = LogicalMapping::new(&p, 0.25);
+        let (x, e) = m.qubo().brute_force_minimum();
+        // Optimal MQO solution: X1=0, X2=1, X3=1, X4=0 (paper Example 1).
+        assert_eq!(x, vec![false, true, true, false]);
+        let sel = m.decode_strict(&x).unwrap();
+        assert_eq!(p.selection_cost(&sel), 2.0);
+        // Energy = cost + offset.
+        assert!((e - (2.0 + m.energy_offset())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_of_every_valid_selection_is_cost_plus_offset() {
+        let p = example_problem();
+        let m = LogicalMapping::new(&p, 0.25);
+        for p1 in 0u32..2 {
+            for p3 in 2u32..4 {
+                let sel = Selection::new(vec![PlanId(p1), PlanId(p3)]);
+                let x = m.encode(&sel);
+                let energy = m.qubo().energy(&x);
+                let cost = p.selection_cost(&sel);
+                assert!(
+                    (energy - (cost + m.energy_offset())).abs() < 1e-12,
+                    "selection ({p1},{p3})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_assignments_have_higher_energy_than_the_valid_optimum() {
+        // Lemmas 1 and 2: with properly scaled weights no invalid assignment
+        // can undercut the best valid one.
+        let p = example_problem();
+        let m = LogicalMapping::new(&p, 0.25);
+        let (_, best) = m.qubo().brute_force_minimum();
+        for mask in 0u32..16 {
+            let x: Vec<bool> = (0..4).map(|i| mask & (1 << i) != 0).collect();
+            if m.decode_strict(&x).is_err() {
+                assert!(
+                    m.qubo().energy(&x) > best + 1e-9,
+                    "invalid assignment {x:?} ties or beats the optimum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = example_problem();
+        let m = LogicalMapping::new(&p, 0.25);
+        let sel = Selection::new(vec![PlanId(0), PlanId(3)]);
+        let x = m.encode(&sel);
+        assert_eq!(x, vec![true, false, false, true]);
+        assert_eq!(m.decode_strict(&x).unwrap(), sel);
+    }
+
+    #[test]
+    fn decode_strict_rejects_invalid_assignments() {
+        let p = example_problem();
+        let m = LogicalMapping::new(&p, 0.25);
+        assert!(matches!(
+            m.decode_strict(&[false, false, true, false]).unwrap_err(),
+            CoreError::NoPlanSelected(QueryId(0))
+        ));
+        assert!(matches!(
+            m.decode_strict(&[true, true, true, false]).unwrap_err(),
+            CoreError::MultiplePlansSelected(QueryId(0))
+        ));
+        assert!(matches!(
+            m.decode_strict(&[true]).unwrap_err(),
+            CoreError::AssignmentLength { .. }
+        ));
+    }
+
+    #[test]
+    fn decode_with_repair_fixes_over_and_under_selection() {
+        let p = example_problem();
+        let m = LogicalMapping::new(&p, 0.25);
+        // Query 0 over-selected, query 1 under-selected.
+        let (sel, repaired) = m.decode_with_repair(&p, &[true, true, false, false]);
+        assert!(repaired);
+        // Query 0 keeps the cheaper selected plan (cost 2); query 1 gets its
+        // cheapest plan (cost 1).
+        assert_eq!(sel.plans(), &[PlanId(0), PlanId(3)]);
+
+        // Valid assignment passes through untouched.
+        let (sel, repaired) = m.decode_with_repair(&p, &[false, true, true, false]);
+        assert!(!repaired);
+        assert_eq!(sel.plans(), &[PlanId(1), PlanId(2)]);
+    }
+
+    #[test]
+    fn var_plan_correspondence_is_identity() {
+        let p = example_problem();
+        let m = LogicalMapping::new(&p, 0.25);
+        for plan in p.plans() {
+            assert_eq!(m.plan_of_var(m.var_of_plan(plan)), plan);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_is_rejected() {
+        let p = example_problem();
+        let _ = LogicalMapping::new(&p, 0.0);
+    }
+
+    #[test]
+    fn quadratic_term_count_matches_formula() {
+        // EM contributes C(l,2) per query; ES one term per saving pair
+        // (disjoint from EM pairs since savings within a query are rejected).
+        let mut b = MqoProblem::builder();
+        let q0 = b.add_query(&[1.0, 2.0, 3.0]); // C(3,2) = 3
+        let q1 = b.add_query(&[1.0, 2.0]); // C(2,2) = 1
+        let a = b.plans_of(q0)[0];
+        let c = b.plans_of(q1)[1];
+        b.add_saving(a, c, 1.0).unwrap();
+        let p = b.build().unwrap();
+        let m = LogicalMapping::new(&p, 0.25);
+        assert_eq!(m.qubo().num_quadratic(), 3 + 1 + 1);
+    }
+}

@@ -1,0 +1,517 @@
+//! The formal MQO problem model of Section 3 of the paper.
+//!
+//! An instance consists of
+//!
+//! * a set `Q` of queries,
+//! * for each query `q` a non-empty set `P_q` of alternative plans with
+//!   execution costs `c_p ≥ 0`,
+//! * pairwise cost savings `s_{p1,p2} > 0` between plans of *different*
+//!   queries that can share intermediate results.
+//!
+//! A solution selects exactly one plan per query; its accumulated execution
+//! cost is `C(Pe) = Σ_{p∈Pe} c_p − Σ_{{p1,p2}⊆Pe} s_{p1,p2}`. Results that are
+//! optional to generate are modelled, as in the paper, by a query whose plan
+//! set contains a zero-cost "do not generate" plan.
+//!
+//! Plans are numbered globally and plans of one query occupy a contiguous id
+//! range, which lets the hot evaluation paths run on flat arrays.
+
+use crate::error::CoreError;
+use crate::ids::{PlanId, QueryId};
+use crate::solution::Selection;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An immutable multiple-query-optimization problem instance.
+///
+/// Construct via [`MqoProblem::builder`]. The structure is validated once at
+/// build time; afterwards all accessors are infallible and cheap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "ProblemSpec", into = "ProblemSpec")]
+pub struct MqoProblem {
+    /// `plan_range[q] = (first, last+1)` — global plan ids of query `q`.
+    plan_range: Vec<(u32, u32)>,
+    /// Execution cost `c_p` per global plan id.
+    plan_cost: Vec<f64>,
+    /// Owning query per global plan id.
+    plan_query: Vec<QueryId>,
+    /// Savings triplets `(p1, p2, s)` with `p1 < p2`, sorted, duplicates
+    /// merged by summation (several shared results between the same plan pair
+    /// accumulate, matching the paper's pairwise-connection convention).
+    savings: Vec<(PlanId, PlanId, f64)>,
+    /// CSR offsets into `adj_entries`, one slice per plan.
+    adj_offsets: Vec<u32>,
+    /// Symmetric savings adjacency: for each plan, its sharing partners.
+    adj_entries: Vec<(PlanId, f64)>,
+}
+
+impl MqoProblem {
+    /// Starts building a new instance.
+    pub fn builder() -> ProblemBuilder {
+        ProblemBuilder::default()
+    }
+
+    /// Number of queries `|Q|`.
+    #[inline]
+    pub fn num_queries(&self) -> usize {
+        self.plan_range.len()
+    }
+
+    /// Total number of plans `|P|` across all queries.
+    #[inline]
+    pub fn num_plans(&self) -> usize {
+        self.plan_cost.len()
+    }
+
+    /// Number of distinct sharing pairs `(p1, p2)` with `s_{p1,p2} > 0`.
+    #[inline]
+    pub fn num_savings(&self) -> usize {
+        self.savings.len()
+    }
+
+    /// Iterator over all query ids.
+    pub fn queries(&self) -> impl ExactSizeIterator<Item = QueryId> {
+        (0..self.plan_range.len() as u32).map(QueryId)
+    }
+
+    /// Iterator over all global plan ids.
+    pub fn plans(&self) -> impl ExactSizeIterator<Item = PlanId> {
+        (0..self.plan_cost.len() as u32).map(PlanId)
+    }
+
+    /// The plans of query `q` as an iterator over global plan ids.
+    #[inline]
+    pub fn plans_of(&self, q: QueryId) -> impl ExactSizeIterator<Item = PlanId> {
+        let (a, b) = self.plan_range[q.index()];
+        (a..b).map(PlanId)
+    }
+
+    /// Number of alternative plans of query `q`.
+    #[inline]
+    pub fn num_plans_of(&self, q: QueryId) -> usize {
+        let (a, b) = self.plan_range[q.index()];
+        (b - a) as usize
+    }
+
+    /// Execution cost `c_p` of a plan.
+    #[inline]
+    pub fn plan_cost(&self, p: PlanId) -> f64 {
+        self.plan_cost[p.index()]
+    }
+
+    /// The query a plan belongs to.
+    #[inline]
+    pub fn query_of(&self, p: PlanId) -> QueryId {
+        self.plan_query[p.index()]
+    }
+
+    /// All savings triplets `(p1, p2, s)` with `p1 < p2`.
+    #[inline]
+    pub fn savings(&self) -> &[(PlanId, PlanId, f64)] {
+        &self.savings
+    }
+
+    /// The sharing partners of plan `p`: pairs `(p2, s_{p,p2})`.
+    #[inline]
+    pub fn savings_of(&self, p: PlanId) -> &[(PlanId, f64)] {
+        let lo = self.adj_offsets[p.index()] as usize;
+        let hi = self.adj_offsets[p.index() + 1] as usize;
+        &self.adj_entries[lo..hi]
+    }
+
+    /// The saving between two specific plans, or 0 when they share nothing.
+    pub fn saving_between(&self, p1: PlanId, p2: PlanId) -> f64 {
+        self.savings_of(p1)
+            .iter()
+            .find(|(p, _)| *p == p2)
+            .map_or(0.0, |(_, s)| *s)
+    }
+
+    /// `max_{p∈P} c_p` — used to derive the logical-mapping weight `wL`.
+    pub fn max_plan_cost(&self) -> f64 {
+        self.plan_cost.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// `max_{p1∈P} Σ_{p2∈P} s_{p1,p2}` — used to derive `wM`.
+    pub fn max_savings_sum(&self) -> f64 {
+        self.plans()
+            .map(|p| self.savings_of(p).iter().map(|(_, s)| s).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Accumulated execution cost `C(Pe)` of an arbitrary plan set (not
+    /// necessarily a valid solution): `Σ c_p − Σ s_{p1,p2}` over selected
+    /// pairs.
+    ///
+    /// Runs in `O(|set| + Σ deg(p))`. `set` may be in any order; duplicate
+    /// plans are not allowed (debug-asserted).
+    pub fn plan_set_cost(&self, set: &[PlanId]) -> f64 {
+        let mut selected = vec![false; self.num_plans()];
+        let mut cost = 0.0;
+        for &p in set {
+            debug_assert!(!selected[p.index()], "duplicate plan in set");
+            selected[p.index()] = true;
+            cost += self.plan_cost(p);
+        }
+        // Each unordered pair is visited twice through the symmetric
+        // adjacency, hence the factor 1/2.
+        let mut shared = 0.0;
+        for &p in set {
+            for &(p2, s) in self.savings_of(p) {
+                if selected[p2.index()] {
+                    shared += s;
+                }
+            }
+        }
+        cost - shared / 2.0
+    }
+
+    /// Accumulated execution cost of a valid solution.
+    pub fn selection_cost(&self, selection: &Selection) -> f64 {
+        self.plan_set_cost(selection.plans())
+    }
+
+    /// Checks that a selection is structurally compatible with this problem:
+    /// one plan per query, each belonging to the right query.
+    pub fn validate_selection(&self, selection: &Selection) -> Result<(), CoreError> {
+        if selection.num_queries() != self.num_queries() {
+            return Err(CoreError::AssignmentLength {
+                expected: self.num_queries(),
+                actual: selection.num_queries(),
+            });
+        }
+        for q in self.queries() {
+            let p = selection.plan_of(q);
+            if p.index() >= self.num_plans() {
+                return Err(CoreError::UnknownPlan(p));
+            }
+            if self.query_of(p) != q {
+                return Err(CoreError::MultiplePlansSelected(q));
+            }
+        }
+        Ok(())
+    }
+
+    /// Exhaustively enumerates all valid solutions and returns a cheapest one
+    /// together with its cost. Intended for tests and tiny instances: the
+    /// search space is `Π_q |P_q|`.
+    pub fn brute_force_optimum(&self) -> (Selection, f64) {
+        assert!(
+            self.num_queries() <= 24,
+            "brute force is limited to small instances"
+        );
+        let mut current: Vec<PlanId> = self
+            .queries()
+            .map(|q| self.plans_of(q).next().expect("non-empty query"))
+            .collect();
+        let mut best = current.clone();
+        let mut best_cost = self.plan_set_cost(&current);
+        self.enumerate(0, &mut current, &mut best, &mut best_cost);
+        (Selection::new(best), best_cost)
+    }
+
+    fn enumerate(
+        &self,
+        q: usize,
+        current: &mut Vec<PlanId>,
+        best: &mut Vec<PlanId>,
+        best_cost: &mut f64,
+    ) {
+        if q == self.num_queries() {
+            let cost = self.plan_set_cost(current);
+            if cost < *best_cost {
+                *best_cost = cost;
+                best.clone_from(current);
+            }
+            return;
+        }
+        for p in self.plans_of(QueryId::new(q)) {
+            current[q] = p;
+            self.enumerate(q + 1, current, best, best_cost);
+        }
+    }
+}
+
+/// Incremental builder for [`MqoProblem`].
+#[derive(Debug, Default, Clone)]
+pub struct ProblemBuilder {
+    plan_range: Vec<(u32, u32)>,
+    plan_cost: Vec<f64>,
+    plan_query: Vec<QueryId>,
+    savings: BTreeMap<(PlanId, PlanId), f64>,
+}
+
+impl ProblemBuilder {
+    /// Adds a query with one plan per entry of `costs`; returns its id.
+    pub fn add_query(&mut self, costs: &[f64]) -> QueryId {
+        let q = QueryId::new(self.plan_range.len());
+        let first = self.plan_cost.len() as u32;
+        for &c in costs {
+            self.plan_cost.push(c);
+            self.plan_query.push(q);
+        }
+        self.plan_range.push((first, self.plan_cost.len() as u32));
+        q
+    }
+
+    /// Global plan ids of a previously added query.
+    pub fn plans_of(&self, q: QueryId) -> Vec<PlanId> {
+        let (a, b) = self.plan_range[q.index()];
+        (a..b).map(PlanId).collect()
+    }
+
+    /// Number of plans added so far.
+    pub fn num_plans(&self) -> usize {
+        self.plan_cost.len()
+    }
+
+    /// Declares that plans `p1` and `p2` can share intermediate results worth
+    /// `s` cost units. Savings between the same pair accumulate.
+    pub fn add_saving(&mut self, p1: PlanId, p2: PlanId, s: f64) -> Result<(), CoreError> {
+        if p1 == p2 {
+            return Err(CoreError::SelfSaving(p1));
+        }
+        for &p in &[p1, p2] {
+            if p.index() >= self.plan_cost.len() {
+                return Err(CoreError::UnknownPlan(p));
+            }
+        }
+        if self.plan_query[p1.index()] == self.plan_query[p2.index()] {
+            return Err(CoreError::SavingWithinQuery(p1, p2));
+        }
+        if !s.is_finite() || s <= 0.0 {
+            return Err(CoreError::NonPositiveSaving(p1, p2, s));
+        }
+        let key = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+        *self.savings.entry(key).or_insert(0.0) += s;
+        Ok(())
+    }
+
+    /// Validates and freezes the instance.
+    pub fn build(self) -> Result<MqoProblem, CoreError> {
+        for (q, &(a, b)) in self.plan_range.iter().enumerate() {
+            if a == b {
+                return Err(CoreError::EmptyQuery(QueryId::new(q)));
+            }
+        }
+        for (p, &c) in self.plan_cost.iter().enumerate() {
+            if !c.is_finite() || c < 0.0 {
+                return Err(CoreError::InvalidCost(PlanId::new(p), c));
+            }
+        }
+        let savings: Vec<(PlanId, PlanId, f64)> = self
+            .savings
+            .into_iter()
+            .map(|((p1, p2), s)| (p1, p2, s))
+            .collect();
+
+        // Build the symmetric CSR adjacency.
+        let n = self.plan_cost.len();
+        let mut degree = vec![0u32; n];
+        for &(p1, p2, _) in &savings {
+            degree[p1.index()] += 1;
+            degree[p2.index()] += 1;
+        }
+        let mut adj_offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            adj_offsets[i + 1] = adj_offsets[i] + degree[i];
+        }
+        let mut cursor: Vec<u32> = adj_offsets[..n].to_vec();
+        let mut adj_entries = vec![(PlanId(0), 0.0); adj_offsets[n] as usize];
+        for &(p1, p2, s) in &savings {
+            adj_entries[cursor[p1.index()] as usize] = (p2, s);
+            cursor[p1.index()] += 1;
+            adj_entries[cursor[p2.index()] as usize] = (p1, s);
+            cursor[p2.index()] += 1;
+        }
+
+        Ok(MqoProblem {
+            plan_range: self.plan_range,
+            plan_cost: self.plan_cost,
+            plan_query: self.plan_query,
+            savings,
+            adj_offsets,
+            adj_entries,
+        })
+    }
+}
+
+/// Serialisable mirror of [`MqoProblem`]: per-query plan costs plus savings
+/// triplets. Deserialisation re-runs full builder validation, so hand-edited
+/// files cannot produce inconsistent internal state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProblemSpec {
+    /// `queries[q]` = execution costs of the plans of query `q`.
+    pub queries: Vec<Vec<f64>>,
+    /// Savings triplets over global plan ids.
+    pub savings: Vec<(u32, u32, f64)>,
+}
+
+impl From<MqoProblem> for ProblemSpec {
+    fn from(p: MqoProblem) -> Self {
+        let queries = p
+            .queries()
+            .map(|q| p.plans_of(q).map(|pl| p.plan_cost(pl)).collect())
+            .collect();
+        let savings = p
+            .savings
+            .iter()
+            .map(|&(a, b, s)| (a.0, b.0, s))
+            .collect();
+        ProblemSpec { queries, savings }
+    }
+}
+
+impl TryFrom<ProblemSpec> for MqoProblem {
+    type Error = CoreError;
+
+    fn try_from(spec: ProblemSpec) -> Result<Self, Self::Error> {
+        let mut b = MqoProblem::builder();
+        for costs in &spec.queries {
+            b.add_query(costs);
+        }
+        for (p1, p2, s) in spec.savings {
+            b.add_saving(PlanId(p1), PlanId(p2), s)?;
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_problem() -> MqoProblem {
+        // Example 1 from the paper.
+        let mut b = MqoProblem::builder();
+        let q1 = b.add_query(&[2.0, 4.0]);
+        let q2 = b.add_query(&[3.0, 1.0]);
+        let p2 = b.plans_of(q1)[1];
+        let p3 = b.plans_of(q2)[0];
+        b.add_saving(p2, p3, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_contiguous_global_plan_ids() {
+        let p = example_problem();
+        assert_eq!(p.num_queries(), 2);
+        assert_eq!(p.num_plans(), 4);
+        let q0: Vec<_> = p.plans_of(QueryId(0)).collect();
+        let q1: Vec<_> = p.plans_of(QueryId(1)).collect();
+        assert_eq!(q0, vec![PlanId(0), PlanId(1)]);
+        assert_eq!(q1, vec![PlanId(2), PlanId(3)]);
+        assert_eq!(p.query_of(PlanId(1)), QueryId(0));
+        assert_eq!(p.query_of(PlanId(2)), QueryId(1));
+    }
+
+    #[test]
+    fn plan_set_cost_matches_paper_example() {
+        let p = example_problem();
+        // Executing p2 and p3: 4 + 3 − 5 = 2.
+        assert_eq!(p.plan_set_cost(&[PlanId(1), PlanId(2)]), 2.0);
+        // Executing p1 and p4: 2 + 1 = 3, no sharing.
+        assert_eq!(p.plan_set_cost(&[PlanId(0), PlanId(3)]), 3.0);
+        // Executing p1 and p3: 2 + 3 = 5.
+        assert_eq!(p.plan_set_cost(&[PlanId(0), PlanId(2)]), 5.0);
+    }
+
+    #[test]
+    fn brute_force_finds_the_shared_work_optimum() {
+        let p = example_problem();
+        let (sel, cost) = p.brute_force_optimum();
+        assert_eq!(cost, 2.0);
+        assert_eq!(sel.plans(), &[PlanId(1), PlanId(2)]);
+    }
+
+    #[test]
+    fn savings_accumulate_over_duplicate_pairs() {
+        let mut b = MqoProblem::builder();
+        let q1 = b.add_query(&[1.0]);
+        let q2 = b.add_query(&[1.0]);
+        let a = b.plans_of(q1)[0];
+        let c = b.plans_of(q2)[0];
+        b.add_saving(a, c, 0.5).unwrap();
+        b.add_saving(c, a, 0.25).unwrap(); // reversed order merges too
+        let p = b.build().unwrap();
+        assert_eq!(p.num_savings(), 1);
+        assert_eq!(p.saving_between(a, c), 0.75);
+        assert_eq!(p.saving_between(c, a), 0.75);
+    }
+
+    #[test]
+    fn same_query_savings_are_rejected() {
+        let mut b = MqoProblem::builder();
+        let q = b.add_query(&[1.0, 2.0]);
+        let plans = b.plans_of(q);
+        let err = b.add_saving(plans[0], plans[1], 1.0).unwrap_err();
+        assert_eq!(err, CoreError::SavingWithinQuery(plans[0], plans[1]));
+    }
+
+    #[test]
+    fn self_savings_and_bad_values_are_rejected() {
+        let mut b = MqoProblem::builder();
+        let q1 = b.add_query(&[1.0]);
+        let q2 = b.add_query(&[1.0]);
+        let a = b.plans_of(q1)[0];
+        let c = b.plans_of(q2)[0];
+        assert_eq!(b.add_saving(a, a, 1.0).unwrap_err(), CoreError::SelfSaving(a));
+        assert!(matches!(
+            b.add_saving(a, c, 0.0).unwrap_err(),
+            CoreError::NonPositiveSaving(..)
+        ));
+        assert!(matches!(
+            b.add_saving(a, c, f64::NAN).unwrap_err(),
+            CoreError::NonPositiveSaving(..)
+        ));
+        assert!(matches!(
+            b.add_saving(a, PlanId(99), 1.0).unwrap_err(),
+            CoreError::UnknownPlan(_)
+        ));
+    }
+
+    #[test]
+    fn empty_queries_and_invalid_costs_are_rejected() {
+        let mut b = MqoProblem::builder();
+        b.add_query(&[]);
+        assert_eq!(b.build().unwrap_err(), CoreError::EmptyQuery(QueryId(0)));
+
+        let mut b = MqoProblem::builder();
+        b.add_query(&[-1.0]);
+        assert!(matches!(b.build().unwrap_err(), CoreError::InvalidCost(..)));
+    }
+
+    #[test]
+    fn max_cost_and_max_savings_sum() {
+        let p = example_problem();
+        assert_eq!(p.max_plan_cost(), 4.0);
+        assert_eq!(p.max_savings_sum(), 5.0);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let p = example_problem();
+        assert_eq!(p.savings_of(PlanId(1)), &[(PlanId(2), 5.0)]);
+        assert_eq!(p.savings_of(PlanId(2)), &[(PlanId(1), 5.0)]);
+        assert!(p.savings_of(PlanId(0)).is_empty());
+        assert!(p.savings_of(PlanId(3)).is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_the_instance() {
+        let p = example_problem();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: MqoProblem = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn selection_validation_catches_wrong_query() {
+        let p = example_problem();
+        // PlanId(2) belongs to query 1, not query 0.
+        let bad = Selection::new(vec![PlanId(2), PlanId(3)]);
+        assert!(p.validate_selection(&bad).is_err());
+        let good = Selection::new(vec![PlanId(0), PlanId(3)]);
+        assert!(p.validate_selection(&good).is_ok());
+    }
+}

@@ -1,0 +1,320 @@
+//! Quadratic unconstrained binary optimization (QUBO) problems.
+//!
+//! A QUBO minimises `Σ_{i≤j} w_ij x_i x_j` over binary variables
+//! `x ∈ {0,1}^n`. Because `x_i² = x_i`, diagonal weights are linear terms;
+//! the representation below keeps them separate. This is exactly the input
+//! format the D-Wave annealer accepts (Section 3 of the paper) after the
+//! additional Ising rescaling handled by `mqo-annealer`.
+
+use crate::ids::VarId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A sparse, immutable QUBO instance.
+///
+/// Build one with [`QuboBuilder`]. Quadratic terms are stored as
+/// upper-triangular triplets (`i < j`) plus a symmetric CSR adjacency used by
+/// the `O(deg)` flip-delta evaluation that local-search samplers rely on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Qubo {
+    n: usize,
+    linear: Vec<f64>,
+    quad: Vec<(VarId, VarId, f64)>,
+    adj_offsets: Vec<u32>,
+    adj_entries: Vec<(VarId, f64)>,
+}
+
+impl Qubo {
+    /// Starts building a QUBO over `n` variables.
+    pub fn builder(n: usize) -> QuboBuilder {
+        QuboBuilder {
+            n,
+            linear: vec![0.0; n],
+            quad: BTreeMap::new(),
+        }
+    }
+
+    /// Number of binary variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of non-zero quadratic terms.
+    #[inline]
+    pub fn num_quadratic(&self) -> usize {
+        self.quad.len()
+    }
+
+    /// Linear weights, indexed by variable.
+    #[inline]
+    pub fn linear(&self) -> &[f64] {
+        &self.linear
+    }
+
+    /// Upper-triangular quadratic triplets `(i, j, w)` with `i < j`.
+    #[inline]
+    pub fn quadratic(&self) -> &[(VarId, VarId, f64)] {
+        &self.quad
+    }
+
+    /// Quadratic neighbours of variable `i`: pairs `(j, w_ij)`.
+    #[inline]
+    pub fn neighbours(&self, i: VarId) -> &[(VarId, f64)] {
+        let lo = self.adj_offsets[i.index()] as usize;
+        let hi = self.adj_offsets[i.index() + 1] as usize;
+        &self.adj_entries[lo..hi]
+    }
+
+    /// Evaluates the objective for a full assignment.
+    pub fn energy(&self, x: &[bool]) -> f64 {
+        assert_eq!(x.len(), self.n, "assignment length mismatch");
+        let mut e = 0.0;
+        for (i, (&w, &xi)) in self.linear.iter().zip(x).enumerate() {
+            let _ = i;
+            if xi {
+                e += w;
+            }
+        }
+        for &(i, j, w) in &self.quad {
+            if x[i.index()] && x[j.index()] {
+                e += w;
+            }
+        }
+        e
+    }
+
+    /// Energy change caused by flipping variable `i` in assignment `x`,
+    /// in `O(deg(i))`.
+    pub fn flip_delta(&self, x: &[bool], i: VarId) -> f64 {
+        let mut field = self.linear[i.index()];
+        for &(j, w) in self.neighbours(i) {
+            if x[j.index()] {
+                field += w;
+            }
+        }
+        if x[i.index()] {
+            -field
+        } else {
+            field
+        }
+    }
+
+    /// The largest absolute weight (linear or quadratic); 0 for an empty
+    /// problem. Relevant because large weight ranges degrade annealer
+    /// precision (Section 4 of the paper).
+    pub fn max_abs_weight(&self) -> f64 {
+        let lin = self.linear.iter().map(|w| w.abs()).fold(0.0, f64::max);
+        let quad = self.quad.iter().map(|(_, _, w)| w.abs()).fold(0.0, f64::max);
+        lin.max(quad)
+    }
+
+    /// Exhaustive minimisation for tests and tiny instances (`n ≤ 24`).
+    /// Returns a minimising assignment and its energy; ties break towards the
+    /// lexicographically smallest assignment (all-false first).
+    pub fn brute_force_minimum(&self) -> (Vec<bool>, f64) {
+        assert!(self.n <= 24, "brute force is limited to 24 variables");
+        let mut best = vec![false; self.n];
+        let mut best_e = self.energy(&best);
+        let mut x = vec![false; self.n];
+        for mask in 1u32..(1u32 << self.n) {
+            for (i, xi) in x.iter_mut().enumerate() {
+                *xi = mask & (1 << i) != 0;
+            }
+            let e = self.energy(&x);
+            if e < best_e {
+                best_e = e;
+                best.clone_from(&x);
+            }
+        }
+        (best, best_e)
+    }
+}
+
+/// Accumulating builder for [`Qubo`].
+///
+/// Weights added to the same (unordered) variable pair accumulate; diagonal
+/// quadratic terms fold into the linear part because `x_i² = x_i`.
+#[derive(Debug, Clone)]
+pub struct QuboBuilder {
+    n: usize,
+    linear: Vec<f64>,
+    quad: BTreeMap<(VarId, VarId), f64>,
+}
+
+impl QuboBuilder {
+    /// Adds `w · x_i`.
+    pub fn add_linear(&mut self, i: VarId, w: f64) {
+        assert!(i.index() < self.n, "variable out of range");
+        self.linear[i.index()] += w;
+    }
+
+    /// Adds `w · x_i x_j`. `i == j` folds into the linear term.
+    pub fn add_quadratic(&mut self, i: VarId, j: VarId, w: f64) {
+        assert!(
+            i.index() < self.n && j.index() < self.n,
+            "variable out of range"
+        );
+        if i == j {
+            self.linear[i.index()] += w;
+            return;
+        }
+        let key = if i < j { (i, j) } else { (j, i) };
+        *self.quad.entry(key).or_insert(0.0) += w;
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Freezes the problem, dropping exactly-zero quadratic entries.
+    pub fn build(self) -> Qubo {
+        let quad: Vec<(VarId, VarId, f64)> = self
+            .quad
+            .into_iter()
+            .filter(|(_, w)| *w != 0.0)
+            .map(|((i, j), w)| (i, j, w))
+            .collect();
+
+        let n = self.n;
+        let mut degree = vec![0u32; n];
+        for &(i, j, _) in &quad {
+            degree[i.index()] += 1;
+            degree[j.index()] += 1;
+        }
+        let mut adj_offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            adj_offsets[i + 1] = adj_offsets[i] + degree[i];
+        }
+        let mut cursor: Vec<u32> = adj_offsets[..n].to_vec();
+        let mut adj_entries = vec![(VarId(0), 0.0); adj_offsets[n] as usize];
+        for &(i, j, w) in &quad {
+            adj_entries[cursor[i.index()] as usize] = (j, w);
+            cursor[i.index()] += 1;
+            adj_entries[cursor[j.index()] as usize] = (i, w);
+            cursor[j.index()] += 1;
+        }
+
+        Qubo {
+            n,
+            linear: self.linear,
+            quad,
+            adj_offsets,
+            adj_entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_qubo() -> Qubo {
+        // E = 2x0 − 3x1 + x2 + 4x0x1 − 2x1x2
+        let mut b = Qubo::builder(3);
+        b.add_linear(VarId(0), 2.0);
+        b.add_linear(VarId(1), -3.0);
+        b.add_linear(VarId(2), 1.0);
+        b.add_quadratic(VarId(0), VarId(1), 4.0);
+        b.add_quadratic(VarId(2), VarId(1), -2.0);
+        b.build()
+    }
+
+    #[test]
+    fn energy_evaluates_linear_and_quadratic_terms() {
+        let q = small_qubo();
+        assert_eq!(q.energy(&[false, false, false]), 0.0);
+        assert_eq!(q.energy(&[true, false, false]), 2.0);
+        assert_eq!(q.energy(&[true, true, false]), 2.0 - 3.0 + 4.0);
+        assert_eq!(q.energy(&[false, true, true]), -3.0 + 1.0 - 2.0);
+        assert_eq!(q.energy(&[true, true, true]), 2.0 - 3.0 + 1.0 + 4.0 - 2.0);
+    }
+
+    #[test]
+    fn flip_delta_agrees_with_energy_difference_everywhere() {
+        let q = small_qubo();
+        for mask in 0u32..8 {
+            let x: Vec<bool> = (0..3).map(|i| mask & (1 << i) != 0).collect();
+            for i in 0..3 {
+                let mut y = x.clone();
+                y[i] = !y[i];
+                let expect = q.energy(&y) - q.energy(&x);
+                let fast = q.flip_delta(&x, VarId::new(i));
+                assert!(
+                    (expect - fast).abs() < 1e-12,
+                    "flip {i} on {x:?}: {expect} vs {fast}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_finds_global_minimum() {
+        let q = small_qubo();
+        let (x, e) = q.brute_force_minimum();
+        // Optimum: x1 = x2 = 1, x0 = 0 → −3 + 1 − 2 = −4.
+        assert_eq!(x, vec![false, true, true]);
+        assert_eq!(e, -4.0);
+    }
+
+    #[test]
+    fn duplicate_and_reversed_pairs_accumulate() {
+        let mut b = Qubo::builder(2);
+        b.add_quadratic(VarId(0), VarId(1), 1.0);
+        b.add_quadratic(VarId(1), VarId(0), 2.0);
+        let q = b.build();
+        assert_eq!(q.num_quadratic(), 1);
+        assert_eq!(q.quadratic()[0], (VarId(0), VarId(1), 3.0));
+    }
+
+    #[test]
+    fn diagonal_quadratic_folds_into_linear() {
+        let mut b = Qubo::builder(1);
+        b.add_quadratic(VarId(0), VarId(0), 5.0);
+        b.add_linear(VarId(0), 1.0);
+        let q = b.build();
+        assert_eq!(q.num_quadratic(), 0);
+        assert_eq!(q.linear(), &[6.0]);
+        assert_eq!(q.energy(&[true]), 6.0);
+    }
+
+    #[test]
+    fn zero_weights_are_dropped() {
+        let mut b = Qubo::builder(2);
+        b.add_quadratic(VarId(0), VarId(1), 1.0);
+        b.add_quadratic(VarId(0), VarId(1), -1.0);
+        let q = b.build();
+        assert_eq!(q.num_quadratic(), 0);
+        assert!(q.neighbours(VarId(0)).is_empty());
+    }
+
+    #[test]
+    fn neighbours_are_symmetric() {
+        let q = small_qubo();
+        assert_eq!(q.neighbours(VarId(0)), &[(VarId(1), 4.0)]);
+        let mut n1: Vec<_> = q.neighbours(VarId(1)).to_vec();
+        n1.sort_by_key(|(v, _)| *v);
+        assert_eq!(n1, vec![(VarId(0), 4.0), (VarId(2), -2.0)]);
+    }
+
+    #[test]
+    fn max_abs_weight_spans_linear_and_quadratic() {
+        let q = small_qubo();
+        assert_eq!(q.max_abs_weight(), 4.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = small_qubo();
+        let json = serde_json::to_string(&q).unwrap();
+        let back: Qubo = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment length mismatch")]
+    fn wrong_assignment_length_panics() {
+        small_qubo().energy(&[true]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Solutions to MQO problems and incremental cost evaluation.
+
+use crate::ids::{PlanId, QueryId};
+use crate::problem::MqoProblem;
+use serde::{Deserialize, Serialize};
+
+/// A valid-by-shape solution: exactly one plan per query, indexed by query.
+///
+/// `Selection` only guarantees the *shape* (one entry per query); whether each
+/// plan actually belongs to its query is checked by
+/// [`MqoProblem::validate_selection`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Selection {
+    plan_of_query: Vec<PlanId>,
+}
+
+impl Selection {
+    /// Wraps a per-query plan vector (`plan_of_query[q]` = chosen plan).
+    pub fn new(plan_of_query: Vec<PlanId>) -> Self {
+        Selection { plan_of_query }
+    }
+
+    /// Number of queries this selection covers.
+    #[inline]
+    pub fn num_queries(&self) -> usize {
+        self.plan_of_query.len()
+    }
+
+    /// The plan chosen for query `q`.
+    #[inline]
+    pub fn plan_of(&self, q: QueryId) -> PlanId {
+        self.plan_of_query[q.index()]
+    }
+
+    /// The chosen plans, indexed by query.
+    #[inline]
+    pub fn plans(&self) -> &[PlanId] {
+        &self.plan_of_query
+    }
+
+    /// Replaces the plan of one query.
+    #[inline]
+    pub fn set_plan(&mut self, q: QueryId, p: PlanId) {
+        self.plan_of_query[q.index()] = p;
+    }
+}
+
+/// Maintains the cost of a selection under single-query plan swaps in
+/// `O(deg)` per move instead of re-evaluating the whole instance.
+///
+/// This is the hot path of every anytime heuristic (hill climbing, genetic
+/// local evaluation), so it works on flat arrays: a selected-plan bitmap plus
+/// the problem's CSR savings adjacency.
+#[derive(Debug, Clone)]
+pub struct CostEvaluator<'a> {
+    problem: &'a MqoProblem,
+    selection: Selection,
+    selected: Vec<bool>,
+    cost: f64,
+}
+
+impl<'a> CostEvaluator<'a> {
+    /// Initialises the evaluator with a starting selection.
+    pub fn new(problem: &'a MqoProblem, selection: Selection) -> Self {
+        debug_assert!(problem.validate_selection(&selection).is_ok());
+        let mut selected = vec![false; problem.num_plans()];
+        for &p in selection.plans() {
+            selected[p.index()] = true;
+        }
+        let cost = problem.selection_cost(&selection);
+        CostEvaluator {
+            problem,
+            selection,
+            selected,
+            cost,
+        }
+    }
+
+    /// Current accumulated execution cost `C(Pe)`.
+    #[inline]
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Current selection.
+    #[inline]
+    pub fn selection(&self) -> &Selection {
+        &self.selection
+    }
+
+    /// Cost change if query `q` switched from its current plan to `p`,
+    /// without applying the move. Returns 0 for a no-op move.
+    pub fn delta(&self, q: QueryId, p: PlanId) -> f64 {
+        let old = self.selection.plan_of(q);
+        if old == p {
+            return 0.0;
+        }
+        debug_assert_eq!(self.problem.query_of(p), q);
+        let mut delta = self.problem.plan_cost(p) - self.problem.plan_cost(old);
+        // Savings lost by dropping `old`. `old`'s partners cannot include `p`
+        // (same-query savings are rejected at build time), so no correction
+        // term is needed.
+        for &(p2, s) in self.problem.savings_of(old) {
+            if self.selected[p2.index()] {
+                delta += s;
+            }
+        }
+        // Savings gained by adopting `p`.
+        for &(p2, s) in self.problem.savings_of(p) {
+            if self.selected[p2.index()] && p2 != old {
+                delta -= s;
+            }
+        }
+        delta
+    }
+
+    /// Applies the move `q → p` and returns the cost change.
+    pub fn apply(&mut self, q: QueryId, p: PlanId) -> f64 {
+        let delta = self.delta(q, p);
+        let old = self.selection.plan_of(q);
+        if old != p {
+            self.selected[old.index()] = false;
+            self.selected[p.index()] = true;
+            self.selection.set_plan(q, p);
+            self.cost += delta;
+        }
+        delta
+    }
+
+    /// Replaces the whole selection (full re-evaluation).
+    pub fn reset(&mut self, selection: Selection) {
+        self.selected.fill(false);
+        for &p in selection.plans() {
+            self.selected[p.index()] = true;
+        }
+        self.cost = self.problem.selection_cost(&selection);
+        self.selection = selection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::MqoProblem;
+
+    /// 3 queries × 2 plans with a saving triangle across queries.
+    fn triangle_problem() -> MqoProblem {
+        let mut b = MqoProblem::builder();
+        let q0 = b.add_query(&[2.0, 4.0]);
+        let q1 = b.add_query(&[3.0, 1.0]);
+        let q2 = b.add_query(&[2.5, 2.5]);
+        let (a, _b0) = (b.plans_of(q0)[0], b.plans_of(q0)[1]);
+        let (c, d) = (b.plans_of(q1)[0], b.plans_of(q1)[1]);
+        let (e, f) = (b.plans_of(q2)[0], b.plans_of(q2)[1]);
+        b.add_saving(a, c, 1.5).unwrap();
+        b.add_saving(c, e, 2.0).unwrap();
+        b.add_saving(a, e, 0.5).unwrap();
+        b.add_saving(d, f, 0.25).unwrap();
+        b.build().unwrap()
+    }
+
+    fn initial(p: &MqoProblem) -> Selection {
+        Selection::new(
+            p.queries()
+                .map(|q| p.plans_of(q).next().unwrap())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn evaluator_initial_cost_matches_full_evaluation() {
+        let p = triangle_problem();
+        let sel = initial(&p);
+        let ev = CostEvaluator::new(&p, sel.clone());
+        assert_eq!(ev.cost(), p.selection_cost(&sel));
+        // a + c + e − (1.5 + 2.0 + 0.5) = 2 + 3 + 2.5 − 4 = 3.5
+        assert_eq!(ev.cost(), 3.5);
+    }
+
+    #[test]
+    fn delta_matches_full_reevaluation_for_every_single_swap() {
+        let p = triangle_problem();
+        let sel = initial(&p);
+        let ev = CostEvaluator::new(&p, sel.clone());
+        for q in p.queries() {
+            for cand in p.plans_of(q) {
+                let mut swapped = sel.clone();
+                swapped.set_plan(q, cand);
+                let full = p.selection_cost(&swapped) - p.selection_cost(&sel);
+                let fast = ev.delta(q, cand);
+                assert!(
+                    (full - fast).abs() < 1e-9,
+                    "delta mismatch for {q} -> {cand}: {full} vs {fast}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_keeps_running_cost_consistent_over_a_move_sequence() {
+        let p = triangle_problem();
+        let mut ev = CostEvaluator::new(&p, initial(&p));
+        let moves = [
+            (QueryId(1), PlanId(3)),
+            (QueryId(0), PlanId(1)),
+            (QueryId(2), PlanId(5)),
+            (QueryId(1), PlanId(2)),
+            (QueryId(0), PlanId(0)),
+        ];
+        for (q, pl) in moves {
+            ev.apply(q, pl);
+            let expect = p.selection_cost(ev.selection());
+            assert!(
+                (ev.cost() - expect).abs() < 1e-9,
+                "running cost drifted: {} vs {}",
+                ev.cost(),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn noop_move_has_zero_delta_and_changes_nothing() {
+        let p = triangle_problem();
+        let mut ev = CostEvaluator::new(&p, initial(&p));
+        let before = ev.cost();
+        assert_eq!(ev.apply(QueryId(0), PlanId(0)), 0.0);
+        assert_eq!(ev.cost(), before);
+    }
+
+    #[test]
+    fn reset_replaces_selection_and_cost() {
+        let p = triangle_problem();
+        let mut ev = CostEvaluator::new(&p, initial(&p));
+        let other = Selection::new(vec![PlanId(1), PlanId(3), PlanId(5)]);
+        ev.reset(other.clone());
+        assert_eq!(ev.selection(), &other);
+        assert_eq!(ev.cost(), p.selection_cost(&other));
+        // 4 + 1 + 2.5 − 0.25 (d,f saving) = 7.25
+        assert_eq!(ev.cost(), 7.25);
+    }
+}

@@ -1,0 +1,250 @@
+//! The task-based MQO model of Sellis (1988) and its reduction to this
+//! crate's pairwise-savings model — footnote 4 of the paper:
+//!
+//! > "If each query plan is modeled by a set of tasks then we make in our
+//! > model the execution cost of the plan equal to the sum of the execution
+//! > costs of all tasks and introduce one extra query for each of the tasks
+//! > with an execution cost equal to the task cost and a cost savings link
+//! > between task and plan whose value equals the task execution cost
+//! > again."
+//!
+//! In the task model, executing a set of plans costs the sum of the costs of
+//! the *distinct* tasks they touch (shared tasks are computed once). The
+//! reduction introduces per-task helper queries with a free "skip" plan, so
+//! a task's cost is refunded once per plan that uses it and paid exactly
+//! once iff some selected plan uses it. [`TaskModel::to_mqo`] performs the
+//! reduction; the tests prove cost equivalence by exhaustion.
+
+use crate::error::CoreError;
+use crate::ids::{PlanId, QueryId};
+use crate::problem::MqoProblem;
+use crate::solution::Selection;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a task in a [`TaskModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An MQO instance in the task-based formulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskModel {
+    /// Execution cost per task.
+    pub task_costs: Vec<f64>,
+    /// `plans[q]` = the alternative plans of query `q`, each a set of tasks.
+    pub queries: Vec<Vec<Vec<TaskId>>>,
+}
+
+/// Result of the reduction: the pairwise-savings problem plus the index
+/// mapping needed to interpret its solutions.
+#[derive(Debug, Clone)]
+pub struct TaskReduction {
+    /// The reduced problem: original queries first (same order), then one
+    /// helper query per task with plans `[generate (cost c_t), skip (0)]`.
+    pub problem: MqoProblem,
+    /// Number of original (non-helper) queries.
+    pub num_original_queries: usize,
+}
+
+impl TaskModel {
+    /// True execution cost of a plan choice under task semantics: each
+    /// distinct task of the selected plans is paid once.
+    ///
+    /// `choice[q]` is the index of the chosen plan within query `q`.
+    pub fn execution_cost(&self, choice: &[usize]) -> f64 {
+        assert_eq!(choice.len(), self.queries.len());
+        let mut used = vec![false; self.task_costs.len()];
+        for (q, &c) in choice.iter().enumerate() {
+            for t in &self.queries[q][c] {
+                used[t.index()] = true;
+            }
+        }
+        used.iter()
+            .zip(&self.task_costs)
+            .filter(|(u, _)| **u)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// Reduces the task model to the pairwise-savings model (footnote 4).
+    pub fn to_mqo(&self) -> Result<TaskReduction, CoreError> {
+        let mut b = MqoProblem::builder();
+        // Original queries: plan cost = Σ task costs.
+        let mut plan_ids: Vec<Vec<PlanId>> = Vec::with_capacity(self.queries.len());
+        for plans in &self.queries {
+            let costs: Vec<f64> = plans
+                .iter()
+                .map(|tasks| tasks.iter().map(|t| self.task_costs[t.index()]).sum())
+                .collect();
+            let q = b.add_query(&costs);
+            plan_ids.push(b.plans_of(q));
+        }
+        // Helper query per task: [generate (cost c_t), skip (0)].
+        let mut generate_plan: Vec<PlanId> = Vec::with_capacity(self.task_costs.len());
+        for &c in &self.task_costs {
+            let q = b.add_query(&[c, 0.0]);
+            generate_plan.push(b.plans_of(q)[0]);
+        }
+        // Savings: task ↔ every plan using it, worth the task cost.
+        for (q, plans) in self.queries.iter().enumerate() {
+            for (p, tasks) in plans.iter().enumerate() {
+                for t in tasks {
+                    let c = self.task_costs[t.index()];
+                    if c > 0.0 {
+                        b.add_saving(plan_ids[q][p], generate_plan[t.index()], c)?;
+                    }
+                }
+            }
+        }
+        Ok(TaskReduction {
+            problem: b.build()?,
+            num_original_queries: self.queries.len(),
+        })
+    }
+}
+
+impl TaskReduction {
+    /// Projects a solution of the reduced problem onto the original
+    /// queries, returning per-query plan indices.
+    pub fn project(&self, selection: &Selection) -> Vec<usize> {
+        (0..self.num_original_queries)
+            .map(|q| {
+                let qid = QueryId::new(q);
+                let chosen = selection.plan_of(qid);
+                let first = self
+                    .problem
+                    .plans_of(qid)
+                    .next()
+                    .expect("non-empty query");
+                chosen.index() - first.index()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TaskId {
+        TaskId(i)
+    }
+
+    /// Two queries sharing task 1; costs 4, 3, 2.
+    fn model() -> TaskModel {
+        TaskModel {
+            task_costs: vec![4.0, 3.0, 2.0],
+            queries: vec![
+                vec![vec![t(0)], vec![t(1), t(2)]],
+                vec![vec![t(1)], vec![t(2)]],
+            ],
+        }
+    }
+
+    #[test]
+    fn execution_cost_counts_distinct_tasks_once() {
+        let m = model();
+        // q0 plan 1 = {t1, t2}, q1 plan 0 = {t1}: tasks {1, 2} → 3 + 2 = 5.
+        assert_eq!(m.execution_cost(&[1, 0]), 5.0);
+        // q0 plan 0 = {t0}, q1 plan 1 = {t2}: 4 + 2 = 6.
+        assert_eq!(m.execution_cost(&[0, 1]), 6.0);
+    }
+
+    #[test]
+    fn reduction_preserves_optimal_cost_and_choice() {
+        let m = model();
+        // Exhaustive task-model optimum.
+        let mut best = f64::INFINITY;
+        let mut best_choice = vec![0, 0];
+        for a in 0..2 {
+            for c in 0..2 {
+                let cost = m.execution_cost(&[a, c]);
+                if cost < best {
+                    best = cost;
+                    best_choice = vec![a, c];
+                }
+            }
+        }
+        let red = m.to_mqo().unwrap();
+        let (sel, cost) = red.problem.brute_force_optimum();
+        assert!(
+            (cost - best).abs() < 1e-9,
+            "reduced optimum {cost} vs task optimum {best}"
+        );
+        assert_eq!(red.project(&sel), best_choice);
+    }
+
+    #[test]
+    fn every_choice_has_a_matching_reduced_solution() {
+        // For each plan choice, the best reduced completion (optimal task
+        // helper settings) costs exactly the task-model cost.
+        let m = model();
+        let red = m.to_mqo().unwrap();
+        for a in 0..2usize {
+            for c in 0..2usize {
+                let task_cost = m.execution_cost(&[a, c]);
+                // Enumerate helper settings, keep plan choice fixed.
+                let mut best = f64::INFINITY;
+                for mask in 0u32..8 {
+                    let mut plans = Vec::new();
+                    for (q, &choice) in [a, c].iter().enumerate() {
+                        plans.push(
+                            red.problem
+                                .plans_of(QueryId::new(q))
+                                .nth(choice)
+                                .unwrap(),
+                        );
+                    }
+                    for task in 0..3 {
+                        let helper = QueryId::new(2 + task);
+                        let idx = usize::from(mask & (1 << task) == 0); // 0=generate,1=skip
+                        plans.push(red.problem.plans_of(helper).nth(idx).unwrap());
+                    }
+                    best = best.min(red.problem.plan_set_cost(&plans));
+                }
+                assert!(
+                    (best - task_cost).abs() < 1e-9,
+                    "choice ({a},{c}): reduced best {best} vs task cost {task_cost}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_cost_tasks_are_handled() {
+        let m = TaskModel {
+            task_costs: vec![0.0, 1.0],
+            queries: vec![vec![vec![t(0), t(1)]]],
+        };
+        let red = m.to_mqo().unwrap();
+        let (_, cost) = red.problem.brute_force_optimum();
+        assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn empty_plans_are_free() {
+        let m = TaskModel {
+            task_costs: vec![5.0],
+            queries: vec![vec![vec![], vec![t(0)]]],
+        };
+        assert_eq!(m.execution_cost(&[0]), 0.0);
+        let red = m.to_mqo().unwrap();
+        let (sel, cost) = red.problem.brute_force_optimum();
+        assert_eq!(cost, 0.0);
+        assert_eq!(red.project(&sel), vec![0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = model();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: TaskModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

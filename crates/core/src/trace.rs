@@ -1,0 +1,144 @@
+//! Anytime solution-quality traces.
+//!
+//! The paper's central evaluation (Figures 4 and 5) plots *solution cost as a
+//! function of optimization time* for every algorithm. A [`Trace`] is that
+//! curve: a monotone sequence of `(elapsed, best cost so far)` improvements
+//! that every solver in this workspace records while running.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// One improvement event: at `elapsed`, the incumbent cost dropped to `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Time since the solver started.
+    pub elapsed: Duration,
+    /// Best objective value known at that time (lower is better).
+    pub value: f64,
+}
+
+/// A monotone best-so-far quality curve.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    points: Vec<TracePoint>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Records an observation; kept only if it improves on the incumbent.
+    /// Returns whether the observation was an improvement.
+    pub fn record(&mut self, elapsed: Duration, value: f64) -> bool {
+        match self.points.last() {
+            Some(last) if value >= last.value => false,
+            _ => {
+                debug_assert!(
+                    self.points.last().is_none_or(|l| l.elapsed <= elapsed),
+                    "trace must be recorded in time order"
+                );
+                self.points.push(TracePoint { elapsed, value });
+                true
+            }
+        }
+    }
+
+    /// The improvement events in time order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The incumbent value at a given time, or `None` before the first
+    /// improvement. This is how the harness samples the curve at the paper's
+    /// checkpoints (1 ms, 10 ms, …, 100 s).
+    pub fn value_at(&self, elapsed: Duration) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|p| p.elapsed <= elapsed)
+            .last()
+            .map(|p| p.value)
+    }
+
+    /// The final (best) value, if any.
+    pub fn best(&self) -> Option<f64> {
+        self.points.last().map(|p| p.value)
+    }
+
+    /// When `value` (or better) was first reached, if ever — used for
+    /// Table 1 (time until the optimum was found) and the Figure 6 speedups.
+    pub fn time_to_reach(&self, value: f64) -> Option<Duration> {
+        self.points
+            .iter()
+            .find(|p| p.value <= value)
+            .map(|p| p.elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn record_keeps_only_improvements() {
+        let mut t = Trace::new();
+        assert!(t.record(ms(1), 10.0));
+        assert!(!t.record(ms(2), 11.0));
+        assert!(!t.record(ms(3), 10.0));
+        assert!(t.record(ms(4), 9.5));
+        assert_eq!(t.points().len(), 2);
+        assert_eq!(t.best(), Some(9.5));
+    }
+
+    #[test]
+    fn value_at_samples_the_step_function() {
+        let mut t = Trace::new();
+        t.record(ms(10), 5.0);
+        t.record(ms(100), 3.0);
+        assert_eq!(t.value_at(ms(5)), None);
+        assert_eq!(t.value_at(ms(10)), Some(5.0));
+        assert_eq!(t.value_at(ms(99)), Some(5.0));
+        assert_eq!(t.value_at(ms(100)), Some(3.0));
+        assert_eq!(t.value_at(ms(10_000)), Some(3.0));
+    }
+
+    #[test]
+    fn time_to_reach_finds_the_first_crossing() {
+        let mut t = Trace::new();
+        t.record(ms(1), 8.0);
+        t.record(ms(7), 4.0);
+        t.record(ms(20), 2.0);
+        assert_eq!(t.time_to_reach(8.0), Some(ms(1)));
+        assert_eq!(t.time_to_reach(5.0), Some(ms(7)));
+        assert_eq!(t.time_to_reach(4.0), Some(ms(7)));
+        assert_eq!(t.time_to_reach(1.0), None);
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.best(), None);
+        assert_eq!(t.value_at(ms(1000)), None);
+        assert_eq!(t.time_to_reach(0.0), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = Trace::new();
+        t.record(ms(3), 1.5);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests of the core data structures and the Section 4/6
+//! invariants: QUBO/Ising equivalence, delta evaluation, and Theorem 1
+//! (the logical mapping's optimum is the MQO optimum).
+
+use mqo_core::ids::{PlanId, VarId};
+use mqo_core::ising::{bits_to_spins, Ising};
+use mqo_core::logical::LogicalMapping;
+use mqo_core::problem::{MqoProblem, ProblemBuilder};
+use mqo_core::qubo::Qubo;
+use mqo_core::solution::{CostEvaluator, Selection};
+use proptest::prelude::*;
+
+/// Strategy: a random QUBO over `n ≤ 8` variables with integer-ish weights.
+fn arb_qubo() -> impl Strategy<Value = Qubo> {
+    (2usize..=8).prop_flat_map(|n| {
+        let linear = proptest::collection::vec(-8.0f64..8.0, n);
+        let quad = proptest::collection::vec(((0..n, 0..n), -6.0f64..6.0), 0..=n * 2);
+        (Just(n), linear, quad).prop_map(|(n, linear, quad)| {
+            let mut b = Qubo::builder(n);
+            for (i, w) in linear.into_iter().enumerate() {
+                b.add_linear(VarId::new(i), w);
+            }
+            for ((i, j), w) in quad {
+                if i != j {
+                    b.add_quadratic(VarId::new(i), VarId::new(j), w);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// Strategy: a random MQO instance with 2–5 queries of 2–3 plans.
+fn arb_problem() -> impl Strategy<Value = MqoProblem> {
+    let queries = proptest::collection::vec(
+        proptest::collection::vec(0.0f64..10.0, 2..=3),
+        2..=5,
+    );
+    (queries, proptest::collection::vec((0usize..100, 0usize..100, 0.5f64..5.0), 0..=8))
+        .prop_map(|(costs, savings)| {
+            let mut b: ProblemBuilder = MqoProblem::builder();
+            for q in &costs {
+                b.add_query(q);
+            }
+            let total = b.num_plans();
+            for (a, bb, s) in savings {
+                let _ = b.add_saving(PlanId::new(a % total), PlanId::new(bb % total), s);
+            }
+            b.build().expect("valid instance")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// QUBO and its Ising image agree on every assignment.
+    #[test]
+    fn qubo_ising_equivalence(qubo in arb_qubo()) {
+        let ising = Ising::from_qubo(&qubo);
+        let n = qubo.num_vars();
+        for mask in 0u32..(1 << n) {
+            let x: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            let s = bits_to_spins(&x);
+            prop_assert!((qubo.energy(&x) - ising.energy(&s)).abs() < 1e-9);
+        }
+    }
+
+    /// Ising → QUBO → evaluation round-trips with the reported residual.
+    #[test]
+    fn ising_round_trip(qubo in arb_qubo()) {
+        let ising = Ising::from_qubo(&qubo);
+        let (q2, residual) = ising.to_qubo();
+        let n = qubo.num_vars();
+        for mask in 0u32..(1 << n) {
+            let x: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            prop_assert!((qubo.energy(&x) - (q2.energy(&x) + residual)).abs() < 1e-9);
+        }
+    }
+
+    /// Flip deltas equal energy differences at every point.
+    #[test]
+    fn flip_delta_is_exact(qubo in arb_qubo(), mask in 0u32..256) {
+        let n = qubo.num_vars();
+        let x: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        for i in 0..n {
+            let mut y = x.clone();
+            y[i] = !y[i];
+            let expect = qubo.energy(&y) - qubo.energy(&x);
+            prop_assert!((qubo.flip_delta(&x, VarId::new(i)) - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Theorem 1: the QUBO optimum decodes to a valid selection whose cost
+    /// is the brute-force MQO optimum, and energy = cost + offset.
+    #[test]
+    fn theorem_1_logical_mapping_is_correct(problem in arb_problem()) {
+        let mapping = LogicalMapping::with_default_epsilon(&problem);
+        let (x, energy) = mapping.qubo().brute_force_minimum();
+        let selection = mapping.decode_strict(&x).expect("optimum must be valid");
+        problem.validate_selection(&selection).expect("structurally valid");
+        let cost = problem.selection_cost(&selection);
+        let (_, optimum) = problem.brute_force_optimum();
+        prop_assert!((cost - optimum).abs() < 1e-9, "cost {cost} vs optimum {optimum}");
+        prop_assert!((energy - (cost + mapping.energy_offset())).abs() < 1e-9);
+    }
+
+    /// Lemmas 1 & 2: every invalid assignment has strictly higher energy
+    /// than the optimal valid one.
+    #[test]
+    fn lemmas_invalid_assignments_lose(problem in arb_problem()) {
+        let mapping = LogicalMapping::with_default_epsilon(&problem);
+        let qubo = mapping.qubo();
+        let (_, best) = qubo.brute_force_minimum();
+        let n = qubo.num_vars();
+        prop_assume!(n <= 12);
+        for mask in 0u32..(1 << n) {
+            let x: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            if mapping.decode_strict(&x).is_err() {
+                prop_assert!(qubo.energy(&x) > best + 1e-9);
+            }
+        }
+    }
+
+    /// Encode/decode are mutually inverse on valid selections.
+    #[test]
+    fn encode_decode_round_trip(problem in arb_problem(), pick in proptest::collection::vec(0usize..3, 5)) {
+        let selection = Selection::new(
+            problem
+                .queries()
+                .enumerate()
+                .map(|(i, q)| {
+                    let k = pick[i % pick.len()] % problem.num_plans_of(q);
+                    problem.plans_of(q).nth(k).unwrap()
+                })
+                .collect(),
+        );
+        let mapping = LogicalMapping::with_default_epsilon(&problem);
+        let x = mapping.encode(&selection);
+        prop_assert_eq!(mapping.decode_strict(&x).unwrap(), selection);
+    }
+
+    /// The incremental cost evaluator never drifts from full evaluation
+    /// under arbitrary move sequences.
+    #[test]
+    fn cost_evaluator_never_drifts(problem in arb_problem(), moves in proptest::collection::vec((0usize..5, 0usize..3), 1..20)) {
+        let initial = Selection::new(
+            problem.queries().map(|q| problem.plans_of(q).next().unwrap()).collect(),
+        );
+        let mut eval = CostEvaluator::new(&problem, initial);
+        for (qi, pi) in moves {
+            let q = mqo_core::ids::QueryId::new(qi % problem.num_queries());
+            let p = problem.plans_of(q).nth(pi % problem.num_plans_of(q)).unwrap();
+            eval.apply(q, p);
+            let full = problem.selection_cost(eval.selection());
+            prop_assert!((eval.cost() - full).abs() < 1e-9);
+        }
+    }
+
+    /// Serde round-trips preserve problems exactly.
+    #[test]
+    fn problem_serde_round_trip(problem in arb_problem()) {
+        let json = serde_json::to_string(&problem).unwrap();
+        let back: MqoProblem = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(problem, back);
+    }
+}

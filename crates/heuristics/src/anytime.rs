@@ -1,0 +1,66 @@
+//! The anytime-heuristic interface shared by all randomised MQO solvers.
+
+use mqo_core::problem::MqoProblem;
+use mqo_core::solution::Selection;
+use mqo_core::trace::Trace;
+use std::time::Duration;
+
+/// Result of an anytime heuristic run.
+#[derive(Debug, Clone)]
+pub struct HeuristicOutcome {
+    /// Best selection found and its execution cost.
+    pub best: (Selection, f64),
+    /// Incumbent-improvement trace over wall-clock time.
+    pub trace: Trace,
+    /// Algorithm-specific iteration count (restarts, generations, …).
+    pub iterations: u64,
+}
+
+/// A randomised MQO solver that improves its incumbent until a wall-clock
+/// budget expires.
+pub trait AnytimeHeuristic {
+    /// Short name used in experiment output (e.g. `CLIMB`, `GA(50)`).
+    fn name(&self) -> String;
+
+    /// Runs for at most `budget`, deterministically in `seed`.
+    fn run(&self, problem: &MqoProblem, budget: Duration, seed: u64) -> HeuristicOutcome;
+}
+
+/// A uniformly random valid selection.
+pub(crate) fn random_selection(
+    problem: &MqoProblem,
+    rng: &mut impl rand::Rng,
+) -> Selection {
+    Selection::new(
+        problem
+            .queries()
+            .map(|q| {
+                let count = problem.num_plans_of(q);
+                let pick = rng.gen_range(0..count);
+                problem.plans_of(q).nth(pick).expect("in range")
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn random_selection_is_valid_and_varies() {
+        let mut b = MqoProblem::builder();
+        for _ in 0..6 {
+            b.add_query(&[1.0, 2.0, 3.0]);
+        }
+        let p = b.build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = random_selection(&p, &mut rng);
+        let b2 = random_selection(&p, &mut rng);
+        assert!(p.validate_selection(&a).is_ok());
+        assert!(p.validate_selection(&b2).is_ok());
+        assert_ne!(a, b2, "two draws should differ with high probability");
+    }
+}

@@ -1,0 +1,281 @@
+//! Genetic algorithm ("GA(50)" / "GA(200)" in the paper's figures).
+//!
+//! The paper uses the Java Genetic Algorithms Package (JGAP) 3.6.3 with its
+//! default configuration: single-point crossover at rate 0.35, per-gene
+//! mutation at rate 1/12, and a best-chromosomes (top-n) selection strategy,
+//! with population sizes 50 and 200. This module reimplements exactly that
+//! configuration: a chromosome is one plan choice per query, fitness is the
+//! (negated) execution cost.
+
+use crate::anytime::{random_selection, AnytimeHeuristic, HeuristicOutcome};
+use mqo_core::ids::QueryId;
+use mqo_core::problem::MqoProblem;
+use mqo_core::solution::Selection;
+use mqo_core::trace::Trace;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+/// GA hyper-parameters; defaults are the paper's JGAP configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    /// Population size (paper: 50 and 200).
+    pub population: usize,
+    /// Fraction of the population replaced by crossover offspring each
+    /// generation (JGAP default 0.35).
+    pub crossover_rate: f64,
+    /// Per-gene mutation probability (JGAP default 1/12).
+    pub mutation_rate: f64,
+    /// Fraction of the population kept by top-n selection.
+    pub survivor_fraction: f64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 50,
+            crossover_rate: 0.35,
+            mutation_rate: 1.0 / 12.0,
+            survivor_fraction: 0.9,
+        }
+    }
+}
+
+/// Single-point-crossover genetic algorithm with top-n selection.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneticAlgorithm {
+    config: GaConfig,
+}
+
+impl Default for GeneticAlgorithm {
+    fn default() -> Self {
+        GeneticAlgorithm::new(GaConfig::default())
+    }
+}
+
+impl GeneticAlgorithm {
+    /// Creates a GA with explicit hyper-parameters.
+    pub fn new(config: GaConfig) -> Self {
+        assert!(config.population >= 2, "population must hold two parents");
+        assert!((0.0..=1.0).contains(&config.crossover_rate));
+        assert!((0.0..=1.0).contains(&config.mutation_rate));
+        assert!((0.0..1.0).contains(&config.survivor_fraction) && config.survivor_fraction > 0.0);
+        GeneticAlgorithm { config }
+    }
+
+    /// Convenience constructor matching the paper's labels.
+    pub fn with_population(population: usize) -> Self {
+        GeneticAlgorithm::new(GaConfig {
+            population,
+            ..GaConfig::default()
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> GaConfig {
+        self.config
+    }
+}
+
+impl AnytimeHeuristic for GeneticAlgorithm {
+    fn name(&self) -> String {
+        format!("GA({})", self.config.population)
+    }
+
+    fn run(&self, problem: &MqoProblem, budget: Duration, seed: u64) -> HeuristicOutcome {
+        let start = Instant::now();
+        let deadline = start + budget;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut trace = Trace::new();
+        let pop_size = self.config.population;
+
+        // Initial population: random valid chromosomes.
+        let mut population: Vec<(Selection, f64)> = (0..pop_size)
+            .map(|_| {
+                let s = random_selection(problem, &mut rng);
+                let c = problem.selection_cost(&s);
+                (s, c)
+            })
+            .collect();
+        population.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let mut best = population[0].clone();
+        trace.record(start.elapsed(), best.1);
+
+        let survivors = ((pop_size as f64 * self.config.survivor_fraction) as usize)
+            .clamp(2, pop_size);
+        let offspring_target = (pop_size as f64 * self.config.crossover_rate).ceil() as usize;
+
+        let mut generations = 0u64;
+        while Instant::now() < deadline {
+            generations += 1;
+
+            // Breed offspring from uniformly chosen surviving parents.
+            let mut offspring = Vec::with_capacity(offspring_target);
+            for _ in 0..offspring_target {
+                let a = rng.gen_range(0..survivors);
+                let b = rng.gen_range(0..survivors);
+                let child = crossover(problem, &population[a].0, &population[b].0, &mut rng);
+                let child = mutate(problem, child, self.config.mutation_rate, &mut rng);
+                let cost = problem.selection_cost(&child);
+                offspring.push((child, cost));
+            }
+
+            // Top-n selection over survivors + offspring.
+            population.truncate(survivors);
+            population.extend(offspring);
+            population.sort_by(|a, b| a.1.total_cmp(&b.1));
+            population.truncate(pop_size);
+            // Refill with random immigrants if selection shrank the pool.
+            while population.len() < pop_size {
+                let s = random_selection(problem, &mut rng);
+                let c = problem.selection_cost(&s);
+                population.push((s, c));
+            }
+
+            if population[0].1 < best.1 {
+                best = population[0].clone();
+                trace.record(start.elapsed(), best.1);
+            }
+        }
+
+        HeuristicOutcome {
+            best,
+            trace,
+            iterations: generations,
+        }
+    }
+}
+
+/// Single-point crossover on the query-indexed chromosome.
+fn crossover(
+    problem: &MqoProblem,
+    a: &Selection,
+    b: &Selection,
+    rng: &mut impl Rng,
+) -> Selection {
+    let n = problem.num_queries();
+    let point = rng.gen_range(0..n);
+    let plans = (0..n)
+        .map(|q| {
+            if q < point {
+                a.plan_of(QueryId::new(q))
+            } else {
+                b.plan_of(QueryId::new(q))
+            }
+        })
+        .collect();
+    Selection::new(plans)
+}
+
+/// Mutates each gene to a uniformly random alternative plan with probability
+/// `rate`.
+fn mutate(
+    problem: &MqoProblem,
+    mut s: Selection,
+    rate: f64,
+    rng: &mut impl Rng,
+) -> Selection {
+    for q in problem.queries() {
+        if rng.gen::<f64>() < rate {
+            let count = problem.num_plans_of(q);
+            let pick = rng.gen_range(0..count);
+            s.set_plan(q, problem.plans_of(q).nth(pick).expect("in range"));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sharing_problem(queries: usize) -> MqoProblem {
+        let mut b = MqoProblem::builder();
+        let mut prev = None;
+        for i in 0..queries {
+            let q = b.add_query(&[2.0 + (i % 2) as f64, 3.5]);
+            let plans = b.plans_of(q);
+            if let Some(prev_plan) = prev {
+                b.add_saving(prev_plan, plans[1], 2.0).unwrap();
+            }
+            prev = Some(plans[1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ga_reaches_the_optimum_on_a_small_instance() {
+        let p = sharing_problem(6);
+        let (_, opt) = p.brute_force_optimum();
+        let out = GeneticAlgorithm::with_population(50).run(&p, Duration::from_millis(100), 1);
+        assert!(
+            (out.best.1 - opt).abs() < 1e-9,
+            "GA best {} vs optimum {opt}",
+            out.best.1
+        );
+        assert!(p.validate_selection(&out.best.0).is_ok());
+    }
+
+    #[test]
+    fn reported_cost_matches_the_selection() {
+        let p = sharing_problem(8);
+        let out = GeneticAlgorithm::with_population(20).run(&p, Duration::from_millis(30), 7);
+        assert!((p.selection_cost(&out.best.0) - out.best.1).abs() < 1e-9);
+        assert_eq!(out.trace.best(), Some(out.best.1));
+    }
+
+    #[test]
+    fn crossover_takes_a_prefix_from_the_first_parent() {
+        let p = sharing_problem(5);
+        let a = Selection::new(p.queries().map(|q| p.plans_of(q).next().unwrap()).collect());
+        let b = Selection::new(p.queries().map(|q| p.plans_of(q).last().unwrap()).collect());
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let child = crossover(&p, &a, &b, &mut rng);
+        assert!(p.validate_selection(&child).is_ok());
+        // Every gene comes from one of the parents.
+        for q in p.queries() {
+            let g = child.plan_of(q);
+            assert!(g == a.plan_of(q) || g == b.plan_of(q));
+        }
+    }
+
+    #[test]
+    fn mutation_rate_zero_is_identity() {
+        let p = sharing_problem(5);
+        let s = Selection::new(p.queries().map(|q| p.plans_of(q).next().unwrap()).collect());
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(mutate(&p, s.clone(), 0.0, &mut rng), s);
+    }
+
+    #[test]
+    fn mutation_rate_one_keeps_selections_valid() {
+        let p = sharing_problem(5);
+        let s = Selection::new(p.queries().map(|q| p.plans_of(q).next().unwrap()).collect());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = mutate(&p, s, 1.0, &mut rng);
+        assert!(p.validate_selection(&m).is_ok());
+    }
+
+    #[test]
+    fn names_match_the_paper_labels() {
+        assert_eq!(GeneticAlgorithm::with_population(50).name(), "GA(50)");
+        assert_eq!(GeneticAlgorithm::with_population(200).name(), "GA(200)");
+    }
+
+    #[test]
+    #[should_panic(expected = "population must hold two parents")]
+    fn tiny_population_is_rejected() {
+        GeneticAlgorithm::new(GaConfig {
+            population: 1,
+            ..GaConfig::default()
+        });
+    }
+
+    #[test]
+    fn default_config_matches_the_paper() {
+        let c = GaConfig::default();
+        assert_eq!(c.crossover_rate, 0.35);
+        assert!((c.mutation_rate - 1.0 / 12.0).abs() < 1e-12);
+        assert_eq!(c.population, 50);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # mqo-heuristics
+//!
+//! The randomised classical baselines of the paper's evaluation
+//! (Section 7.1), behind one anytime interface:
+//!
+//! * [`climbing::HillClimbing`] — iterated hill climbing ("CLIMB"): random
+//!   restarts, steepest single-query improvement, keep the best local
+//!   optimum;
+//! * [`genetic::GeneticAlgorithm`] — the genetic algorithm ("GA(50)",
+//!   "GA(200)") with the paper's JGAP configuration: single-point crossover
+//!   at rate 0.35, mutation 1/12, top-n selection;
+//! * [`greedy::Greedy`] — deterministic greedy construction.
+//!
+//! All solvers record a [`mqo_core::trace::Trace`] of incumbent
+//! improvements, which the benchmark harness samples at the paper's
+//! time checkpoints.
+//!
+//! ```
+//! use mqo_heuristics::{AnytimeHeuristic, HillClimbing};
+//! use mqo_core::MqoProblem;
+//! use std::time::Duration;
+//!
+//! let mut b = MqoProblem::builder();
+//! let q1 = b.add_query(&[2.0, 4.0]);
+//! let q2 = b.add_query(&[3.0, 1.0]);
+//! let (p2, p3) = (b.plans_of(q1)[1], b.plans_of(q2)[0]);
+//! b.add_saving(p2, p3, 5.0).unwrap();
+//! let problem = b.build().unwrap();
+//!
+//! let out = HillClimbing.run(&problem, Duration::from_millis(10), 42);
+//! assert_eq!(out.best.1, 2.0); // global optimum on this tiny instance
+//! ```
+
+pub mod anytime;
+pub mod climbing;
+pub mod genetic;
+pub mod greedy;
+
+pub use anytime::{AnytimeHeuristic, HeuristicOutcome};
+pub use climbing::HillClimbing;
+pub use genetic::{GaConfig, GeneticAlgorithm};
+pub use greedy::Greedy;

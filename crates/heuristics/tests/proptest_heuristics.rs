@@ -1,0 +1,81 @@
+//! Property-based tests of the randomised solvers: validity, cost
+//! consistency, admissibility against brute force, and trace discipline.
+
+use mqo_core::ids::PlanId;
+use mqo_core::problem::MqoProblem;
+use mqo_heuristics::{AnytimeHeuristic, GeneticAlgorithm, Greedy, HillClimbing};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn arb_problem() -> impl Strategy<Value = MqoProblem> {
+    let queries =
+        proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 1..=4), 2..=6);
+    (
+        queries,
+        proptest::collection::vec((0usize..128, 0usize..128, 0.5f64..4.0), 0..=10),
+    )
+        .prop_map(|(costs, savings)| {
+            let mut b = MqoProblem::builder();
+            for q in &costs {
+                b.add_query(q);
+            }
+            let total = b.num_plans();
+            for (x, y, s) in savings {
+                let _ = b.add_saving(PlanId::new(x % total), PlanId::new(y % total), s);
+            }
+            b.build().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every heuristic returns a valid selection whose reported cost is its
+    /// true cost and never beats the brute-force optimum.
+    #[test]
+    fn heuristics_are_sound(problem in arb_problem(), seed in 0u64..1000) {
+        let (_, optimum) = problem.brute_force_optimum();
+        let budget = Duration::from_millis(5);
+        let solvers: Vec<Box<dyn AnytimeHeuristic>> = vec![
+            Box::new(Greedy),
+            Box::new(HillClimbing),
+            Box::new(GeneticAlgorithm::with_population(10)),
+        ];
+        for h in &solvers {
+            let out = h.run(&problem, budget, seed);
+            prop_assert!(problem.validate_selection(&out.best.0).is_ok(), "{}", h.name());
+            prop_assert!(
+                (problem.selection_cost(&out.best.0) - out.best.1).abs() < 1e-9,
+                "{} misreported cost", h.name()
+            );
+            prop_assert!(out.best.1 >= optimum - 1e-9, "{} beat brute force", h.name());
+            // Trace discipline: strictly decreasing, final value = best.
+            let pts = out.trace.points();
+            prop_assert!(pts.windows(2).all(|w| w[1].value < w[0].value));
+            prop_assert_eq!(out.trace.best(), Some(out.best.1));
+        }
+    }
+
+    /// Hill climbing's result is a true local optimum with respect to
+    /// single-query plan swaps whenever its budget wasn't exhausted
+    /// mid-climb (it always finishes the final climb on these tiny inputs).
+    #[test]
+    fn climb_returns_local_optima(problem in arb_problem(), seed in 0u64..100) {
+        let out = HillClimbing.run(&problem, Duration::from_millis(10), seed);
+        let eval = mqo_core::solution::CostEvaluator::new(&problem, out.best.0.clone());
+        for q in problem.queries() {
+            for p in problem.plans_of(q) {
+                prop_assert!(eval.delta(q, p) >= -1e-9, "improvable at {q} -> {p}");
+            }
+        }
+    }
+
+    /// Greedy is deterministic regardless of seed or budget.
+    #[test]
+    fn greedy_is_seed_independent(problem in arb_problem(), s1 in 0u64..50, s2 in 50u64..100) {
+        let a = Greedy.run(&problem, Duration::from_millis(1), s1);
+        let b = Greedy.run(&problem, Duration::from_millis(7), s2);
+        prop_assert_eq!(a.best.0, b.best.0);
+        prop_assert_eq!(a.best.1, b.best.1);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # mqo-milp
+//!
+//! A from-scratch mathematical-programming stack standing in for the
+//! commercial integer-linear-programming solver the paper benchmarks
+//! against (Section 7.1):
+//!
+//! * [`model`] — LP/ILP model types plus the two formulations the paper
+//!   uses: the direct MQO program ("LIN-MQO") and the Dash-style QUBO
+//!   linearisation ("LIN-QUB");
+//! * [`simplex`] — dense two-phase primal simplex with implicitly bounded
+//!   variables;
+//! * [`bound`] — decomposable admissible lower bounds for both search
+//!   spaces;
+//! * [`bb_mqo`] / [`bb_qubo`] — exact anytime branch-and-bound engines with
+//!   greedy incumbent dives, deadlines, and [`mqo_core::trace::Trace`]
+//!   recording for the cost-vs-time figures.
+//!
+//! ```
+//! use mqo_milp::bb_mqo::{self, MqoBbConfig};
+//! use mqo_core::MqoProblem;
+//!
+//! let mut b = MqoProblem::builder();
+//! let q1 = b.add_query(&[2.0, 4.0]);
+//! let q2 = b.add_query(&[3.0, 1.0]);
+//! let (p2, p3) = (b.plans_of(q1)[1], b.plans_of(q2)[0]);
+//! b.add_saving(p2, p3, 5.0).unwrap();
+//! let problem = b.build().unwrap();
+//!
+//! let out = bb_mqo::solve(&problem, &MqoBbConfig::default());
+//! let (selection, cost) = out.best.unwrap();
+//! assert_eq!(cost, 2.0);
+//! assert_eq!(problem.selection_cost(&selection), 2.0);
+//! ```
+
+pub mod bb_mqo;
+pub mod bb_qubo;
+pub mod bound;
+pub mod model;
+pub mod simplex;
+
+pub use bb_mqo::{MqoBbConfig, MqoBbOutcome, StopReason};
+pub use bb_qubo::{QuboBbConfig, QuboBbOutcome};
+pub use model::{mqo_to_ilp, qubo_to_ilp, BinaryProgram, LinearProgram, Sense};
+pub use simplex::{solve as solve_lp, LpOutcome, LpSolution, SimplexConfig};

@@ -1,0 +1,301 @@
+//! Linear-program and integer-program model types, plus the two model
+//! builders the paper's evaluation needs:
+//!
+//! * [`mqo_to_ilp`] — the direct MQO formulation solved by "LIN-MQO":
+//!   binary `x_p` per plan with `Σ_{p∈Pq} x_p = 1`, plus a linking variable
+//!   `y_{p1,p2} ≤ x_p1, y ≤ x_p2` per sharing pair, minimising
+//!   `Σ c_p x_p − Σ s_{p1,p2} y_{p1,p2}`;
+//! * [`qubo_to_ilp`] — the linearisation of a QUBO used by "LIN-QUB"
+//!   (following Dash's note on QUBO instances defined on Chimera graphs):
+//!   one `y_ij` per quadratic term with `y ≤ x_i`, `y ≤ x_j` for negative
+//!   weights and `y ≥ x_i + x_j − 1`, `y ≥ 0` for positive weights.
+
+use mqo_core::ids::PlanId;
+use mqo_core::problem::MqoProblem;
+use mqo_core::qubo::Qubo;
+
+/// Direction of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+}
+
+/// One sparse linear constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Sparse coefficients as `(variable, coefficient)` pairs.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Constraint direction.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program: minimise `c·x` subject to constraints and
+/// `0 ≤ x_j ≤ upper_j` (use `f64::INFINITY` for free-above variables).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinearProgram {
+    /// Objective coefficients (minimisation).
+    pub objective: Vec<f64>,
+    /// The constraint rows.
+    pub constraints: Vec<Constraint>,
+    /// Per-variable upper bounds (lower bounds are all 0).
+    pub upper: Vec<f64>,
+}
+
+impl LinearProgram {
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Adds a variable with the given objective coefficient and upper bound;
+    /// returns its index.
+    pub fn add_var(&mut self, objective: f64, upper: f64) -> usize {
+        assert!(upper >= 0.0, "upper bound below the implicit lower bound 0");
+        self.objective.push(objective);
+        self.upper.push(upper);
+        self.objective.len() - 1
+    }
+
+    /// Adds a constraint row.
+    pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, sense: Sense, rhs: f64) {
+        debug_assert!(coeffs.iter().all(|&(v, _)| v < self.num_vars()));
+        self.constraints.push(Constraint { coeffs, sense, rhs });
+    }
+
+    /// Objective value of a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks feasibility of a point within tolerance.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        for (j, &v) in x.iter().enumerate() {
+            if v < -tol || v > self.upper[j] + tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().map(|&(j, a)| a * x[j]).sum();
+            match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+            }
+        })
+    }
+}
+
+/// A 0/1 integer program: the LP relaxation plus the set of variables that
+/// must be integral (here always binary, since all models are 0/1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinaryProgram {
+    /// The LP relaxation (binary variables have upper bound 1).
+    pub relaxation: LinearProgram,
+    /// Indices of variables required to be 0/1.
+    pub binary: Vec<usize>,
+}
+
+/// How ILP variables map back to MQO plans in [`mqo_to_ilp`].
+#[derive(Debug, Clone)]
+pub struct MqoIlp {
+    /// The program: plan variables first (index = plan id), then one linking
+    /// variable per savings pair in `MqoProblem::savings` order.
+    pub program: BinaryProgram,
+    /// Number of plan variables (`x` block).
+    pub num_plan_vars: usize,
+}
+
+/// Builds the direct MQO integer program (LIN-MQO).
+pub fn mqo_to_ilp(problem: &MqoProblem) -> MqoIlp {
+    let mut lp = LinearProgram::default();
+    for p in problem.plans() {
+        lp.add_var(problem.plan_cost(p), 1.0);
+    }
+    // One plan per query.
+    for q in problem.queries() {
+        let coeffs = problem.plans_of(q).map(|p| (p.index(), 1.0)).collect();
+        lp.add_constraint(coeffs, Sense::Eq, 1.0);
+    }
+    // Linking variables: the objective rewards y = 1 (coefficient −s < 0),
+    // so only the `y ≤ x` directions are binding.
+    for &(p1, p2, s) in problem.savings() {
+        let y = lp.add_var(-s, 1.0);
+        lp.add_constraint(vec![(y, 1.0), (p1.index(), -1.0)], Sense::Le, 0.0);
+        lp.add_constraint(vec![(y, 1.0), (p2.index(), -1.0)], Sense::Le, 0.0);
+    }
+    let num_plan_vars = problem.num_plans();
+    // Linking variables need not be declared integral: with binary x they
+    // take integral optimal values automatically.
+    let binary = (0..num_plan_vars).collect();
+    MqoIlp {
+        program: BinaryProgram {
+            relaxation: lp,
+            binary,
+        },
+        num_plan_vars,
+    }
+}
+
+/// Extracts the plan-selection part of an ILP point produced by a solver run
+/// on [`mqo_to_ilp`] output.
+pub fn ilp_point_to_plans(ilp: &MqoIlp, x: &[f64]) -> Vec<PlanId> {
+    (0..ilp.num_plan_vars)
+        .filter(|&p| x[p] > 0.5)
+        .map(PlanId::new)
+        .collect()
+}
+
+/// How ILP variables map back to QUBO variables in [`qubo_to_ilp`].
+#[derive(Debug, Clone)]
+pub struct QuboIlp {
+    /// The program: QUBO variables first, then one linearisation variable
+    /// per quadratic term in `Qubo::quadratic` order.
+    pub program: BinaryProgram,
+    /// Number of original QUBO variables.
+    pub num_qubo_vars: usize,
+}
+
+/// Builds the linearised QUBO integer program (LIN-QUB).
+pub fn qubo_to_ilp(qubo: &Qubo) -> QuboIlp {
+    let mut lp = LinearProgram::default();
+    for &c in qubo.linear() {
+        lp.add_var(c, 1.0);
+    }
+    for &(i, j, w) in qubo.quadratic() {
+        let y = lp.add_var(w, 1.0);
+        if w < 0.0 {
+            // Objective pushes y up; cap it at both factors.
+            lp.add_constraint(vec![(y, 1.0), (i.index(), -1.0)], Sense::Le, 0.0);
+            lp.add_constraint(vec![(y, 1.0), (j.index(), -1.0)], Sense::Le, 0.0);
+        } else {
+            // Objective pushes y down; force y ≥ x_i + x_j − 1 (y ≥ 0 is the
+            // variable bound).
+            lp.add_constraint(
+                vec![(y, 1.0), (i.index(), -1.0), (j.index(), -1.0)],
+                Sense::Ge,
+                -1.0,
+            );
+        }
+    }
+    QuboIlp {
+        program: BinaryProgram {
+            relaxation: lp,
+            binary: (0..qubo.num_vars()).collect(),
+        },
+        num_qubo_vars: qubo.num_vars(),
+    }
+}
+
+/// Evaluates a QUBO assignment as the equivalent ILP point (filling in the
+/// linearisation variables), mostly for tests.
+pub fn qubo_assignment_to_ilp_point(qubo: &Qubo, x: &[bool]) -> Vec<f64> {
+    let mut point: Vec<f64> = x.iter().map(|&b| f64::from(u8::from(b))).collect();
+    for &(i, j, _) in qubo.quadratic() {
+        point.push(f64::from(u8::from(x[i.index()] && x[j.index()])));
+    }
+    point
+}
+
+/// Convenience: the VarId-indexed assignment from the binary block of an ILP
+/// point.
+pub fn ilp_point_to_assignment(num_vars: usize, x: &[f64]) -> Vec<bool> {
+    (0..num_vars).map(|i| x[i] > 0.5).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_core::ids::VarId;
+
+    fn example_problem() -> MqoProblem {
+        let mut b = MqoProblem::builder();
+        let q1 = b.add_query(&[2.0, 4.0]);
+        let q2 = b.add_query(&[3.0, 1.0]);
+        let p2 = b.plans_of(q1)[1];
+        let p3 = b.plans_of(q2)[0];
+        b.add_saving(p2, p3, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mqo_ilp_shape_matches_the_formulation() {
+        let p = example_problem();
+        let ilp = mqo_to_ilp(&p);
+        let lp = &ilp.program.relaxation;
+        // 4 plan vars + 1 linking var; 2 equality + 2 linking rows.
+        assert_eq!(lp.num_vars(), 5);
+        assert_eq!(lp.constraints.len(), 4);
+        assert_eq!(ilp.num_plan_vars, 4);
+        assert_eq!(lp.objective, vec![2.0, 4.0, 3.0, 1.0, -5.0]);
+    }
+
+    #[test]
+    fn mqo_ilp_objective_matches_mqo_cost_on_integral_points() {
+        let p = example_problem();
+        let ilp = mqo_to_ilp(&p);
+        // Select p2 and p3, y = 1: cost 4 + 3 − 5 = 2.
+        let x = vec![0.0, 1.0, 1.0, 0.0, 1.0];
+        assert!(ilp.program.relaxation.is_feasible(&x, 1e-9));
+        assert_eq!(ilp.program.relaxation.objective_value(&x), 2.0);
+        assert_eq!(ilp_point_to_plans(&ilp, &x), vec![PlanId(1), PlanId(2)]);
+        // y = 1 without x_p2 = 1 is infeasible.
+        let bad = vec![0.0, 0.0, 1.0, 1.0, 1.0];
+        assert!(!ilp.program.relaxation.is_feasible(&bad, 1e-9));
+    }
+
+    #[test]
+    fn qubo_ilp_matches_energy_on_all_assignments() {
+        let mut b = Qubo::builder(3);
+        b.add_linear(VarId(0), 1.5);
+        b.add_linear(VarId(1), -2.0);
+        b.add_quadratic(VarId(0), VarId(1), 3.0); // positive → Ge row
+        b.add_quadratic(VarId(1), VarId(2), -1.0); // negative → Le rows
+        let qubo = b.build();
+        let ilp = qubo_to_ilp(&qubo);
+        for mask in 0u32..8 {
+            let x: Vec<bool> = (0..3).map(|i| mask & (1 << i) != 0).collect();
+            let point = qubo_assignment_to_ilp_point(&qubo, &x);
+            assert!(
+                ilp.program.relaxation.is_feasible(&point, 1e-9),
+                "point for {x:?} infeasible"
+            );
+            assert!(
+                (ilp.program.relaxation.objective_value(&point) - qubo.energy(&x)).abs() < 1e-12
+            );
+            assert_eq!(ilp_point_to_assignment(3, &point), x);
+        }
+    }
+
+    #[test]
+    fn qubo_ilp_forbids_cheating_on_positive_terms() {
+        // x_i = x_j = 1 must force y = 1 on positive terms.
+        let mut b = Qubo::builder(2);
+        b.add_quadratic(VarId(0), VarId(1), 2.0);
+        let qubo = b.build();
+        let ilp = qubo_to_ilp(&qubo);
+        let cheat = vec![1.0, 1.0, 0.0];
+        assert!(!ilp.program.relaxation.is_feasible(&cheat, 1e-9));
+        let honest = vec![1.0, 1.0, 1.0];
+        assert!(ilp.program.relaxation.is_feasible(&honest, 1e-9));
+    }
+
+    #[test]
+    fn feasibility_checks_bounds() {
+        let mut lp = LinearProgram::default();
+        lp.add_var(1.0, 1.0);
+        assert!(lp.is_feasible(&[1.0], 1e-9));
+        assert!(!lp.is_feasible(&[1.5], 1e-9));
+        assert!(!lp.is_feasible(&[-0.5], 1e-9));
+        assert!(!lp.is_feasible(&[], 1e-9));
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests of the simplex solver and the branch-and-bound
+//! engines against exhaustive enumeration.
+
+use mqo_core::ids::{PlanId, VarId};
+use mqo_core::problem::MqoProblem;
+use mqo_core::qubo::Qubo;
+use mqo_milp::model::{mqo_to_ilp, qubo_to_ilp, LinearProgram, Sense};
+use mqo_milp::{bb_mqo, bb_qubo, simplex, MqoBbConfig, QuboBbConfig, StopReason};
+use proptest::prelude::*;
+
+/// Strategy: random bounded LPs over binary boxes with ≤ 6 vars / ≤ 5 rows.
+fn arb_binary_box_lp() -> impl Strategy<Value = LinearProgram> {
+    (2usize..=6, 1usize..=5).prop_flat_map(|(n, m)| {
+        let objective = proptest::collection::vec(-10.0f64..10.0, n);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(-4.0f64..4.0, n),
+                prop_oneof![Just(Sense::Le), Just(Sense::Ge), Just(Sense::Eq)],
+                -3.0f64..6.0,
+            ),
+            m,
+        );
+        (objective, rows).prop_map(move |(objective, rows)| {
+            let mut lp = LinearProgram {
+                objective,
+                constraints: vec![],
+                upper: vec![1.0; n],
+            };
+            for (coeffs, sense, rhs) in rows {
+                let sparse: Vec<(usize, f64)> = coeffs
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.abs() > 0.25)
+                    .collect();
+                if !sparse.is_empty() {
+                    lp.add_constraint(sparse, sense, rhs);
+                }
+            }
+            lp
+        })
+    })
+}
+
+/// Strategy: a random MQO instance (2–5 queries × 2–3 plans, sparse savings).
+fn arb_problem() -> impl Strategy<Value = MqoProblem> {
+    let queries =
+        proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 2..=3), 2..=5);
+    (
+        queries,
+        proptest::collection::vec((0usize..64, 0usize..64, 0.5f64..4.0), 0..=8),
+    )
+        .prop_map(|(costs, savings)| {
+            let mut b = MqoProblem::builder();
+            for q in &costs {
+                b.add_query(q);
+            }
+            let total = b.num_plans();
+            for (x, y, s) in savings {
+                let _ = b.add_saving(PlanId::new(x % total), PlanId::new(y % total), s);
+            }
+            b.build().unwrap()
+        })
+}
+
+fn arb_qubo() -> impl Strategy<Value = Qubo> {
+    (2usize..=7).prop_flat_map(|n| {
+        let linear = proptest::collection::vec(-8.0f64..8.0, n);
+        let quad = proptest::collection::vec(((0..n, 0..n), -5.0f64..5.0), 0..=n);
+        (Just(n), linear, quad).prop_map(|(n, linear, quad)| {
+            let mut b = Qubo::builder(n);
+            for (i, w) in linear.into_iter().enumerate() {
+                b.add_linear(VarId::new(i), w);
+            }
+            for ((i, j), w) in quad {
+                if i != j {
+                    b.add_quadratic(VarId::new(i), VarId::new(j), w);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On box-bounded LPs, the simplex optimum (a) is feasible, (b) never
+    /// exceeds the best binary point (the LP relaxes the box's vertices).
+    #[test]
+    fn simplex_relaxation_bounds_binary_optimum(lp in arb_binary_box_lp()) {
+        let n = lp.num_vars();
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << n) {
+            let x: Vec<f64> = (0..n).map(|j| f64::from(u8::from(mask & (1 << j) != 0))).collect();
+            if lp.is_feasible(&x, 1e-9) {
+                best = best.min(lp.objective_value(&x));
+            }
+        }
+        match simplex::solve(&lp) {
+            simplex::LpOutcome::Optimal(s) => {
+                prop_assert!(lp.is_feasible(&s.x, 1e-5));
+                if best.is_finite() {
+                    prop_assert!(s.objective <= best + 1e-6,
+                        "LP {} above binary optimum {best}", s.objective);
+                }
+            }
+            simplex::LpOutcome::Infeasible => {
+                prop_assert!(best.is_infinite(),
+                    "simplex claims infeasible but a binary point exists");
+            }
+            other => prop_assert!(false, "unexpected outcome {other:?}"),
+        }
+    }
+
+    /// LIN-MQO (branch-and-bound) always matches brute force and proves it.
+    #[test]
+    fn bb_mqo_matches_brute_force(problem in arb_problem()) {
+        let (_, optimum) = problem.brute_force_optimum();
+        let out = bb_mqo::solve(&problem, &MqoBbConfig::default());
+        prop_assert_eq!(out.stop, StopReason::Optimal);
+        let (sel, cost) = out.best.unwrap();
+        prop_assert!((cost - optimum).abs() < 1e-9);
+        prop_assert!(problem.validate_selection(&sel).is_ok());
+        prop_assert!(out.root_bound <= optimum + 1e-9);
+    }
+
+    /// LIN-QUB (branch-and-bound on the QUBO) matches brute force too.
+    #[test]
+    fn bb_qubo_matches_brute_force(qubo in arb_qubo()) {
+        let (_, optimum) = qubo.brute_force_minimum();
+        let out = bb_qubo::solve(&qubo, &QuboBbConfig::default());
+        prop_assert_eq!(out.stop, StopReason::Optimal);
+        let (x, e) = out.best.unwrap();
+        prop_assert!((e - optimum).abs() < 1e-9);
+        prop_assert!((qubo.energy(&x) - e).abs() < 1e-9);
+    }
+
+    /// The MQO ILP model evaluates integral selections to their true cost.
+    #[test]
+    fn mqo_ilp_objective_matches_cost(problem in arb_problem()) {
+        let ilp = mqo_to_ilp(&problem);
+        let (sel, optimum) = problem.brute_force_optimum();
+        // Build the matching ILP point: x for plans, y = both-selected.
+        let mut point = vec![0.0; ilp.program.relaxation.num_vars()];
+        for &p in sel.plans() {
+            point[p.index()] = 1.0;
+        }
+        for (k, &(p1, p2, _)) in problem.savings().iter().enumerate() {
+            let selected = |p: PlanId| sel.plans().contains(&p);
+            if selected(p1) && selected(p2) {
+                point[ilp.num_plan_vars + k] = 1.0;
+            }
+        }
+        prop_assert!(ilp.program.relaxation.is_feasible(&point, 1e-9));
+        prop_assert!((ilp.program.relaxation.objective_value(&point) - optimum).abs() < 1e-9);
+    }
+
+    /// The QUBO linearisation evaluates every assignment to its energy.
+    #[test]
+    fn qubo_ilp_matches_energy(qubo in arb_qubo()) {
+        let ilp = qubo_to_ilp(&qubo);
+        let n = qubo.num_vars();
+        for mask in 0u32..(1 << n) {
+            let x: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            let point = mqo_milp::model::qubo_assignment_to_ilp_point(&qubo, &x);
+            prop_assert!(ilp.program.relaxation.is_feasible(&point, 1e-9));
+            prop_assert!(
+                (ilp.program.relaxation.objective_value(&point) - qubo.energy(&x)).abs() < 1e-9
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Topology-free random MQO instances.
+//!
+//! Used wherever the annealer's coupler structure is irrelevant: unit tests,
+//! classical-only benchmarks, and the "problems too large for the annealer"
+//! discussion (e.g. the paper's remark that 500 queries with three or more
+//! plans per query are routine for classical MQO algorithms but out of reach
+//! for 1097 qubits).
+
+use mqo_core::ids::PlanId;
+use mqo_core::problem::MqoProblem;
+use rand::Rng;
+
+/// Configuration of the generic generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWorkloadConfig {
+    /// Number of queries.
+    pub queries: usize,
+    /// Alternative plans per query.
+    pub plans_per_query: usize,
+    /// Expected number of sharing pairs per query (Erdős–Rényi style over
+    /// cross-query plan pairs).
+    pub savings_per_query: f64,
+    /// Plan costs are uniform integers in `1..=cost_levels`.
+    pub cost_levels: u32,
+    /// Savings are uniform integers in `1..=saving_levels`, times scale.
+    pub saving_levels: u32,
+    /// Scale factor on savings.
+    pub saving_scale: f64,
+}
+
+impl Default for RandomWorkloadConfig {
+    fn default() -> Self {
+        RandomWorkloadConfig {
+            queries: 20,
+            plans_per_query: 3,
+            savings_per_query: 3.0,
+            cost_levels: 10,
+            saving_levels: 2,
+            saving_scale: 1.0,
+        }
+    }
+}
+
+/// Generates a random instance.
+pub fn generate(config: &RandomWorkloadConfig, rng: &mut impl Rng) -> MqoProblem {
+    assert!(config.queries >= 1 && config.plans_per_query >= 1);
+    let mut b = MqoProblem::builder();
+    for _ in 0..config.queries {
+        let costs: Vec<f64> = (0..config.plans_per_query)
+            .map(|_| f64::from(rng.gen_range(1..=config.cost_levels)))
+            .collect();
+        b.add_query(&costs);
+    }
+    let total_plans = config.queries * config.plans_per_query;
+    let target_pairs = (config.savings_per_query * config.queries as f64).round() as usize;
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < target_pairs && attempts < 50 * target_pairs.max(1) {
+        attempts += 1;
+        let p1 = PlanId::new(rng.gen_range(0..total_plans));
+        let p2 = PlanId::new(rng.gen_range(0..total_plans));
+        let s = f64::from(rng.gen_range(1..=config.saving_levels)) * config.saving_scale;
+        if b.add_saving(p1, p2, s).is_ok() {
+            added += 1;
+        }
+    }
+    b.build().expect("generated instance is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generates_the_requested_shape() {
+        let cfg = RandomWorkloadConfig {
+            queries: 12,
+            plans_per_query: 4,
+            ..RandomWorkloadConfig::default()
+        };
+        let p = generate(&cfg, &mut ChaCha8Rng::seed_from_u64(0));
+        assert_eq!(p.num_queries(), 12);
+        assert_eq!(p.num_plans(), 48);
+        for q in p.queries() {
+            assert_eq!(p.num_plans_of(q), 4);
+        }
+    }
+
+    #[test]
+    fn savings_density_tracks_the_configuration() {
+        let sparse = generate(
+            &RandomWorkloadConfig {
+                savings_per_query: 1.0,
+                ..RandomWorkloadConfig::default()
+            },
+            &mut ChaCha8Rng::seed_from_u64(1),
+        );
+        let dense = generate(
+            &RandomWorkloadConfig {
+                savings_per_query: 6.0,
+                ..RandomWorkloadConfig::default()
+            },
+            &mut ChaCha8Rng::seed_from_u64(1),
+        );
+        assert!(dense.num_savings() > sparse.num_savings());
+        // Density target is approximate (duplicates merge) but close.
+        assert!(dense.num_savings() >= 80);
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let cfg = RandomWorkloadConfig::default();
+        let a = generate(&cfg, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = generate(&cfg, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_one_plan_queries_work() {
+        let cfg = RandomWorkloadConfig {
+            queries: 5,
+            plans_per_query: 1,
+            savings_per_query: 2.0,
+            ..RandomWorkloadConfig::default()
+        };
+        let p = generate(&cfg, &mut ChaCha8Rng::seed_from_u64(3));
+        assert_eq!(p.num_plans(), 5);
+        let (sel, _) = p.brute_force_optimum();
+        assert!(p.validate_selection(&sel).is_ok());
+    }
+}

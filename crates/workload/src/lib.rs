@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # mqo-workload
+//!
+//! Test-case generators for the whole workspace:
+//!
+//! * [`paper`] — the paper's Section 7.1 generator: queries laid out on a
+//!   (defective) Chimera graph via the clustered embedding, savings drawn
+//!   uniformly from `{1, 2}·scale` on exactly the plan pairs the hardware
+//!   can couple;
+//! * [`generic`] — topology-free random instances for classical-only
+//!   benchmarks and tests;
+//! * [`relational`] — a synthetic analytic batch (join queries with shared
+//!   left-deep prefixes) grounding the MQO abstraction in something
+//!   database-shaped for the examples.
+//!
+//! All generators are deterministic in their RNG and return plain
+//! [`mqo_core::MqoProblem`] values (plus generator-specific metadata).
+
+pub mod generic;
+pub mod paper;
+pub mod relational;
+
+pub use generic::RandomWorkloadConfig;
+pub use paper::{PaperInstance, PaperWorkloadConfig};
+pub use relational::{RelationalBatch, RelationalConfig};

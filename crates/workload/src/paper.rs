@@ -1,0 +1,237 @@
+//! The paper's test-case generator (Section 7.1).
+//!
+//! "We focus on the core optimization problem … We consider test cases that
+//! map well to the quantum annealer … We vary the number of queries and
+//! query plans … Each query forms one cluster. Cost savings are chosen with
+//! uniform distribution from {1, 2} (scaled by a constant)."
+//!
+//! Concretely: queries are laid out on the (defective) Chimera graph with
+//! the clustered pattern; work-sharing pairs are exactly the plan pairs of
+//! different queries whose chains share a usable coupler; each such pair
+//! gets a saving drawn uniformly from `{1, …, saving_levels} · scale`.
+//! Plan execution costs are uniform integers in `1..=cost_levels` (the paper
+//! does not specify its cost distribution; integers at a comparable scale to
+//! the savings keep plan choice non-trivial, and the level count is a knob).
+//!
+//! The generator returns the problem *together with* the layout it was built
+//! on, so the annealer track reuses the very embedding that shaped the
+//! instance — exactly how the paper's pipeline works.
+
+use mqo_chimera::embedding::clustered::{self, ClusteredLayout};
+use mqo_chimera::graph::ChimeraGraph;
+use mqo_core::ids::PlanId;
+use mqo_core::problem::MqoProblem;
+use rand::Rng;
+
+/// Configuration of the paper generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperWorkloadConfig {
+    /// Alternative plans per query (the paper sweeps 2..=5).
+    pub plans_per_query: usize,
+    /// Upper bound on the number of queries; `usize::MAX` fills the graph
+    /// (the paper always fills it: 537/253/140/108 queries on its machine).
+    pub max_queries: usize,
+    /// Plan costs are uniform integers in `1..=cost_levels`.
+    pub cost_levels: u32,
+    /// Savings are uniform integers in `1..=saving_levels` (paper: 2).
+    pub saving_levels: u32,
+    /// Constant scale factor applied to savings (the paper's "scaled by a
+    /// constant").
+    pub saving_scale: f64,
+    /// Probability that an available sharing pair receives a saving.
+    pub sharing_probability: f64,
+}
+
+impl PaperWorkloadConfig {
+    /// The paper's class with `plans_per_query` plans, filling the machine.
+    pub fn paper_class(plans_per_query: usize) -> Self {
+        PaperWorkloadConfig {
+            plans_per_query,
+            max_queries: usize::MAX,
+            cost_levels: 10,
+            saving_levels: 2,
+            saving_scale: 1.0,
+            sharing_probability: 1.0,
+        }
+    }
+}
+
+/// A generated instance: the MQO problem plus the layout/graph that shaped
+/// it (plan `p` of the problem is logical variable `p` of the layout).
+#[derive(Debug, Clone)]
+pub struct PaperInstance {
+    /// The MQO problem.
+    pub problem: MqoProblem,
+    /// The clustered embedding the instance was generated against.
+    pub layout: ClusteredLayout,
+}
+
+/// Generates one instance on the given (possibly defective) graph.
+///
+/// # Panics
+/// Panics if the graph cannot host a single query of the requested size.
+pub fn generate(
+    graph: &ChimeraGraph,
+    config: &PaperWorkloadConfig,
+    rng: &mut impl Rng,
+) -> PaperInstance {
+    assert!(config.cost_levels >= 1 && config.saving_levels >= 1);
+    assert!((0.0..=1.0).contains(&config.sharing_probability));
+    assert!(config.saving_scale > 0.0);
+
+    let layout = clustered::layout_uniform(graph, config.max_queries, config.plans_per_query)
+        .expect("layout generation cannot fail structurally");
+    assert!(
+        layout.num_clusters > 0,
+        "graph too small for even one query of {} plans",
+        config.plans_per_query
+    );
+
+    let mut builder = MqoProblem::builder();
+    for _ in 0..layout.num_clusters {
+        let costs: Vec<f64> = (0..config.plans_per_query)
+            .map(|_| f64::from(rng.gen_range(1..=config.cost_levels)))
+            .collect();
+        builder.add_query(&costs);
+    }
+    for (a, b) in layout.sharing_pairs(graph) {
+        if rng.gen::<f64>() <= config.sharing_probability {
+            let s = f64::from(rng.gen_range(1..=config.saving_levels)) * config.saving_scale;
+            builder
+                .add_saving(PlanId(a.0), PlanId(b.0), s)
+                .expect("sharing pairs cross queries by construction");
+        }
+    }
+    let problem = builder.build().expect("generated instance is well-formed");
+    PaperInstance { problem, layout }
+}
+
+/// The four test-case classes of the paper's evaluation: plans per query 2,
+/// 3, 4, 5 with the maximal query count the (defective) machine supports.
+pub const PAPER_CLASSES: [usize; 4] = [2, 3, 4, 5];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_graph() -> ChimeraGraph {
+        ChimeraGraph::new(3, 3)
+    }
+
+    #[test]
+    fn generated_instance_matches_the_layout_structure() {
+        let g = small_graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let inst = generate(&g, &PaperWorkloadConfig::paper_class(3), &mut rng);
+        assert_eq!(inst.problem.num_queries(), inst.layout.num_clusters);
+        assert_eq!(
+            inst.problem.num_plans(),
+            inst.layout.embedding.num_vars()
+        );
+        for q in inst.problem.queries() {
+            assert_eq!(inst.problem.num_plans_of(q), 3);
+        }
+    }
+
+    #[test]
+    fn savings_sit_only_on_connectable_cross_query_pairs() {
+        let g = small_graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let inst = generate(&g, &PaperWorkloadConfig::paper_class(2), &mut rng);
+        let available: std::collections::HashSet<_> = inst
+            .layout
+            .sharing_pairs(&g)
+            .into_iter()
+            .map(|(a, b)| (a.0, b.0))
+            .collect();
+        assert!(!inst.problem.savings().is_empty());
+        for &(p1, p2, s) in inst.problem.savings() {
+            assert!(available.contains(&(p1.0, p2.0)), "{p1}-{p2} not realisable");
+            assert!(s == 1.0 || s == 2.0, "saving {s} outside {{1,2}}");
+        }
+    }
+
+    #[test]
+    fn full_pipeline_instance_is_physically_mappable() {
+        // The decisive end-to-end property: the generated instance's logical
+        // QUBO embeds on the very graph it was generated for.
+        use mqo_chimera::physical::PhysicalMapping;
+        use mqo_core::logical::LogicalMapping;
+        let g = small_graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let inst = generate(&g, &PaperWorkloadConfig::paper_class(2), &mut rng);
+        let mapping = LogicalMapping::with_default_epsilon(&inst.problem);
+        let pm = PhysicalMapping::new(
+            mapping.qubo(),
+            inst.layout.embedding.clone(),
+            &g,
+            0.25,
+        );
+        assert!(pm.is_ok(), "{:?}", pm.err());
+    }
+
+    #[test]
+    fn broken_qubits_shrink_the_instance_but_keep_it_valid() {
+        let g = ChimeraGraph::new(3, 3);
+        let intact = {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            generate(&g, &PaperWorkloadConfig::paper_class(5), &mut rng)
+                .problem
+                .num_queries()
+        };
+        let mut g2 = g.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        g2.break_random_qubits(10, &mut rng);
+        let inst = generate(&g2, &PaperWorkloadConfig::paper_class(5), &mut rng);
+        assert!(inst.problem.num_queries() < intact);
+        assert!(inst.problem.num_queries() > 0);
+    }
+
+    #[test]
+    fn sharing_probability_thins_the_savings() {
+        let g = small_graph();
+        let mut dense_cfg = PaperWorkloadConfig::paper_class(2);
+        dense_cfg.sharing_probability = 1.0;
+        let mut sparse_cfg = dense_cfg;
+        sparse_cfg.sharing_probability = 0.2;
+        let dense = generate(&g, &dense_cfg, &mut ChaCha8Rng::seed_from_u64(6));
+        let sparse = generate(&g, &sparse_cfg, &mut ChaCha8Rng::seed_from_u64(6));
+        assert!(sparse.problem.num_savings() < dense.problem.num_savings());
+    }
+
+    #[test]
+    fn saving_scale_multiplies_values() {
+        let g = small_graph();
+        let mut cfg = PaperWorkloadConfig::paper_class(2);
+        cfg.saving_scale = 10.0;
+        let inst = generate(&g, &cfg, &mut ChaCha8Rng::seed_from_u64(7));
+        for &(_, _, s) in inst.problem.savings() {
+            assert!(s == 10.0 || s == 20.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let g = small_graph();
+        let cfg = PaperWorkloadConfig::paper_class(3);
+        let a = generate(&g, &cfg, &mut ChaCha8Rng::seed_from_u64(8));
+        let b = generate(&g, &cfg, &mut ChaCha8Rng::seed_from_u64(8));
+        assert_eq!(a.problem, b.problem);
+    }
+
+    #[test]
+    fn paper_machine_classes_have_paper_scale() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let g = ChimeraGraph::dwave_2x_as_used_in_paper(&mut rng);
+        let two = generate(&g, &PaperWorkloadConfig::paper_class(2), &mut rng);
+        assert!(two.problem.num_queries() >= 500, "{}", two.problem.num_queries());
+        let five = generate(&g, &PaperWorkloadConfig::paper_class(5), &mut rng);
+        assert!(
+            (80..=144).contains(&five.problem.num_queries()),
+            "{}",
+            five.problem.num_queries()
+        );
+    }
+}

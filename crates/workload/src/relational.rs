@@ -1,0 +1,333 @@
+//! A synthetic relational workload: the kind of batch the MQO literature
+//! motivates (shared scans and join subexpressions across analytic queries,
+//! à la SharedDB's "killing one thousand queries with one stone").
+//!
+//! The generator builds a catalog of tables, a batch of join queries over
+//! overlapping table subsets, and several left-deep join orders per query as
+//! its alternative plans. Costs come from a textbook cardinality model
+//! (fixed join selectivity); two plans of *different* queries that compute
+//! the same left-deep prefix can share it, and the saving equals the cost of
+//! that prefix. The result is a fully-formed [`MqoProblem`] whose numbers
+//! are grounded in something database-shaped rather than raw randomness —
+//! used by the domain examples and integration tests.
+
+use mqo_core::ids::{PlanId, QueryId};
+use mqo_core::problem::MqoProblem;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A base table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Display name (`t0`, `t1`, …).
+    pub name: String,
+    /// Row count.
+    pub rows: f64,
+}
+
+/// A join query over a set of tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinQuery {
+    /// Ids (catalog indices) of the joined tables.
+    pub tables: Vec<usize>,
+}
+
+/// One alternative plan: a left-deep join order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPlan {
+    /// The query this plan answers.
+    pub query: QueryId,
+    /// Table ids in join order (first two joined first, rest appended).
+    pub order: Vec<usize>,
+    /// Modelled execution cost.
+    pub cost: f64,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelationalConfig {
+    /// Number of base tables in the catalog.
+    pub num_tables: usize,
+    /// Number of queries in the batch.
+    pub num_queries: usize,
+    /// Tables joined per query (inclusive range).
+    pub tables_per_query: (usize, usize),
+    /// Maximum alternative join orders per query.
+    pub plans_per_query: usize,
+    /// Join selectivity applied per join edge.
+    pub selectivity: f64,
+    /// Table sizes are log-uniform in this range.
+    pub rows_range: (f64, f64),
+}
+
+impl Default for RelationalConfig {
+    fn default() -> Self {
+        RelationalConfig {
+            num_tables: 10,
+            num_queries: 12,
+            tables_per_query: (2, 4),
+            plans_per_query: 3,
+            // Foreign-key-ish: joining against a table of ~1e6 rows keeps
+            // the intermediate near the larger input instead of exploding,
+            // so every query contributes comparably to the batch cost.
+            selectivity: 2e-6,
+            rows_range: (1e3, 1e6),
+        }
+    }
+}
+
+/// A generated batch: catalog, queries, plans, and the MQO problem over
+/// them (plan `p` of the problem is `plans[p]`).
+#[derive(Debug, Clone)]
+pub struct RelationalBatch {
+    /// The table catalog.
+    pub tables: Vec<Table>,
+    /// The queries of the batch.
+    pub queries: Vec<JoinQuery>,
+    /// All plans, globally indexed to match the problem's plan ids.
+    pub plans: Vec<JoinPlan>,
+    /// The derived MQO instance.
+    pub problem: MqoProblem,
+}
+
+impl RelationalBatch {
+    /// Human-readable description of a plan (for examples).
+    pub fn describe_plan(&self, p: PlanId) -> String {
+        let plan = &self.plans[p.index()];
+        let order: Vec<&str> = plan
+            .order
+            .iter()
+            .map(|&t| self.tables[t].name.as_str())
+            .collect();
+        format!(
+            "Q{}: {} (cost {:.1})",
+            plan.query.index(),
+            order.join(" ⋈ "),
+            plan.cost
+        )
+    }
+}
+
+/// Cost of the length-`k` left-deep prefix of a join order: scan costs of
+/// the touched tables plus the intermediate result sizes.
+fn prefix_cost(tables: &[Table], order: &[usize], k: usize, selectivity: f64) -> f64 {
+    debug_assert!(k >= 1 && k <= order.len());
+    let mut scan: f64 = order[..k].iter().map(|&t| tables[t].rows).sum();
+    let mut inter = tables[order[0]].rows;
+    for &t in &order[1..k] {
+        inter = inter * tables[t].rows * selectivity;
+        scan += inter;
+    }
+    // Normalise to keep costs in a friendly range.
+    scan / 1e3
+}
+
+/// Length of the longest common left-deep prefix of two join orders
+/// (0 or ≥ 2 — a single shared scan is not modelled as shared work here).
+fn common_prefix(a: &[usize], b: &[usize]) -> usize {
+    let mut k = 0;
+    while k < a.len() && k < b.len() && a[k] == b[k] {
+        k += 1;
+    }
+    if k >= 2 {
+        k
+    } else {
+        0
+    }
+}
+
+/// Generates a relational batch.
+pub fn generate(config: &RelationalConfig, rng: &mut impl Rng) -> RelationalBatch {
+    assert!(config.num_tables >= config.tables_per_query.1);
+    assert!(config.tables_per_query.0 >= 2);
+    assert!(config.plans_per_query >= 1);
+
+    let tables: Vec<Table> = (0..config.num_tables)
+        .map(|i| {
+            let (lo, hi) = config.rows_range;
+            let rows = lo * (hi / lo).powf(rng.gen::<f64>());
+            Table {
+                name: format!("t{i}"),
+                rows: rows.round(),
+            }
+        })
+        .collect();
+
+    // Queries over overlapping subsets: weight towards low table ids so
+    // different queries hit the same "hot" tables.
+    let mut queries = Vec::with_capacity(config.num_queries);
+    for _ in 0..config.num_queries {
+        let size = rng.gen_range(config.tables_per_query.0..=config.tables_per_query.1);
+        let mut chosen = Vec::with_capacity(size);
+        while chosen.len() < size {
+            // Quadratic bias towards small ids ("hot" fact tables).
+            let r = rng.gen::<f64>();
+            let t = ((r * r) * config.num_tables as f64) as usize;
+            let t = t.min(config.num_tables - 1);
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        queries.push(JoinQuery { tables: chosen });
+    }
+
+    // Plans: distinct left-deep orders per query; the first plan uses the
+    // canonical sorted order, making cross-query prefix sharing likely.
+    let mut problem_builder = MqoProblem::builder();
+    let mut plans: Vec<JoinPlan> = Vec::new();
+    for query in &queries {
+        let mut orders: Vec<Vec<usize>> = Vec::new();
+        let mut canonical = query.tables.clone();
+        canonical.sort_unstable();
+        orders.push(canonical);
+        let mut attempts = 0;
+        while orders.len() < config.plans_per_query && attempts < 32 {
+            attempts += 1;
+            let mut perm = query.tables.clone();
+            perm.shuffle(rng);
+            if !orders.contains(&perm) {
+                orders.push(perm);
+            }
+        }
+        let costs: Vec<f64> = orders
+            .iter()
+            .map(|o| prefix_cost(&tables, o, o.len(), config.selectivity))
+            .collect();
+        let q = problem_builder.add_query(&costs);
+        for order in orders {
+            let cost = prefix_cost(&tables, &order, order.len(), config.selectivity);
+            plans.push(JoinPlan {
+                query: q,
+                order,
+                cost,
+            });
+        }
+    }
+
+    // Savings: common left-deep prefixes across queries.
+    for i in 0..plans.len() {
+        for j in i + 1..plans.len() {
+            if plans[i].query == plans[j].query {
+                continue;
+            }
+            let k = common_prefix(&plans[i].order, &plans[j].order);
+            if k >= 2 {
+                let saving = prefix_cost(&tables, &plans[i].order, k, config.selectivity);
+                problem_builder
+                    .add_saving(PlanId::new(i), PlanId::new(j), saving)
+                    .expect("cross-query positive saving");
+            }
+        }
+    }
+
+    let problem = problem_builder.build().expect("well-formed batch");
+    RelationalBatch {
+        tables,
+        queries,
+        plans,
+        problem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn batch_structure_is_consistent() {
+        let cfg = RelationalConfig::default();
+        let b = generate(&cfg, &mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(b.queries.len(), cfg.num_queries);
+        assert_eq!(b.problem.num_queries(), cfg.num_queries);
+        assert_eq!(b.plans.len(), b.problem.num_plans());
+        for (i, plan) in b.plans.iter().enumerate() {
+            assert_eq!(b.problem.query_of(PlanId::new(i)), plan.query);
+            assert!((b.problem.plan_cost(PlanId::new(i)) - plan.cost).abs() < 1e-9);
+            assert!(plan.cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn savings_never_exceed_either_plan_cost() {
+        let b = generate(
+            &RelationalConfig::default(),
+            &mut ChaCha8Rng::seed_from_u64(2),
+        );
+        for &(p1, p2, s) in b.problem.savings() {
+            assert!(s > 0.0);
+            assert!(s <= b.problem.plan_cost(p1) + 1e-9);
+            assert!(s <= b.problem.plan_cost(p2) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn overlapping_queries_produce_shared_work() {
+        let b = generate(
+            &RelationalConfig {
+                num_queries: 20,
+                ..RelationalConfig::default()
+            },
+            &mut ChaCha8Rng::seed_from_u64(3),
+        );
+        assert!(
+            b.problem.num_savings() > 0,
+            "hot-table bias should produce at least one shared prefix"
+        );
+    }
+
+    #[test]
+    fn common_prefix_detection() {
+        assert_eq!(common_prefix(&[1, 2, 3], &[1, 2, 4]), 2);
+        assert_eq!(common_prefix(&[1, 2, 3], &[1, 2, 3]), 3);
+        assert_eq!(common_prefix(&[1, 2], &[2, 1]), 0);
+        assert_eq!(common_prefix(&[1, 3, 2], &[1, 2, 3]), 0); // single table ≠ shared join
+    }
+
+    #[test]
+    fn prefix_cost_grows_with_prefix_length() {
+        let tables = vec![
+            Table { name: "a".into(), rows: 1000.0 },
+            Table { name: "b".into(), rows: 2000.0 },
+            Table { name: "c".into(), rows: 500.0 },
+        ];
+        let order = [0, 1, 2];
+        let c1 = prefix_cost(&tables, &order, 1, 0.01);
+        let c2 = prefix_cost(&tables, &order, 2, 0.01);
+        let c3 = prefix_cost(&tables, &order, 3, 0.01);
+        assert!(c1 < c2 && c2 < c3);
+    }
+
+    #[test]
+    fn join_order_matters_for_cost() {
+        let tables = vec![
+            Table { name: "small".into(), rows: 10.0 },
+            Table { name: "big".into(), rows: 1e6 },
+            Table { name: "mid".into(), rows: 1e3 },
+        ];
+        // Starting with the two small tables is cheaper.
+        let good = prefix_cost(&tables, &[0, 2, 1], 3, 0.01);
+        let bad = prefix_cost(&tables, &[1, 2, 0], 3, 0.01);
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn describe_plan_mentions_tables_in_order() {
+        let b = generate(
+            &RelationalConfig::default(),
+            &mut ChaCha8Rng::seed_from_u64(4),
+        );
+        let text = b.describe_plan(PlanId(0));
+        assert!(text.contains('⋈'));
+        assert!(text.starts_with("Q0:"));
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let cfg = RelationalConfig::default();
+        let a = generate(&cfg, &mut ChaCha8Rng::seed_from_u64(5));
+        let b = generate(&cfg, &mut ChaCha8Rng::seed_from_u64(5));
+        assert_eq!(a.problem, b.problem);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the workload generators.
+
+use mqo_chimera::embedding::clustered;
+use mqo_chimera::graph::{ChimeraGraph, QubitId};
+use mqo_workload::generic::{self, RandomWorkloadConfig};
+use mqo_workload::paper::{self, PaperWorkloadConfig};
+use mqo_workload::relational::{self, RelationalConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Paper instances are structurally sound for any defect pattern and
+    /// plan count: query/plan/savings consistency, savings only on
+    /// realisable cross-query pairs, plans per query uniform.
+    #[test]
+    fn paper_instances_are_sound(
+        defects in proptest::collection::hash_set(0u32..72, 0..14),
+        plans in 2usize..=5,
+        seed in 0u64..500,
+    ) {
+        let broken: Vec<QubitId> = defects.into_iter().map(QubitId).collect();
+        let graph = ChimeraGraph::new(3, 3).with_broken(&broken);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(plans), &mut rng);
+        prop_assert_eq!(inst.problem.num_queries(), inst.layout.num_clusters);
+        prop_assert_eq!(inst.problem.num_plans(), inst.problem.num_queries() * plans);
+        for q in inst.problem.queries() {
+            prop_assert_eq!(inst.problem.num_plans_of(q), plans);
+        }
+        let realisable: std::collections::HashSet<(u32, u32)> = inst
+            .layout
+            .sharing_pairs(&graph)
+            .into_iter()
+            .map(|(a, b)| (a.0, b.0))
+            .collect();
+        for &(p1, p2, s) in inst.problem.savings() {
+            prop_assert!(realisable.contains(&(p1.0, p2.0)));
+            prop_assert!(s >= 1.0 && s <= 2.0);
+            prop_assert_ne!(
+                inst.problem.query_of(p1),
+                inst.problem.query_of(p2)
+            );
+        }
+    }
+
+    /// Breaking additional qubits never increases clustered capacity.
+    #[test]
+    fn capacity_is_monotone_in_defects(
+        extra in 1usize..10,
+        plans in 2usize..=5,
+        seed in 0u64..200,
+    ) {
+        let base = ChimeraGraph::new(3, 3);
+        let before = clustered::max_uniform_queries(&base, plans);
+        let mut worse = base.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        worse.break_random_qubits(extra, &mut rng);
+        let after = clustered::max_uniform_queries(&worse, plans);
+        prop_assert!(after <= before, "capacity grew: {before} -> {after}");
+    }
+
+    /// Generic instances respect their configuration for any shape.
+    #[test]
+    fn generic_instances_match_config(
+        queries in 1usize..15,
+        plans in 1usize..5,
+        density in 0.0f64..6.0,
+        seed in 0u64..500,
+    ) {
+        let cfg = RandomWorkloadConfig {
+            queries,
+            plans_per_query: plans,
+            savings_per_query: density,
+            ..RandomWorkloadConfig::default()
+        };
+        let p = generic::generate(&cfg, &mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(p.num_queries(), queries);
+        prop_assert_eq!(p.num_plans(), queries * plans);
+        for &(_, _, s) in p.savings() {
+            prop_assert!(s >= 1.0 && s <= 2.0);
+        }
+        // A brute-force-checkable invariant on small shapes.
+        if queries <= 6 && plans <= 3 {
+            let (sel, cost) = p.brute_force_optimum();
+            prop_assert!(p.validate_selection(&sel).is_ok());
+            prop_assert!((p.selection_cost(&sel) - cost).abs() < 1e-9);
+        }
+    }
+
+    /// Relational batches always produce positive costs and savings that
+    /// undercut both sharing plans, whatever the schema shape.
+    #[test]
+    fn relational_batches_are_sound(
+        tables in 4usize..10,
+        queries in 2usize..12,
+        plans in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let cfg = RelationalConfig {
+            num_tables: tables,
+            num_queries: queries,
+            tables_per_query: (2, tables.min(4)),
+            plans_per_query: plans,
+            ..RelationalConfig::default()
+        };
+        let batch = relational::generate(&cfg, &mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(batch.problem.num_queries(), queries);
+        for p in batch.problem.plans() {
+            prop_assert!(batch.problem.plan_cost(p) > 0.0);
+        }
+        for &(p1, p2, s) in batch.problem.savings() {
+            prop_assert!(s > 0.0);
+            prop_assert!(s <= batch.problem.plan_cost(p1) + 1e-9);
+            prop_assert!(s <= batch.problem.plan_cost(p2) + 1e-9);
+        }
+    }
+}

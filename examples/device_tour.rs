@@ -1,0 +1,124 @@
+//! A tour of the simulated D-Wave 2X: topology, broken qubits, minor
+//! embedding, chain strengths, and the gauge/noise read protocol.
+//!
+//! Run with: `cargo run --release --example device_tour`
+
+use mqo::prelude::*;
+use mqo_chimera::embedding::{clustered, triad};
+use mqo_chimera::physical::PhysicalMapping;
+use mqo_chimera::render;
+use mqo_core::ids::VarId;
+use mqo_core::logical::LogicalMapping;
+use mqo_workload::paper::{self, PaperWorkloadConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // ── 1. The qubit matrix ─────────────────────────────────────────────
+    let mut rng = ChaCha8Rng::seed_from_u64(2015);
+    let graph = ChimeraGraph::dwave_2x_as_used_in_paper(&mut rng);
+    println!(
+        "D-Wave 2X: {} qubits in {} unit cells, {} functional (paper: 1097), \
+         {} usable couplers",
+        graph.num_qubits(),
+        graph.rows() * graph.cols(),
+        graph.num_working_qubits(),
+        graph.couplers().len()
+    );
+
+    // A 2×2 extract, like the paper's Figure 1.
+    let extract = ChimeraGraph::new(2, 2);
+    println!("\na 2x2 extract of the Chimera structure:\n");
+    println!("{}", render::render(&extract, None));
+
+    // ── 2. Embedding: logical variables become qubit chains ────────────
+    let small = ChimeraGraph::new(3, 3);
+    let embedding = triad::triad(&small, 0, 0, 9).unwrap();
+    println!(
+        "TRIAD embedding of K9 on a 3x3 patch ({} qubits, chains of {}):\n",
+        embedding.qubits_used(),
+        embedding.max_chain_length()
+    );
+    println!("{}", render::render(&small, Some(&embedding)));
+
+    // ── 3. Capacity: how many queries fit the real machine ─────────────
+    println!("clustered-pattern capacity of this specific machine:");
+    for plans in 2..=5 {
+        let n = clustered::max_uniform_queries(&graph, plans);
+        println!("  {plans} plans/query → {n} queries (paper: 537/253/140/108)");
+    }
+
+    // ── 4. Program a real instance and inspect the physical formula ────
+    let instance = paper::generate(&graph, &PaperWorkloadConfig::paper_class(3), &mut rng);
+    let logical = LogicalMapping::with_default_epsilon(&instance.problem);
+    let physical = PhysicalMapping::new(
+        logical.qubo(),
+        instance.layout.embedding.clone(),
+        &graph,
+        0.25,
+    )
+    .unwrap();
+    let strengths: Vec<f64> = (0..physical.embedding().num_vars())
+        .map(|v| physical.chain_strength(VarId::new(v)))
+        .collect();
+    let max_strength = strengths.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\nprogrammed instance: {} queries → {} logical vars → {} qubits; \
+         max chain strength {:.2}, physical formula max |w| = {:.2}",
+        instance.problem.num_queries(),
+        logical.qubo().num_vars(),
+        physical.num_physical_vars(),
+        max_strength,
+        physical.physical_qubo().max_abs_weight()
+    );
+
+    // ── 5. The read protocol: gauge batches, 376 µs each ───────────────
+    // (200 reads instead of the paper's 1000 keeps this example snappy;
+    // one simulated read of a ~1000-qubit problem costs ~60 ms of wall
+    // time on the PIQMC back-end.)
+    let device = QuantumAnnealer::new(
+        DeviceConfig {
+            num_reads: 200,
+            ..DeviceConfig::default()
+        },
+        PathIntegralQmcSampler::default(),
+    );
+    let samples = device.run(&physical, &graph, 1).unwrap();
+    let energies: Vec<f64> = samples.reads().iter().map(|r| r.energy).collect();
+    let best = samples.best().unwrap();
+    let first = &samples.reads()[0];
+    let mean = energies.iter().sum::<f64>() / energies.len() as f64;
+    println!(
+        "\n{} reads in {:.1} ms of device time: first read energy {:.1}, \
+         mean {:.1}, best {:.1}",
+        samples.len(),
+        samples.reads().last().unwrap().elapsed_us / 1e3,
+        first.energy,
+        mean,
+        best.energy
+    );
+
+    // Decode the best read into a plan selection.
+    let un = physical.unembed(&best.assignment);
+    let (selection, repaired) = logical.decode_with_repair(&instance.problem, &un.logical);
+    println!(
+        "best read decodes to a {} selection with execution cost {:.1} \
+         ({} broken chains)",
+        if repaired { "repaired" } else { "valid" },
+        instance.problem.selection_cost(&selection),
+        un.broken_chains
+    );
+
+    // How much do the gauge batches differ? (Per-batch best energies.)
+    print!("per-gauge best energies: ");
+    for g in 0..device.config().num_gauges {
+        let batch_best = samples
+            .reads()
+            .iter()
+            .filter(|r| r.gauge == g)
+            .map(|r| r.energy)
+            .fold(f64::INFINITY, f64::min);
+        print!("{batch_best:.0} ");
+    }
+    println!("\n(run-to-run spread is the control-error noise the gauges average out)");
+}

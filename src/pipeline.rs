@@ -1,0 +1,280 @@
+//! Algorithm 1 of the paper, end to end:
+//!
+//! ```text
+//! function QuantumMQO(M)
+//!     lef ← LogicalMapping(M)          // mqo-core
+//!     pef ← PhysicalMapping(lef)       // mqo-chimera
+//!     bi  ← QuantumAnnealing(pef)      // mqo-annealer
+//!     Xp  ← PhysicalMapping⁻¹(bi)      // unembedding
+//!     Pe  ← LogicalMapping⁻¹(Xp)       // decode to plan selection
+//!     return Pe
+//! ```
+//!
+//! [`QuantumMqoSolver`] wires the crates together and converts the device's
+//! read stream into an MQO-cost-over-device-time [`Trace`], the quantity
+//! Figures 4 and 5 plot for the "QA" series.
+
+use mqo_annealer::device::{DeviceError, QuantumAnnealer};
+use mqo_annealer::sampler::Sampler;
+use mqo_chimera::embedding::triad;
+use mqo_chimera::embedding::{Embedding, EmbeddingError};
+use mqo_chimera::graph::ChimeraGraph;
+use mqo_chimera::physical::PhysicalMapping;
+use mqo_core::logical::LogicalMapping;
+use mqo_core::problem::MqoProblem;
+use mqo_core::solution::Selection;
+use mqo_core::trace::Trace;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Everything that can go wrong between an MQO instance and annealer reads.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The problem could not be embedded on the device graph.
+    Embedding(EmbeddingError),
+    /// The physical formula could not be programmed or run.
+    Device(DeviceError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Embedding(e) => write!(f, "embedding failed: {e}"),
+            PipelineError::Device(e) => write!(f, "device run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<EmbeddingError> for PipelineError {
+    fn from(e: EmbeddingError) -> Self {
+        PipelineError::Embedding(e)
+    }
+}
+
+impl From<DeviceError> for PipelineError {
+    fn from(e: DeviceError) -> Self {
+        PipelineError::Device(e)
+    }
+}
+
+/// Result of one quantum-annealing MQO run.
+#[derive(Debug, Clone)]
+pub struct QuantumMqoOutcome {
+    /// Best valid selection over all reads, with its execution cost.
+    pub best: (Selection, f64),
+    /// MQO cost of the best-so-far read as a function of *simulated device
+    /// time* (376 µs per read by default).
+    pub trace: Trace,
+    /// Total reads performed.
+    pub reads: usize,
+    /// Reads whose decoded assignment violated one-plan-per-query and
+    /// needed repair.
+    pub repaired_reads: usize,
+    /// Reads containing at least one broken chain.
+    pub broken_chain_reads: usize,
+    /// Physical qubits consumed by the embedding.
+    pub qubits_used: usize,
+}
+
+/// The assembled Algorithm-1 solver.
+#[derive(Debug, Clone)]
+pub struct QuantumMqoSolver<S> {
+    /// The device topology (including broken qubits).
+    pub graph: ChimeraGraph,
+    /// The device model (protocol + annealing back-end).
+    pub device: QuantumAnnealer<S>,
+    /// Weight slack `ε` for both mapping stages (paper: 0.25).
+    pub epsilon: f64,
+}
+
+impl<S: Sampler> QuantumMqoSolver<S> {
+    /// Creates a solver with the paper's `ε = 0.25`.
+    pub fn new(graph: ChimeraGraph, device: QuantumAnnealer<S>) -> Self {
+        QuantumMqoSolver {
+            graph,
+            device,
+            epsilon: 0.25,
+        }
+    }
+
+    /// Solves using an explicit embedding (e.g. the clustered layout the
+    /// workload generator produced). `embedding` must assign chains to
+    /// exactly the problem's plans, in plan-id order.
+    pub fn solve_with_embedding(
+        &self,
+        problem: &MqoProblem,
+        embedding: Embedding,
+        seed: u64,
+    ) -> Result<QuantumMqoOutcome, PipelineError> {
+        let logical = LogicalMapping::new(problem, self.epsilon);
+        let physical = PhysicalMapping::new(logical.qubo(), embedding, &self.graph, self.epsilon)?;
+        let samples = self.device.run(&physical, &self.graph, seed)?;
+
+        let mut trace = Trace::new();
+        let mut best: Option<(Selection, f64)> = None;
+        let mut repaired_reads = 0;
+        let mut broken_chain_reads = 0;
+        for read in samples.reads() {
+            let unembedded = physical.unembed(&read.assignment);
+            if unembedded.broken_chains > 0 {
+                broken_chain_reads += 1;
+            }
+            let (selection, repaired) = logical.decode_with_repair(problem, &unembedded.logical);
+            if repaired {
+                repaired_reads += 1;
+            }
+            let cost = problem.selection_cost(&selection);
+            let elapsed = Duration::from_secs_f64(read.elapsed_us * 1e-6);
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                trace.record(elapsed, cost);
+                best = Some((selection, cost));
+            }
+        }
+
+        Ok(QuantumMqoOutcome {
+            best: best.expect("device returns at least one read"),
+            trace,
+            reads: samples.len(),
+            repaired_reads,
+            broken_chain_reads,
+            qubits_used: physical.num_physical_vars(),
+        })
+    }
+
+    /// Solves a small problem by embedding it as one global TRIAD clique
+    /// (works for any savings structure, up to `4·min(rows, cols)` plans).
+    pub fn solve(
+        &self,
+        problem: &MqoProblem,
+        seed: u64,
+    ) -> Result<QuantumMqoOutcome, PipelineError> {
+        let embedding = triad::triad(&self.graph, 0, 0, problem.num_plans())?;
+        self.solve_with_embedding(problem, embedding, seed)
+    }
+
+    /// Solves using the heuristic sparse minor embedder instead of a TRIAD
+    /// clique: only the instance's *actual* interaction edges are routed, so
+    /// sparse problems far beyond the clique capacity still fit on the chip
+    /// (the "new mapping algorithms" direction of the paper's Section 7).
+    pub fn solve_sparse(
+        &self,
+        problem: &MqoProblem,
+        seed: u64,
+        tries: usize,
+    ) -> Result<QuantumMqoOutcome, PipelineError> {
+        let logical = LogicalMapping::new(problem, self.epsilon);
+        let edges: Vec<_> = logical
+            .qubo()
+            .quadratic()
+            .iter()
+            .map(|&(a, b, _)| (a, b))
+            .collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xE3BE);
+        let embedding = mqo_chimera::embedding::heuristic::find_embedding(
+            logical.qubo().num_vars(),
+            &edges,
+            &self.graph,
+            &mut rng,
+            tries,
+        )?;
+        self.solve_with_embedding(problem, embedding, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_annealer::device::DeviceConfig;
+    use mqo_annealer::sa::SimulatedAnnealingSampler;
+
+    fn paper_example() -> MqoProblem {
+        let mut b = MqoProblem::builder();
+        let q1 = b.add_query(&[2.0, 4.0]);
+        let q2 = b.add_query(&[3.0, 1.0]);
+        let (p2, p3) = (b.plans_of(q1)[1], b.plans_of(q2)[0]);
+        b.add_saving(p2, p3, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn solver() -> QuantumMqoSolver<SimulatedAnnealingSampler> {
+        QuantumMqoSolver::new(
+            ChimeraGraph::new(2, 2),
+            QuantumAnnealer::new(
+                DeviceConfig {
+                    num_reads: 50,
+                    num_gauges: 5,
+                    ..DeviceConfig::default()
+                },
+                SimulatedAnnealingSampler::default(),
+            ),
+        )
+    }
+
+    #[test]
+    fn algorithm_1_solves_the_paper_example() {
+        let problem = paper_example();
+        let out = solver().solve(&problem, 11).unwrap();
+        let (selection, cost) = out.best;
+        assert_eq!(cost, 2.0);
+        assert_eq!(problem.selection_cost(&selection), 2.0);
+        assert_eq!(out.reads, 50);
+        assert!(out.qubits_used >= problem.num_plans());
+    }
+
+    #[test]
+    fn trace_uses_device_time_quanta() {
+        let problem = paper_example();
+        let out = solver().solve(&problem, 3).unwrap();
+        let first = out.trace.points().first().unwrap();
+        // First read completes after exactly one anneal+readout cycle.
+        assert_eq!(first.elapsed, Duration::from_secs_f64(376e-6));
+    }
+
+    #[test]
+    fn solve_sparse_handles_instances_beyond_the_clique_capacity() {
+        // 12 queries × 2 plans = 24 vars: a 3×3 graph caps TRIAD at K12,
+        // but a chain-structured savings graph routes fine (the greedy
+        // embedder needs head-room; it does no chain ripping).
+        let mut b = MqoProblem::builder();
+        let mut prev = None;
+        for i in 0..12 {
+            let q = b.add_query(&[2.0 + (i % 2) as f64, 3.0]);
+            let plans = b.plans_of(q);
+            if let Some(p) = prev {
+                b.add_saving(p, plans[1], 2.0).unwrap();
+            }
+            prev = Some(plans[1]);
+        }
+        let problem = b.build().unwrap();
+        let s = QuantumMqoSolver::new(
+            ChimeraGraph::new(3, 3),
+            QuantumAnnealer::new(
+                DeviceConfig {
+                    num_reads: 50,
+                    num_gauges: 5,
+                    ..DeviceConfig::default()
+                },
+                SimulatedAnnealingSampler::default(),
+            ),
+        );
+        assert!(s.solve(&problem, 0).is_err(), "clique embedding must fail");
+        let out = s.solve_sparse(&problem, 3, 16).expect("sparse embeds");
+        assert!(problem.validate_selection(&out.best.0).is_ok());
+        let (_, optimum) = problem.brute_force_optimum();
+        assert!(out.best.1 <= optimum + 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn problems_too_large_for_the_graph_are_rejected() {
+        // 2×2 cells host at most K8 as one TRIAD.
+        let mut b = MqoProblem::builder();
+        for _ in 0..5 {
+            b.add_query(&[1.0, 2.0]);
+        }
+        let problem = b.build().unwrap();
+        let err = solver().solve(&problem, 0).unwrap_err();
+        assert!(matches!(err, PipelineError::Embedding(_)));
+    }
+}
