@@ -13,7 +13,9 @@
 //!    strong, domain-agnostic local search over the *programmed* problem —
 //!    greedy descent over single spins, strong-bond cluster flips (chains),
 //!    and coupled cluster-pair flips (which is what a logical plan swap
-//!    looks like physically), from multiple random starts.
+//!    looks like physically), from multiple random starts. This runs inside
+//!    [`Sampler::program`], so the expensive search executes exactly once
+//!    per gauge batch and its result is shared — immutably — by all reads.
 //! 2. **Read phase** (per annealing run): the oracle state is perturbed by
 //!    a short Metropolis equilibration at the calibrated inverse
 //!    temperature, producing the run-to-run spread. Because the programmed
@@ -29,11 +31,10 @@
 //! back-ends.
 
 use crate::clusters::Units;
-use crate::sampler::Sampler;
+use crate::sampler::{ProgrammedSampler, Sampler, SamplerHints};
 use mqo_core::ids::VarId;
 use mqo_core::ising::Ising;
 use rand::{Rng, RngCore};
-use std::cell::RefCell;
 
 /// Configuration for [`BehavioralSampler`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,39 +60,12 @@ impl Default for BehavioralConfig {
     }
 }
 
-/// Cached oracle result for one programmed problem.
-struct OracleCache {
-    fingerprint: (usize, usize, u64),
-    state: Vec<i8>,
-}
-
-/// The behavioural sampler. Keeps a per-programming oracle cache, detected
-/// via a cheap fingerprint of the problem (spin count, coupling count, and
-/// a hash of the weights), so the expensive search runs once per gauge
-/// batch rather than once per read.
+/// The behavioural sampler. The oracle search runs in
+/// [`Sampler::program`] — once per gauge batch — and the programmed state
+/// is immutable thereafter, so reads can execute concurrently.
+#[derive(Debug, Clone, Default)]
 pub struct BehavioralSampler {
     config: BehavioralConfig,
-    cache: RefCell<Option<OracleCache>>,
-}
-
-impl std::fmt::Debug for BehavioralSampler {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BehavioralSampler")
-            .field("config", &self.config)
-            .finish()
-    }
-}
-
-impl Clone for BehavioralSampler {
-    fn clone(&self) -> Self {
-        BehavioralSampler::new(self.config)
-    }
-}
-
-impl Default for BehavioralSampler {
-    fn default() -> Self {
-        BehavioralSampler::new(BehavioralConfig::default())
-    }
 }
 
 impl BehavioralSampler {
@@ -99,30 +73,12 @@ impl BehavioralSampler {
     pub fn new(config: BehavioralConfig) -> Self {
         assert!(config.oracle_restarts >= 1);
         assert!(config.beta > 0.0);
-        BehavioralSampler {
-            config,
-            cache: RefCell::new(None),
-        }
+        BehavioralSampler { config }
     }
 
     /// The active configuration.
     pub fn config(&self) -> BehavioralConfig {
         self.config
-    }
-
-    fn fingerprint(ising: &Ising) -> (usize, usize, u64) {
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        let mut mix = |v: f64| {
-            hash ^= v.to_bits();
-            hash = hash.wrapping_mul(0x1000_0000_01b3);
-        };
-        for &h in ising.fields() {
-            mix(h);
-        }
-        for &(_, _, w) in ising.couplings() {
-            mix(w);
-        }
-        (ising.num_spins(), ising.couplings().len(), hash)
     }
 
     /// Greedy descent over single spins, unit flips, and coupled unit-pair
@@ -198,90 +154,99 @@ impl BehavioralSampler {
     }
 }
 
-impl BehavioralSampler {
-    fn sample_with_units(
+impl Sampler for BehavioralSampler {
+    fn program(
         &self,
-        ising: &Ising,
-        units: &Units,
+        ising: Ising,
+        hints: &SamplerHints<'_>,
         rng: &mut dyn RngCore,
-    ) -> Vec<i8> {
-        let n = ising.num_spins();
-        if n == 0 {
-            return Vec::new();
-        }
+    ) -> Box<dyn ProgrammedSampler> {
+        let units = if hints.chains.is_empty() {
+            Units::detect(&ising, self.config.cluster_threshold)
+        } else {
+            Units::from_chains(&ising, hints.chains)
+        };
         if std::env::var_os("MQO_B_DEBUG").is_some() {
             let multi = units.members.iter().filter(|m| m.len() >= 2).count();
             eprintln!(
                 "[behavioral] spins={} units={} multi_qubit_units={}",
-                n,
+                ising.num_spins(),
                 units.len(),
                 multi
             );
         }
-
-        // Oracle phase, cached per programmed problem.
-        let fp = Self::fingerprint(ising);
-        let mut cache = self.cache.borrow_mut();
-        let oracle = match cache.as_ref() {
-            Some(c) if c.fingerprint == fp => c.state.clone(),
-            _ => {
-                let state = self.run_oracle(ising, units, rng);
-                *cache = Some(OracleCache {
-                    fingerprint: fp,
-                    state: state.clone(),
-                });
-                state
-            }
+        let oracle = if ising.num_spins() == 0 {
+            Vec::new()
+        } else {
+            self.run_oracle(&ising, &units, rng)
         };
-        drop(cache);
+        let beta = self.config.beta / ising.max_abs_weight().max(f64::MIN_POSITIVE);
+        Box::new(ProgrammedBehavioral {
+            config: self.config,
+            beta,
+            oracle,
+            units,
+            ising,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "behavioral"
+    }
+}
+
+/// [`BehavioralSampler`] programmed with one problem: the oracle state has
+/// been computed and every read equilibrates around it independently.
+#[derive(Debug, Clone)]
+pub struct ProgrammedBehavioral {
+    config: BehavioralConfig,
+    beta: f64,
+    oracle: Vec<i8>,
+    units: Units,
+    ising: Ising,
+}
+
+impl ProgrammedBehavioral {
+    /// The oracle state this programming equilibrates reads around.
+    pub fn oracle(&self) -> &[i8] {
+        &self.oracle
+    }
+}
+
+impl ProgrammedSampler for ProgrammedBehavioral {
+    fn num_spins(&self) -> usize {
+        self.ising.num_spins()
+    }
+
+    fn sample_into(&self, rng: &mut dyn RngCore, out: &mut [i8]) {
+        let ising = &self.ising;
+        let units = &self.units;
+        let n = ising.num_spins();
+        debug_assert_eq!(out.len(), n);
+        if n == 0 {
+            return;
+        }
 
         // Read phase: short thermal equilibration around the oracle state.
-        let scale = ising.max_abs_weight().max(f64::MIN_POSITIVE);
-        let beta = self.config.beta / scale;
-        let mut s = oracle;
+        out.copy_from_slice(&self.oracle);
+        let beta = self.beta;
         for _ in 0..self.config.read_sweeps {
             for i in 0..n {
-                let delta = ising.flip_delta(&s, VarId::new(i));
+                let delta = ising.flip_delta(out, VarId::new(i));
                 if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
-                    s[i] = -s[i];
+                    out[i] = -out[i];
                 }
             }
             for u in 0..units.len() {
                 if units.members[u].len() < 2 {
                     continue;
                 }
-                let delta = units.flip_delta(ising, &s, u);
+                let delta = units.flip_delta(ising, out, u);
                 if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
-                    units.apply_flip(&mut s, u);
+                    units.apply_flip(out, u);
                 }
             }
         }
-        s
-    }
-}
-
-impl Sampler for BehavioralSampler {
-    fn sample(&self, ising: &Ising, rng: &mut dyn RngCore) -> Vec<i8> {
-        let units = Units::detect(ising, self.config.cluster_threshold);
-        self.sample_with_units(ising, &units, rng)
-    }
-
-    fn sample_hinted(
-        &self,
-        ising: &Ising,
-        hints: &crate::sampler::SamplerHints<'_>,
-        rng: &mut dyn RngCore,
-    ) -> Vec<i8> {
-        let units = if hints.chains.is_empty() {
-            Units::detect(ising, self.config.cluster_threshold)
-        } else {
-            Units::from_chains(ising, hints.chains)
-        };
-        self.sample_with_units(ising, &units, rng)
-    }
-
-    fn name(&self) -> &'static str {
-        "behavioral"
     }
 }
 
@@ -338,17 +303,31 @@ mod tests {
     }
 
     #[test]
-    fn oracle_cache_is_reused_within_one_programming() {
+    fn oracle_runs_once_per_programming() {
+        // With zero read sweeps, every read returns the oracle state
+        // verbatim — so all reads of one programming must be identical,
+        // and the expensive search demonstrably runs in `program`, not
+        // per read.
         let ising = Ising::from_qubo(&frustrated_qubo());
-        let sampler = BehavioralSampler::default();
+        let sampler = BehavioralSampler::new(BehavioralConfig {
+            read_sweeps: 0,
+            ..BehavioralConfig::default()
+        });
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let _ = sampler.sample(&ising, &mut rng);
-        let fp = BehavioralSampler::fingerprint(&ising);
-        assert_eq!(sampler.cache.borrow().as_ref().unwrap().fingerprint, fp);
-        // A different problem invalidates the cache.
+        let programmed = sampler.program(ising.clone(), &SamplerHints::default(), &mut rng);
+        let mut a = vec![0i8; ising.num_spins()];
+        let mut b = vec![0i8; ising.num_spins()];
+        programmed.sample_into(&mut ChaCha8Rng::seed_from_u64(1), &mut a);
+        programmed.sample_into(&mut ChaCha8Rng::seed_from_u64(2), &mut b);
+        assert_eq!(a, b, "reads with no sweeps must replay the oracle state");
+
+        // A fresh programming of a different problem yields its own oracle.
         let other = Ising::new(vec![1.0, -1.0], vec![], 0.0);
-        let _ = sampler.sample(&other, &mut rng);
-        assert_ne!(sampler.cache.borrow().as_ref().unwrap().fingerprint, fp);
+        let p2 = sampler.program(other, &SamplerHints::default(), &mut rng);
+        assert_eq!(p2.num_spins(), 2);
+        let mut c = vec![0i8; 2];
+        p2.sample_into(&mut ChaCha8Rng::seed_from_u64(3), &mut c);
+        assert_eq!(c, vec![-1, 1], "descent solves the trivial field problem");
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub fn strong_bond_clusters(ising: &Ising, threshold: f64) -> Vec<Vec<usize>> {
     let mut mags: Vec<f64> = ising
         .couplings()
         .iter()
-        .filter_map(|(_, _, w)| (*w < 0.0).then(|| -w))
+        .filter(|(_, _, w)| *w < 0.0)
+        .map(|(_, _, w)| -w)
         .collect();
     if mags.is_empty() {
         return Vec::new();
@@ -64,14 +65,12 @@ pub fn strong_bond_clusters(ising: &Ising, threshold: f64) -> Vec<Vec<usize>> {
             }
         }
     }
-    let mut groups: std::collections::HashMap<usize, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
     for i in 0..n {
         let r = find(&mut parent, i);
         groups.entry(r).or_default().push(i);
     }
-    let mut clusters: Vec<Vec<usize>> =
-        groups.into_values().filter(|g| g.len() >= 2).collect();
+    let mut clusters: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() >= 2).collect();
     clusters.iter_mut().for_each(|c| c.sort_unstable());
     clusters.sort();
     clusters
@@ -80,6 +79,7 @@ pub fn strong_bond_clusters(ising: &Ising, threshold: f64) -> Vec<Vec<usize>> {
 /// The *units* of a problem: every strong-bond cluster plus a singleton per
 /// remaining spin, together with an O(1) `unit_of` map. Units partition the
 /// spins; collective local search moves flip whole units.
+#[derive(Debug, Clone)]
 pub struct Units {
     /// Spin groups, each flipped as one move.
     pub members: Vec<Vec<usize>>,
@@ -119,9 +119,9 @@ impl Units {
             }
             members.push(group);
         }
-        for i in 0..n {
-            if unit_of[i] == u32::MAX {
-                unit_of[i] = members.len() as u32;
+        for (i, u) in unit_of.iter_mut().enumerate() {
+            if *u == u32::MAX {
+                *u = members.len() as u32;
                 members.push(vec![i]);
             }
         }
@@ -199,8 +199,7 @@ impl Units {
         // (including members staying put) counts as external.
         let members = &self.members[unit];
         let signs = &self.signs[unit];
-        let target =
-            |k: usize| -> i8 { v * signs[k] };
+        let target = |k: usize| -> i8 { v * signs[k] };
         let member_pos = |j: usize| members.iter().position(|&m| m == j);
         let mut delta = 0.0;
         for (k, &i) in members.iter().enumerate() {

@@ -18,10 +18,19 @@
 //! Reported times for the quantum track are *simulated device* times, just
 //! as the paper counts annealing time rather than the (much larger) host
 //! round-trip latency.
+//!
+//! **Execution model.** Every gauge batch and every read draws its
+//! randomness from an RNG seeded by [`crate::parallel::derive_seed`] over
+//! `(run seed, stream, gauge index, read index)` rather than from one
+//! shared sequential stream. Reads are therefore independent by
+//! construction, and the device fans them out over a scoped worker pool
+//! ([`DeviceConfig::threads`]) while reassembling results in chronological
+//! order — a run is bit-identical at any thread count.
 
 use crate::gauge::Gauge;
 use crate::noise::ControlErrorModel;
-use crate::sampler::{Read, SampleSet, Sampler, SamplerHints};
+use crate::parallel::{derive_seed, parallel_map_with, resolve_threads, STREAM_GAUGE, STREAM_READ};
+use crate::sampler::{ProgrammedSampler, Read, SampleSet, Sampler, SamplerHints};
 use mqo_chimera::graph::ChimeraGraph;
 use mqo_chimera::physical::PhysicalMapping;
 use mqo_core::ising::{spins_to_bits, Ising};
@@ -42,6 +51,9 @@ pub struct DeviceConfig {
     pub num_gauges: usize,
     /// Relative control-error noise applied at each programming.
     pub control_error: ControlErrorModel,
+    /// Worker threads for gauge programming and read execution
+    /// (`0` = available parallelism). Results are identical at any value.
+    pub threads: usize,
 }
 
 impl Default for DeviceConfig {
@@ -58,6 +70,7 @@ impl Default for DeviceConfig {
             control_error: ControlErrorModel {
                 relative_sigma: 0.0025,
             },
+            threads: 0,
         }
     }
 }
@@ -193,33 +206,70 @@ impl<S: Sampler> QuantumAnnealer<S> {
             ));
         }
         let n = true_ising.num_spins();
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let reads_per_gauge = self.config.num_reads / self.config.num_gauges;
         let remainder = self.config.num_reads % self.config.num_gauges;
+        let threads = resolve_threads(self.config.threads);
 
-        let mut reads = Vec::with_capacity(self.config.num_reads);
-        let mut elapsed = 0.0;
-        for gauge_idx in 0..self.config.num_gauges {
-            let gauge = Gauge::random(n, &mut rng);
-            // Hardware re-programs (and therefore re-draws analog error)
-            // once per gauge batch.
-            let realised = self.config.control_error.perturb(true_ising, &mut rng);
-            let programmed = gauge.apply(&realised);
-            let batch = reads_per_gauge + usize::from(gauge_idx < remainder);
-            for _ in 0..batch {
-                let s_gauged = self.sampler.sample_hinted(&programmed, hints, &mut rng);
-                let s = gauge.transform_spins(&s_gauged);
-                let assignment = spins_to_bits(&s);
+        // Phase A — one programming per gauge batch, each from its own
+        // derived RNG stream. Hardware re-programs (and therefore re-draws
+        // analog error) once per gauge batch.
+        let programmed: Vec<(Gauge, Box<dyn ProgrammedSampler>)> = parallel_map_with(
+            self.config.num_gauges,
+            threads,
+            || (),
+            |_, gauge_idx| {
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(derive_seed(seed, STREAM_GAUGE, gauge_idx as u64, 0));
+                let gauge = Gauge::random(n, &mut rng);
+                let realised = self.config.control_error.perturb(true_ising, &mut rng);
+                let prog = self
+                    .sampler
+                    .program(gauge.apply(&realised), hints, &mut rng);
+                (gauge, prog)
+            },
+        );
+
+        // Phase B — every read runs independently on its own derived
+        // stream; timestamps come from the read's chronological index, so
+        // reassembly in index order reproduces the serial protocol exactly.
+        // The first `remainder` gauges serve one extra read each.
+        let boundary = remainder * (reads_per_gauge + 1);
+        let locate = |idx: usize| -> (usize, usize) {
+            if idx < boundary {
+                (idx / (reads_per_gauge + 1), idx % (reads_per_gauge + 1))
+            } else {
+                (
+                    remainder + (idx - boundary) / reads_per_gauge,
+                    (idx - boundary) % reads_per_gauge,
+                )
+            }
+        };
+        let time_per_read = self.config.time_per_read_us();
+        let reads = parallel_map_with(
+            self.config.num_reads,
+            threads,
+            || vec![0i8; n],
+            |spins: &mut Vec<i8>, idx| {
+                let (gauge_idx, read_in_gauge) = locate(idx);
+                let (gauge, prog) = &programmed[gauge_idx];
+                let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(
+                    seed,
+                    STREAM_READ,
+                    gauge_idx as u64,
+                    read_in_gauge as u64,
+                ));
+                prog.sample_into(&mut rng, spins);
+                gauge.transform_spins_in_place(spins);
+                let assignment = spins_to_bits(spins);
                 let energy = true_qubo.energy(&assignment);
-                elapsed += self.config.time_per_read_us();
-                reads.push(Read {
+                Read {
                     assignment,
                     energy,
-                    elapsed_us: elapsed,
+                    elapsed_us: (idx + 1) as f64 * time_per_read,
                     gauge: gauge_idx,
-                });
-            }
-        }
+                }
+            },
+        );
         Ok(SampleSet::new(reads))
     }
 }
@@ -301,6 +351,29 @@ mod tests {
         let c = device(30, 3).run(&pm, &graph, 43).unwrap();
         let ec: Vec<f64> = c.reads().iter().map(|r| r.energy).collect();
         assert_ne!(ea, ec, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (pm, graph, _) = small_physical();
+        let run_with = |threads: usize| {
+            QuantumAnnealer::new(
+                DeviceConfig {
+                    num_reads: 25,
+                    num_gauges: 4,
+                    threads,
+                    ..DeviceConfig::default()
+                },
+                SimulatedAnnealingSampler::default(),
+            )
+            .run(&pm, &graph, 11)
+            .unwrap()
+        };
+        let serial = run_with(1);
+        for threads in [2, 3, 8] {
+            let parallel = run_with(threads);
+            assert_eq!(serial.reads(), parallel.reads());
+        }
     }
 
     #[test]

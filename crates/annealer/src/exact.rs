@@ -1,6 +1,6 @@
 //! Exhaustive "sampler" for tests: always returns a true ground state.
 
-use crate::sampler::Sampler;
+use crate::sampler::{ProgrammedSampler, Sampler, SamplerHints};
 use mqo_core::ising::Ising;
 use rand::RngCore;
 
@@ -10,7 +10,13 @@ use rand::RngCore;
 pub struct ExactSampler;
 
 impl Sampler for ExactSampler {
-    fn sample(&self, ising: &Ising, _rng: &mut dyn RngCore) -> Vec<i8> {
+    fn program(
+        &self,
+        ising: Ising,
+        _hints: &SamplerHints<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Box<dyn ProgrammedSampler> {
+        // The enumeration runs once per programming; reads replay it.
         let n = ising.num_spins();
         assert!(n <= 24, "exact sampling is limited to 24 spins");
         let mut best: Vec<i8> = vec![-1; n];
@@ -26,11 +32,28 @@ impl Sampler for ExactSampler {
                 best.clone_from(&s);
             }
         }
-        best
+        Box::new(ProgrammedExact { ground: best })
     }
 
     fn name(&self) -> &'static str {
         "exact"
+    }
+}
+
+/// [`ExactSampler`] programmed with one problem: the ground state has been
+/// enumerated and every read returns it verbatim.
+#[derive(Debug, Clone)]
+pub struct ProgrammedExact {
+    ground: Vec<i8>,
+}
+
+impl ProgrammedSampler for ProgrammedExact {
+    fn num_spins(&self) -> usize {
+        self.ground.len()
+    }
+
+    fn sample_into(&self, _rng: &mut dyn RngCore, out: &mut [i8]) {
+        out.copy_from_slice(&self.ground);
     }
 }
 
@@ -45,10 +68,7 @@ mod tests {
     fn exact_sampler_returns_the_ground_state() {
         let ising = Ising::new(
             vec![0.5, -1.0, 0.25],
-            vec![
-                (VarId(0), VarId(1), 1.0),
-                (VarId(1), VarId(2), -0.75),
-            ],
+            vec![(VarId(0), VarId(1), 1.0), (VarId(1), VarId(2), -0.75)],
             0.0,
         );
         let mut rng = ChaCha8Rng::seed_from_u64(0);

@@ -27,7 +27,9 @@ impl Gauge {
     /// A uniformly random gauge.
     pub fn random(n: usize, rng: &mut dyn RngCore) -> Self {
         Gauge {
-            signs: (0..n).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect(),
+            signs: (0..n)
+                .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+                .collect(),
         }
     }
 
@@ -72,11 +74,18 @@ impl Gauge {
     /// Maps a configuration between the gauged and ungauged frames
     /// (`s_i → g_i s_i`; the transformation is its own inverse).
     pub fn transform_spins(&self, s: &[i8]) -> Vec<i8> {
+        let mut out = s.to_vec();
+        self.transform_spins_in_place(&mut out);
+        out
+    }
+
+    /// In-place variant of [`Gauge::transform_spins`] for allocation-free
+    /// read loops.
+    pub fn transform_spins_in_place(&self, s: &mut [i8]) {
         assert_eq!(self.len(), s.len(), "gauge/spin size mismatch");
-        s.iter()
-            .enumerate()
-            .map(|(i, &si)| self.signs[i] * si)
-            .collect()
+        for (si, &g) in s.iter_mut().zip(&self.signs) {
+            *si *= g;
+        }
     }
 }
 

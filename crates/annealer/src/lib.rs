@@ -17,7 +17,11 @@
 //! * [`device::QuantumAnnealer`] — the device model enforcing Chimera
 //!   programmability and the paper's protocol: 1000 reads in 10 gauge
 //!   batches, 129 µs anneal + 247 µs read-out per read, with read
-//!   timestamps in simulated device time.
+//!   timestamps in simulated device time;
+//! * [`parallel`] — deterministic fan-out primitives: per-slot seed
+//!   derivation and a scoped worker pool, used by the device model (and
+//!   the benchmark harness) to execute programmings and reads
+//!   concurrently with bit-identical results at any thread count.
 //!
 //! ```
 //! use mqo_annealer::device::{DeviceConfig, QuantumAnnealer};
@@ -50,6 +54,7 @@ pub mod exact;
 pub mod gauge;
 pub mod metrics;
 pub mod noise;
+pub mod parallel;
 pub mod sa;
 pub mod sampler;
 pub mod sqa;
@@ -60,6 +65,7 @@ pub use exact::ExactSampler;
 pub use gauge::Gauge;
 pub use metrics::{success_probability, time_to_solution, time_to_target};
 pub use noise::ControlErrorModel;
+pub use parallel::{derive_seed, parallel_map_with, resolve_threads};
 pub use sa::{SaConfig, SimulatedAnnealingSampler};
-pub use sampler::{Read, SampleSet, Sampler};
+pub use sampler::{ProgrammedSampler, Read, SampleSet, Sampler};
 pub use sqa::{PathIntegralQmcSampler, SqaConfig};

@@ -73,11 +73,7 @@ pub fn residual_energy(samples: &SampleSet, optimum: f64) -> Option<(f64, f64, f
     if samples.is_empty() {
         return None;
     }
-    let residuals: Vec<f64> = samples
-        .reads()
-        .iter()
-        .map(|r| r.energy - optimum)
-        .collect();
+    let residuals: Vec<f64> = samples.reads().iter().map(|r| r.energy - optimum).collect();
     let mean = residuals.iter().sum::<f64>() / residuals.len() as f64;
     let min = residuals.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = residuals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

@@ -23,7 +23,9 @@ pub struct ControlErrorModel {
 
 impl ControlErrorModel {
     /// A noiseless model (useful for oracle comparisons).
-    pub const NONE: ControlErrorModel = ControlErrorModel { relative_sigma: 0.0 };
+    pub const NONE: ControlErrorModel = ControlErrorModel {
+        relative_sigma: 0.0,
+    };
 
     /// Creates a model with the given relative noise level.
     pub fn new(relative_sigma: f64) -> Self {
@@ -73,11 +75,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn problem() -> Ising {
-        Ising::new(
-            vec![1.0, -2.0],
-            vec![(VarId(0), VarId(1), 1.5)],
-            0.0,
-        )
+        Ising::new(vec![1.0, -2.0], vec![(VarId(0), VarId(1), 1.5)], 0.0)
     }
 
     #[test]
@@ -98,8 +96,8 @@ mod tests {
             deviations.push(p.fields()[0] - 1.0);
         }
         let mean = deviations.iter().sum::<f64>() / deviations.len() as f64;
-        let var = deviations.iter().map(|d| (d - mean).powi(2)).sum::<f64>()
-            / deviations.len() as f64;
+        let var =
+            deviations.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / deviations.len() as f64;
         // σ = 0.05 · 2.0 = 0.1 → variance 0.01 (±50% tolerance for sampling).
         assert!(mean.abs() < 0.03, "mean deviation {mean}");
         assert!((0.005..0.02).contains(&var), "variance {var}");

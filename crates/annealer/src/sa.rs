@@ -9,7 +9,7 @@
 //! hardware runs — near-optimal samples from the very first read with a
 //! small spread across reads.
 
-use crate::sampler::Sampler;
+use crate::sampler::{ProgrammedSampler, Sampler, SamplerHints};
 use mqo_core::ids::VarId;
 use mqo_core::ising::Ising;
 use rand::{Rng, RngCore};
@@ -64,32 +64,62 @@ impl SimulatedAnnealingSampler {
 }
 
 impl Sampler for SimulatedAnnealingSampler {
-    fn sample(&self, ising: &Ising, rng: &mut dyn RngCore) -> Vec<i8> {
-        let n = ising.num_spins();
-        let mut s: Vec<i8> = (0..n).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
-        if n == 0 {
-            return s;
-        }
+    fn program(
+        &self,
+        ising: Ising,
+        _hints: &SamplerHints<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Box<dyn ProgrammedSampler> {
+        // Pre-resolve the temperature schedule once per programming.
         let scale = ising.max_abs_weight().max(f64::MIN_POSITIVE);
         let beta0 = self.config.beta_init / scale;
-        let beta1 = self.config.beta_final / scale;
-        let ratio = beta1 / beta0;
-
-        for sweep in 0..self.config.sweeps {
-            let t = sweep as f64 / (self.config.sweeps - 1).max(1) as f64;
-            let beta = beta0 * ratio.powf(t);
-            for i in 0..n {
-                let delta = ising.flip_delta(&s, VarId::new(i));
-                if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
-                    s[i] = -s[i];
-                }
-            }
-        }
-        s
+        let ratio = (self.config.beta_final / scale) / beta0;
+        Box::new(ProgrammedSa {
+            config: self.config,
+            beta0,
+            ratio,
+            ising,
+        })
     }
 
     fn name(&self) -> &'static str {
         "simulated-annealing"
+    }
+}
+
+/// [`SimulatedAnnealingSampler`] programmed with one problem.
+#[derive(Debug, Clone)]
+pub struct ProgrammedSa {
+    config: SaConfig,
+    beta0: f64,
+    ratio: f64,
+    ising: Ising,
+}
+
+impl ProgrammedSampler for ProgrammedSa {
+    fn num_spins(&self) -> usize {
+        self.ising.num_spins()
+    }
+
+    fn sample_into(&self, rng: &mut dyn RngCore, out: &mut [i8]) {
+        let n = self.ising.num_spins();
+        debug_assert_eq!(out.len(), n);
+        for s in out.iter_mut() {
+            *s = if rng.gen::<bool>() { 1 } else { -1 };
+        }
+        if n == 0 {
+            return;
+        }
+        for sweep in 0..self.config.sweeps {
+            let t = sweep as f64 / (self.config.sweeps - 1).max(1) as f64;
+            let beta = self.beta0 * self.ratio.powf(t);
+            for i in 0..n {
+                let delta = self.ising.flip_delta(out, VarId::new(i));
+                if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
+                    out[i] = -out[i];
+                }
+            }
+        }
     }
 }
 

@@ -23,29 +23,67 @@ pub struct SamplerHints<'a> {
     pub chains: &'a [Vec<usize>],
 }
 
-/// Draws one spin configuration per call, aiming for low energy.
+/// Draws low-energy spin configurations from an Ising problem.
 ///
-/// Implementations must be deterministic given the RNG stream, so that
-/// experiments are reproducible from a seed.
-pub trait Sampler {
-    /// Performs one annealing run and returns the final spin configuration
-    /// (`±1` per spin).
-    fn sample(&self, ising: &Ising, rng: &mut dyn RngCore) -> Vec<i8>;
+/// The interface mirrors the device's two-phase protocol: [`Sampler::program`]
+/// is called once per programming cycle (gauge batch) and may run arbitrary
+/// per-problem precomputation; the returned [`ProgrammedSampler`] then serves
+/// many independent reads. Both phases must be deterministic given the RNG
+/// stream, so that experiments are reproducible from a seed, and programmed
+/// samplers must be shareable across threads — the device fans reads out over
+/// a worker pool.
+pub trait Sampler: Send + Sync {
+    /// Programs the sampler with one (noise-perturbed, gauged) problem.
+    ///
+    /// Takes the Ising model by value so the programmed state is
+    /// self-contained and can outlive the caller's borrow. `rng` is the
+    /// *programming* stream; per-read randomness comes from the streams
+    /// handed to [`ProgrammedSampler::sample_into`].
+    fn program(
+        &self,
+        ising: Ising,
+        hints: &SamplerHints<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Box<dyn ProgrammedSampler>;
 
-    /// Like [`Sampler::sample`], with embedding hints available. The
-    /// default implementation ignores the hints.
+    /// Human-readable sampler name for experiment logs.
+    fn name(&self) -> &'static str;
+
+    /// Convenience: programs the problem and performs a single annealing
+    /// run, returning the final spin configuration (`±1` per spin).
+    fn sample(&self, ising: &Ising, rng: &mut dyn RngCore) -> Vec<i8> {
+        self.sample_hinted(ising, &SamplerHints::default(), rng)
+    }
+
+    /// Like [`Sampler::sample`], with embedding hints available.
     fn sample_hinted(
         &self,
         ising: &Ising,
         hints: &SamplerHints<'_>,
         rng: &mut dyn RngCore,
     ) -> Vec<i8> {
-        let _ = hints;
-        self.sample(ising, rng)
+        let programmed = self.program(ising.clone(), hints, rng);
+        let mut out = vec![0i8; ising.num_spins()];
+        programmed.sample_into(rng, &mut out);
+        out
     }
+}
 
-    /// Human-readable sampler name for experiment logs.
-    fn name(&self) -> &'static str;
+/// A sampler that has been programmed with one problem and now serves
+/// independent reads.
+///
+/// Reads must depend only on the programmed state and the per-read RNG
+/// stream — never on interior mutability carried between calls — so that
+/// reads can execute concurrently and in any order with identical results.
+pub trait ProgrammedSampler: Send + Sync {
+    /// Number of spins in the programmed problem.
+    fn num_spins(&self) -> usize;
+
+    /// Performs one annealing run, writing the final spin configuration
+    /// (`±1` per spin) into `out`, which has length
+    /// [`ProgrammedSampler::num_spins`]. Every element of `out` is
+    /// overwritten; the previous contents are scratch.
+    fn sample_into(&self, rng: &mut dyn RngCore, out: &mut [i8]);
 }
 
 /// A single annealed-and-read-out configuration with bookkeeping.
@@ -152,10 +190,7 @@ mod tests {
             read(4.0, 4.0),
         ]);
         let t = s.trajectory();
-        assert_eq!(
-            t,
-            vec![(1.0, 5.0), (2.0, 5.0), (3.0, 2.0), (4.0, 2.0)]
-        );
+        assert_eq!(t, vec![(1.0, 5.0), (2.0, 5.0), (3.0, 2.0), (4.0, 2.0)]);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! problem Hamiltonian (Section 2 of the paper). The read-out returns the
 //! slice with the lowest problem energy.
 
-use crate::sampler::Sampler;
+use crate::sampler::{ProgrammedSampler, Sampler, SamplerHints};
 use mqo_core::ids::VarId;
 use mqo_core::ising::Ising;
 use rand::{Rng, RngCore};
@@ -94,19 +94,18 @@ impl PathIntegralQmcSampler {
 }
 
 impl Sampler for PathIntegralQmcSampler {
-    fn sample(&self, ising: &Ising, rng: &mut dyn RngCore) -> Vec<i8> {
+    fn program(
+        &self,
+        ising: Ising,
+        _hints: &SamplerHints<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Box<dyn ProgrammedSampler> {
         let n = ising.num_spins();
-        if n == 0 {
-            return Vec::new();
-        }
-        let p = self.config.slices;
-        let scale = ising.max_abs_weight().max(f64::MIN_POSITIVE);
-        let beta = self.config.beta / scale;
-
         // Strong-bond clusters for collective moves, with an O(1)
-        // membership map.
+        // membership map — computed once per programming, shared by all
+        // reads of the batch.
         let clusters = if self.config.cluster_updates {
-            strong_bond_clusters(ising, self.config.cluster_threshold)
+            strong_bond_clusters(&ising, self.config.cluster_threshold)
         } else {
             Vec::new()
         };
@@ -116,17 +115,64 @@ impl Sampler for PathIntegralQmcSampler {
                 cluster_of[i] = c as u32;
             }
         }
+        let scale = ising.max_abs_weight().max(f64::MIN_POSITIVE);
+        Box::new(ProgrammedSqa {
+            config: self.config,
+            scale,
+            beta: self.config.beta / scale,
+            clusters,
+            cluster_of,
+            ising,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "path-integral-qmc"
+    }
+}
+
+/// [`PathIntegralQmcSampler`] programmed with one problem: the cluster
+/// decomposition and temperature scale are resolved once and reused by
+/// every read.
+#[derive(Debug, Clone)]
+pub struct ProgrammedSqa {
+    config: SqaConfig,
+    scale: f64,
+    beta: f64,
+    clusters: Vec<Vec<usize>>,
+    cluster_of: Vec<u32>,
+    ising: Ising,
+}
+
+impl ProgrammedSampler for ProgrammedSqa {
+    fn num_spins(&self) -> usize {
+        self.ising.num_spins()
+    }
+
+    fn sample_into(&self, rng: &mut dyn RngCore, out: &mut [i8]) {
+        let ising = &self.ising;
+        let n = ising.num_spins();
+        debug_assert_eq!(out.len(), n);
+        if n == 0 {
+            return;
+        }
+        let p = self.config.slices;
+        let beta = self.beta;
 
         // Replica-coupled configuration: slices[k][i].
         let mut slices: Vec<Vec<i8>> = (0..p)
-            .map(|_| (0..n).map(|_| if rng.gen::<bool>() { 1i8 } else { -1 }).collect())
+            .map(|_| {
+                (0..n)
+                    .map(|_| if rng.gen::<bool>() { 1i8 } else { -1 })
+                    .collect()
+            })
             .collect();
 
         for sweep in 0..self.config.sweeps {
             let t = sweep as f64 / (self.config.sweeps - 1).max(1) as f64;
             // Linear Γ ramp, the textbook SQA schedule.
             let gamma =
-                scale * (self.config.gamma_init * (1.0 - t) + self.config.gamma_final * t);
+                self.scale * (self.config.gamma_init * (1.0 - t) + self.config.gamma_final * t);
             // Inter-slice ferromagnetic coupling; diverges as Γ → 0.
             let j_perp = -0.5 / beta * (beta * gamma / p as f64).tanh().ln();
 
@@ -148,19 +194,18 @@ impl Sampler for PathIntegralQmcSampler {
                 // Collective moves: flip an entire strong-bond cluster.
                 // Intra-cluster couplings are invariant under a joint flip,
                 // so only external fields and the inter-slice terms enter.
-                for (c, members) in clusters.iter().enumerate() {
+                for (c, members) in self.clusters.iter().enumerate() {
                     let mut delta = 0.0;
                     for &i in members {
                         let si = f64::from(slices[k][i]);
                         let mut ext_field = ising.fields()[i];
                         for &(j, w) in ising.neighbours(VarId::new(i)) {
-                            if cluster_of[j.index()] != c as u32 {
+                            if self.cluster_of[j.index()] != c as u32 {
                                 ext_field += w * f64::from(slices[k][j.index()]);
                             }
                         }
                         delta += -2.0 * si * ext_field / p as f64;
-                        let neighbours =
-                            f64::from(slices[up][i]) + f64::from(slices[down][i]);
+                        let neighbours = f64::from(slices[up][i]) + f64::from(slices[down][i]);
                         delta += 2.0 * j_perp * si * neighbours;
                     }
                     if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
@@ -173,14 +218,11 @@ impl Sampler for PathIntegralQmcSampler {
         }
 
         // Read-out: the slice with the lowest problem energy.
-        slices
-            .into_iter()
+        let best = slices
+            .iter()
             .min_by(|a, b| ising.energy(a).total_cmp(&ising.energy(b)))
-            .expect("at least two slices")
-    }
-
-    fn name(&self) -> &'static str {
-        "path-integral-qmc"
+            .expect("at least two slices");
+        out.copy_from_slice(best);
     }
 }
 
@@ -285,7 +327,10 @@ mod tests {
             with >= without,
             "cluster updates should not hurt: {with} vs {without}"
         );
-        assert!(with >= 20, "collective moves should find the ground state often ({with}/40)");
+        assert!(
+            with >= 20,
+            "collective moves should find the ground state often ({with}/40)"
+        );
     }
 
     #[test]

@@ -132,4 +132,47 @@ proptest! {
         let max = counts.iter().max().unwrap();
         prop_assert!(max - min <= 1);
     }
+
+    /// Parallel read execution is deterministic: for any read/gauge split
+    /// and any worker count, a run yields bit-identical reads (assignments,
+    /// energies, timestamps, gauge indices) to the single-threaded run.
+    #[test]
+    fn device_runs_are_thread_count_invariant(
+        reads in 1usize..40,
+        gauges in 1usize..8,
+        threads in 2usize..9,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(gauges <= reads);
+        let mut b = Qubo::builder(4);
+        b.add_linear(VarId(0), -1.0);
+        b.add_linear(VarId(3), 0.5);
+        b.add_quadratic(VarId(0), VarId(1), 1.0);
+        b.add_quadratic(VarId(1), VarId(2), -1.0);
+        b.add_quadratic(VarId(2), VarId(3), 0.75);
+        let qubo = b.build();
+        let ising = Ising::from_qubo(&qubo);
+        let run_with = |t: usize| {
+            QuantumAnnealer::new(
+                DeviceConfig {
+                    num_reads: reads,
+                    num_gauges: gauges,
+                    threads: t,
+                    ..DeviceConfig::default()
+                },
+                SimulatedAnnealingSampler::default(),
+            )
+            .run_ising(&ising, &qubo, seed)
+            .unwrap()
+        };
+        let serial = run_with(1);
+        let parallel = run_with(threads);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.reads().iter().zip(parallel.reads()) {
+            prop_assert_eq!(&a.assignment, &b.assignment);
+            prop_assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+            prop_assert_eq!(a.elapsed_us.to_bits(), b.elapsed_us.to_bits());
+            prop_assert_eq!(a.gauge, b.gauge);
+        }
+    }
 }

@@ -1,0 +1,162 @@
+//! Device read throughput at 1 vs N worker threads.
+//!
+//! The device model fans gauge programmings and reads over a worker pool
+//! with per-(gauge, read) derived seeds, so results are bit-identical at
+//! any thread count; this bench measures the wall-clock payoff. Each
+//! benchmark executes a full `run_ising` (programming + reads +
+//! chronological reassembly) on the 128-qubit paper instance; throughput
+//! is reads per wall-clock second.
+//!
+//! Besides the criterion timings, the run writes a `BENCH_device.json`
+//! summary (reads/sec per back-end and thread count, plus the parallel
+//! speedup) to the repository root. On a single-core host the speedup is
+//! necessarily ~1x; the determinism guarantee is what makes the thread
+//! count a pure performance knob.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqo_annealer::behavioral::BehavioralSampler;
+use mqo_annealer::device::{DeviceConfig, QuantumAnnealer};
+use mqo_annealer::parallel::resolve_threads;
+use mqo_annealer::sa::SimulatedAnnealingSampler;
+use mqo_annealer::sampler::Sampler;
+use mqo_annealer::sqa::{PathIntegralQmcSampler, SqaConfig};
+use mqo_chimera::graph::ChimeraGraph;
+use mqo_chimera::physical::PhysicalMapping;
+use mqo_core::ising::Ising;
+use mqo_core::qubo::Qubo;
+use mqo_workload::paper::{self, PaperWorkloadConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Reads per `run_ising` call; small enough to keep the bench quick while
+/// still spanning several gauge batches.
+const READS: usize = 24;
+const GAUGES: usize = 4;
+
+fn programmed_problem() -> (Ising, Qubo) {
+    let graph = ChimeraGraph::new(4, 4);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng);
+    let logical = mqo_core::logical::LogicalMapping::with_default_epsilon(&inst.problem);
+    let pm =
+        PhysicalMapping::new(logical.qubo(), inst.layout.embedding.clone(), &graph, 0.25).unwrap();
+    let qubo = pm.physical_qubo().clone();
+    (Ising::from_qubo(&qubo), qubo)
+}
+
+/// A cheaper QMC configuration than the default so the full-device bench
+/// stays in the seconds range; relative 1-vs-N scaling is unaffected.
+fn light_sqa() -> PathIntegralQmcSampler {
+    PathIntegralQmcSampler::new(SqaConfig {
+        slices: 4,
+        sweeps: 64,
+        ..SqaConfig::default()
+    })
+}
+
+fn run_once<S: Sampler>(sampler: S, threads: usize, ising: &Ising, qubo: &Qubo) {
+    let device = QuantumAnnealer::new(
+        DeviceConfig {
+            num_reads: READS,
+            num_gauges: GAUGES,
+            threads,
+            ..DeviceConfig::default()
+        },
+        sampler,
+    );
+    let set = device
+        .run_ising(ising, qubo, 7)
+        .expect("device run succeeds");
+    assert_eq!(set.len(), READS);
+}
+
+fn bench_device_throughput(c: &mut Criterion) {
+    let (ising, qubo) = programmed_problem();
+    let many = n_workers();
+    let mut g = c.benchmark_group("device_throughput");
+    g.sample_size(10);
+    for threads in [1, many] {
+        g.bench_function(format!("sa/threads={threads}"), |b| {
+            b.iter(|| run_once(SimulatedAnnealingSampler::default(), threads, &ising, &qubo))
+        });
+        g.bench_function(format!("sqa/threads={threads}"), |b| {
+            b.iter(|| run_once(light_sqa(), threads, &ising, &qubo))
+        });
+        g.bench_function(format!("behavioral/threads={threads}"), |b| {
+            b.iter(|| run_once(BehavioralSampler::default(), threads, &ising, &qubo))
+        });
+    }
+    g.finish();
+}
+
+/// The "many workers" operating point: all available cores, but at least
+/// four so the pool is exercised even on small hosts (extra workers are
+/// harmless — results are thread-count invariant).
+fn n_workers() -> usize {
+    resolve_threads(0).max(4)
+}
+
+/// Reads/sec of `run_ising` for one back-end at one thread count.
+fn throughput<S: Sampler>(make: impl Fn() -> S, threads: usize, ising: &Ising, qubo: &Qubo) -> f64 {
+    // One warm-up, then a few timed repetitions.
+    run_once(make(), threads, ising, qubo);
+    let reps = 5;
+    let start = Instant::now();
+    for _ in 0..reps {
+        run_once(make(), threads, ising, qubo);
+    }
+    (READS * reps) as f64 / start.elapsed().as_secs_f64()
+}
+
+type BackendRun<'a> = (&'a str, Box<dyn Fn(usize) -> f64 + 'a>);
+
+/// Writes the machine-readable summary consumed by `BENCH_device.json`.
+fn write_summary(_c: &mut Criterion) {
+    let (ising, qubo) = programmed_problem();
+    let many = n_workers();
+    let mut entries = String::new();
+    let backends: [BackendRun; 3] = [
+        (
+            "sa",
+            Box::new(|t| throughput(SimulatedAnnealingSampler::default, t, &ising, &qubo)),
+        ),
+        ("sqa", Box::new(|t| throughput(light_sqa, t, &ising, &qubo))),
+        (
+            "behavioral",
+            Box::new(|t| throughput(BehavioralSampler::default, t, &ising, &qubo)),
+        ),
+    ];
+    for (name, run) in &backends {
+        let serial = run(1);
+        let parallel = run(many);
+        let _ = write!(
+            entries,
+            "{}    {{ \"backend\": \"{name}\", \"reads_per_sec_1_thread\": {serial:.1}, \
+             \"reads_per_sec_{many}_threads\": {parallel:.1}, \"speedup\": {:.2} }}",
+            if entries.is_empty() { "" } else { ",\n" },
+            parallel / serial
+        );
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"device_throughput\",\n  \"problem\": \"paper-class 2-plan \
+         instance on a 4x4 Chimera block (128 qubits)\",\n  \"reads_per_run\": {READS},\n  \
+         \"gauges_per_run\": {GAUGES},\n  \"host_parallelism\": {},\n  \"worker_threads\": \
+         {many},\n  \"results\": [\n{entries}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_device.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_device_throughput, write_summary
+}
+criterion_main!(benches);

@@ -45,8 +45,8 @@ fn bench_mapping(c: &mut Criterion) {
         )
     });
 
-    let pm = PhysicalMapping::new(logical.qubo(), inst.layout.embedding.clone(), &graph, 0.25)
-        .unwrap();
+    let pm =
+        PhysicalMapping::new(logical.qubo(), inst.layout.embedding.clone(), &graph, 0.25).unwrap();
     let sample = pm.extend(&vec![true; logical.qubo().num_vars()]);
     g.bench_function("unembed", |b| b.iter(|| pm.unembed(&sample)));
     g.bench_function("decode_with_repair", |b| {

@@ -32,7 +32,15 @@ fn bench_solvers(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function("bb_mqo_exact_12q", |b| {
-        b.iter(|| bb_mqo::solve(&small, &MqoBbConfig { lp_var_limit: 0, ..Default::default() }))
+        b.iter(|| {
+            bb_mqo::solve(
+                &small,
+                &MqoBbConfig {
+                    lp_var_limit: 0,
+                    ..Default::default()
+                },
+            )
+        })
     });
     g.bench_function("bb_qubo_exact_12q", |b| {
         let mapping = LogicalMapping::with_default_epsilon(&small);
@@ -42,9 +50,7 @@ fn bench_solvers(c: &mut Criterion) {
         let ilp = mqo_to_ilp(&mid);
         b.iter(|| simplex::solve(&ilp.program.relaxation))
     });
-    g.bench_function("greedy_40q", |b| {
-        b.iter(|| Greedy::construct(&mid))
-    });
+    g.bench_function("greedy_40q", |b| b.iter(|| Greedy::construct(&mid)));
     g.bench_function("hill_climb_burst_40q", |b| {
         b.iter(|| HillClimbing.run(&mid, Duration::from_millis(2), 1))
     });

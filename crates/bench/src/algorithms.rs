@@ -11,8 +11,8 @@
 //! * `CLIMB`, `GA(50)`, `GA(200)` — the randomised heuristics (wall time).
 
 use mqo::pipeline::QuantumMqoSolver;
-use mqo_annealer::device::{DeviceConfig, QuantumAnnealer};
 use mqo_annealer::behavioral::{BehavioralConfig, BehavioralSampler};
+use mqo_annealer::device::{DeviceConfig, QuantumAnnealer};
 use mqo_chimera::graph::ChimeraGraph;
 use mqo_core::logical::LogicalMapping;
 use mqo_core::problem::MqoProblem;
@@ -50,6 +50,11 @@ pub struct CompetitorConfig {
     pub qa_sweeps: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads for device reads and harness instances
+    /// (`0` = available parallelism). Device results are identical at any
+    /// value; classical competitors are timed on the wall clock, so heavy
+    /// oversubscription can stretch their traces.
+    pub threads: usize,
 }
 
 impl Default for CompetitorConfig {
@@ -61,6 +66,7 @@ impl Default for CompetitorConfig {
             qa_noise: 0.0025,
             qa_sweeps: 8,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -116,6 +122,7 @@ pub fn run_qa(instance: &PaperInstance, graph: &ChimeraGraph, cfg: &CompetitorCo
             num_reads: cfg.qa_reads,
             num_gauges: cfg.qa_gauges,
             control_error: mqo_annealer::noise::ControlErrorModel::new(cfg.qa_noise),
+            threads: cfg.threads,
             ..DeviceConfig::default()
         },
         BehavioralSampler::new(BehavioralConfig {

@@ -58,7 +58,11 @@ fn measure(
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let graph = if opts.small { small_machine() } else { paper_machine() };
+    let graph = if opts.small {
+        small_machine()
+    } else {
+        paper_machine()
+    };
     let plans = opts.plans_filter.unwrap_or(2);
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed.wrapping_add(17));
     let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(plans), &mut rng);

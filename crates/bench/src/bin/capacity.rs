@@ -5,6 +5,7 @@
 //!
 //! Usage: `cargo run --release -p mqo-bench --bin capacity [-- --out DIR]`
 
+use mqo_annealer::parallel::{parallel_map_with, resolve_threads};
 use mqo_bench::cli::HarnessOptions;
 use mqo_bench::report::write_result_file;
 use mqo_chimera::capacity;
@@ -15,16 +16,29 @@ use std::fmt::Write as _;
 /// The paper's budgets: the D-Wave 2X and two hypothetical doublings.
 const BUDGETS: [usize; 3] = [1152, 2304, 4608];
 
-fn figure_7() -> (String, String) {
+fn figure_7(threads: usize) -> (String, String) {
     let mut md = String::from("# Figure 7: representable problem dimensions\n\n");
     let mut csv = String::from("qubits,plans_per_query,max_queries\n");
-    let _ = writeln!(md, "| plans/query | 1152 qubits | 2304 qubits | 4608 qubits |");
+    let _ = writeln!(
+        md,
+        "| plans/query | 1152 qubits | 2304 qubits | 4608 qubits |"
+    );
     let _ = writeln!(md, "|---|---|---|---|");
-    for plans in 2..=20usize {
-        let caps: Vec<usize> = BUDGETS
-            .iter()
-            .map(|&b| capacity::max_queries(b, plans))
-            .collect();
+    // Each class sweep is independent; rows are reassembled in class order.
+    let rows = parallel_map_with(
+        19,
+        threads,
+        || (),
+        |_, i| {
+            let plans = i + 2;
+            let caps: Vec<usize> = BUDGETS
+                .iter()
+                .map(|&b| capacity::max_queries(b, plans))
+                .collect();
+            (plans, caps)
+        },
+    );
+    for (plans, caps) in rows {
         let _ = writeln!(md, "| {plans} | {} | {} | {} |", caps[0], caps[1], caps[2]);
         for (b, c) in BUDGETS.iter().zip(&caps) {
             let _ = writeln!(csv, "{b},{plans},{c}");
@@ -37,18 +51,30 @@ fn figure_7() -> (String, String) {
     (md, csv)
 }
 
-fn growth() -> String {
+fn growth(threads: usize) -> String {
     // Theorems 2/3: the TRIAD consumes Θ(n²) qubits for n chains, and the
     // clustered pattern Θ(n·(m·l)²) overall. Verify empirically against the
     // real embedder.
     let mut md = String::from("\n# Qubit growth (Theorems 2-3)\n\n");
-    let _ = writeln!(md, "| chains n | TRIAD qubits (measured) | n²/4 (asymptotic) | ratio |");
+    let _ = writeln!(
+        md,
+        "| chains n | TRIAD qubits (measured) | n²/4 (asymptotic) | ratio |"
+    );
     let _ = writeln!(md, "|---|---|---|---|");
-    for n in [8usize, 16, 24, 32, 40, 48] {
-        let m = triad::triad_block_side(n);
-        let g = ChimeraGraph::new(m, m);
-        let e = triad::triad(&g, 0, 0, n).expect("intact block");
-        let measured = e.qubits_used();
+    let sizes = [8usize, 16, 24, 32, 40, 48];
+    let measured = parallel_map_with(
+        sizes.len(),
+        threads,
+        || (),
+        |_, i| {
+            let n = sizes[i];
+            let m = triad::triad_block_side(n);
+            let g = ChimeraGraph::new(m, m);
+            let e = triad::triad(&g, 0, 0, n).expect("intact block");
+            e.qubits_used()
+        },
+    );
+    for (&n, &measured) in sizes.iter().zip(&measured) {
         assert_eq!(measured, triad::triad_qubits(n), "formula matches embedder");
         let asymptotic = (n * n) as f64 / 4.0;
         let _ = writeln!(
@@ -63,15 +89,20 @@ fn growth() -> String {
     // the x-axis of Figure 6.
     md.push_str("\n| plans/query | qubits per variable |\n|---|---|\n");
     for plans in 2..=5usize {
-        let _ = writeln!(md, "| {plans} | {:.2} |", capacity::qubits_per_variable(plans));
+        let _ = writeln!(
+            md,
+            "| {plans} | {:.2} |",
+            capacity::qubits_per_variable(plans)
+        );
     }
     md
 }
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let (mut md, csv) = figure_7();
-    md.push_str(&growth());
+    let threads = resolve_threads(opts.threads);
+    let (mut md, csv) = figure_7(threads);
+    md.push_str(&growth(threads));
     println!("{md}");
     if let Some(p) = write_result_file(&opts.out_dir, "figure7.csv", &csv) {
         eprintln!("wrote {}", p.display());

@@ -4,7 +4,7 @@
 //! mqo_cli generate --kind paper|random|relational [--plans L] [--queries N] [--seed S] --out FILE
 //! mqo_cli info INSTANCE.json
 //! mqo_cli solve INSTANCE.json --algo qa|qa-sparse|bb|qubo-bb|climb|ga|greedy|decomposed
-//!          [--budget-ms MS] [--reads N] [--seed S] [--graph RxC]
+//!          [--budget-ms MS] [--reads N] [--seed S] [--threads N] [--graph RxC]
 //! ```
 //!
 //! Instances are the serde JSON form of [`mqo_core::MqoProblem`]; solutions
@@ -26,7 +26,7 @@ fn usage() -> ! {
         "usage:\n  mqo_cli generate --kind paper|random|relational [--plans L] [--queries N] \
          [--seed S] [--graph RxC] --out FILE\n  mqo_cli info FILE\n  mqo_cli solve FILE \
          --algo qa|qa-sparse|bb|qubo-bb|climb|ga|greedy|decomposed [--budget-ms MS] \
-         [--reads N] [--seed S] [--graph RxC]"
+         [--reads N] [--seed S] [--threads N] [--graph RxC]"
     );
     std::process::exit(2)
 }
@@ -157,11 +157,13 @@ fn solve(args: &Args) {
     let seed: u64 = num_flag(args, "seed", 0);
     let budget = Duration::from_millis(num_flag(args, "budget-ms", 2000));
     let reads = num_flag(args, "reads", 1000);
+    let threads = num_flag(args, "threads", 0);
     let graph = flag(args, "graph").map_or_else(ChimeraGraph::dwave_2x, parse_graph);
     let device = || {
         QuantumAnnealer::new(
             DeviceConfig {
                 num_reads: reads,
+                threads,
                 ..DeviceConfig::default()
             },
             PathIntegralQmcSampler::default(),
@@ -209,7 +211,10 @@ fn solve(args: &Args) {
                     ..MqoBbConfig::default()
                 },
             );
-            eprintln!("bb: {:?}, {} nodes, root bound {:.3}", out.stop, out.nodes, out.root_bound);
+            eprintln!(
+                "bb: {:?}, {} nodes, root bound {:.3}",
+                out.stop, out.nodes, out.root_bound
+            );
             out.best.expect("incumbent always exists")
         }
         "qubo-bb" => {
@@ -228,7 +233,11 @@ fn solve(args: &Args) {
             (sel, cost)
         }
         "climb" => HillClimbing.run(&problem, budget, seed).best,
-        "ga" => GeneticAlgorithm::with_population(50).run(&problem, budget, seed).best,
+        "ga" => {
+            GeneticAlgorithm::with_population(50)
+                .run(&problem, budget, seed)
+                .best
+        }
         "greedy" => Greedy.run(&problem, budget, seed).best,
         _ => usage(),
     };

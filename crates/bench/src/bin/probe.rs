@@ -12,8 +12,8 @@
 //! back-end; `MQO_B_DEBUG` prints unit statistics.
 
 use mqo::pipeline::QuantumMqoSolver;
-use mqo_annealer::device::{DeviceConfig, QuantumAnnealer};
 use mqo_annealer::behavioral::BehavioralSampler;
+use mqo_annealer::device::{DeviceConfig, QuantumAnnealer};
 use mqo_annealer::sqa::{PathIntegralQmcSampler, SqaConfig};
 use mqo_bench::cli::HarnessOptions;
 use mqo_bench::harness::{paper_machine, small_machine};
@@ -25,7 +25,11 @@ use std::time::{Duration, Instant};
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let graph = if opts.small { small_machine() } else { paper_machine() };
+    let graph = if opts.small {
+        small_machine()
+    } else {
+        paper_machine()
+    };
     let plans = opts.plans_filter.unwrap_or(3);
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed.wrapping_add(17));
     let mut workload = PaperWorkloadConfig::paper_class(plans);
@@ -87,7 +91,10 @@ fn main() {
     }
 
     // Behavioural back-end reference row.
-    let noise: f64 = std::env::var("MQO_B_NOISE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.01);
+    let noise: f64 = std::env::var("MQO_B_NOISE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.01);
     let device = QuantumAnnealer::new(
         DeviceConfig {
             num_reads: opts.reads.min(100),
@@ -97,10 +104,18 @@ fn main() {
         },
         {
             let mut bc = mqo_annealer::behavioral::BehavioralConfig::default();
-            if let Ok(v) = std::env::var("MQO_B_RESTARTS") { bc.oracle_restarts = v.parse().unwrap(); }
-            if let Ok(v) = std::env::var("MQO_B_SWEEPS") { bc.read_sweeps = v.parse().unwrap(); }
-            if let Ok(v) = std::env::var("MQO_B_BETA") { bc.beta = v.parse().unwrap(); }
-            if let Ok(v) = std::env::var("MQO_B_THRESH") { bc.cluster_threshold = v.parse().unwrap(); }
+            if let Ok(v) = std::env::var("MQO_B_RESTARTS") {
+                bc.oracle_restarts = v.parse().unwrap();
+            }
+            if let Ok(v) = std::env::var("MQO_B_SWEEPS") {
+                bc.read_sweeps = v.parse().unwrap();
+            }
+            if let Ok(v) = std::env::var("MQO_B_BETA") {
+                bc.beta = v.parse().unwrap();
+            }
+            if let Ok(v) = std::env::var("MQO_B_THRESH") {
+                bc.cluster_threshold = v.parse().unwrap();
+            }
             BehavioralSampler::new(bc)
         },
     );

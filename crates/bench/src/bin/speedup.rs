@@ -20,11 +20,16 @@ use std::time::Duration;
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let graph = if opts.small { small_machine() } else { paper_machine() };
+    let graph = if opts.small {
+        small_machine()
+    } else {
+        paper_machine()
+    };
     let cfg = CompetitorConfig {
         classical_budget: opts.budget,
         qa_reads: opts.reads,
         seed: opts.seed,
+        threads: opts.threads,
         ..CompetitorConfig::default()
     };
     let first_read = Duration::from_secs_f64(376e-6);

@@ -10,6 +10,7 @@
 //!
 //! Usage: `cargo run --release -p mqo-bench --bin table1 [-- --full --small ...]`
 
+use mqo_annealer::parallel::{parallel_map_with, resolve_threads};
 use mqo_bench::algorithms::CompetitorConfig;
 use mqo_bench::cli::HarnessOptions;
 use mqo_bench::harness::{paper_machine, small_machine};
@@ -22,7 +23,11 @@ use std::fmt::Write as _;
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let graph = if opts.small { small_machine() } else { paper_machine() };
+    let graph = if opts.small {
+        small_machine()
+    } else {
+        paper_machine()
+    };
     let cfg = CompetitorConfig {
         classical_budget: opts.budget,
         seed: opts.seed,
@@ -41,22 +46,34 @@ fn main() {
             continue;
         }
         let workload = PaperWorkloadConfig::paper_class(plans);
+        // Instances are independent: fan them out, each on its own derived
+        // seed; reporting below replays them in index order. Time-to-best
+        // is wall-clock, so concurrent solves on a loaded machine can read
+        // slower than serial ones.
+        let solved = parallel_map_with(
+            opts.instances,
+            resolve_threads(opts.threads),
+            || (),
+            |_, i| {
+                let seed = cfg.seed.wrapping_add(1000 * i as u64 + 17);
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let inst = paper::generate(&graph, &workload, &mut rng);
+                let out = bb_mqo::solve(
+                    &inst.problem,
+                    &MqoBbConfig {
+                        deadline: Some(cfg.classical_budget),
+                        lp_var_limit: 0,
+                        ..MqoBbConfig::default()
+                    },
+                );
+                (seed, inst.problem.num_queries(), out)
+            },
+        );
         let mut times_ms = Vec::new();
         let mut proved = 0usize;
         let mut queries = 0usize;
-        for i in 0..opts.instances {
-            let seed = cfg.seed.wrapping_add(1000 * i as u64 + 17);
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let inst = paper::generate(&graph, &workload, &mut rng);
-            queries = inst.problem.num_queries();
-            let out = bb_mqo::solve(
-                &inst.problem,
-                &MqoBbConfig {
-                    deadline: Some(cfg.classical_budget),
-                    lp_var_limit: 0,
-                    ..MqoBbConfig::default()
-                },
-            );
+        for (i, (seed, inst_queries, out)) in solved.into_iter().enumerate() {
+            queries = inst_queries;
             let best = out.trace.best().expect("greedy incumbent exists");
             let t = out
                 .trace
@@ -76,7 +93,11 @@ fn main() {
                 "class {plans} plans, instance {i}: best {best:.1} after {:.1} ms \
                  ({}; {} nodes)",
                 t.as_secs_f64() * 1e3,
-                if is_proved { "proved optimal" } else { "budget hit" },
+                if is_proved {
+                    "proved optimal"
+                } else {
+                    "budget hit"
+                },
                 out.nodes
             );
         }

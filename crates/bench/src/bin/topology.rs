@@ -48,7 +48,8 @@ fn figure_2(out: &mut String) {
     for n in [5usize, 8, 12] {
         let g = ChimeraGraph::new(3, 3);
         let e = triad::triad(&g, 0, 0, n).expect("intact grid embeds the pattern");
-        e.verify(&g, all_pairs(n)).expect("TRIAD connects all chain pairs");
+        e.verify(&g, all_pairs(n))
+            .expect("TRIAD connects all chain pairs");
         out.push_str(&format!(
             "\n### TRIAD with {n} chains ({} qubits)\n\n",
             e.qubits_used()
@@ -79,7 +80,9 @@ fn figure_3(out: &mut String) {
     out.push_str("\n## Figure 3: clustered embedding pattern (4 clusters × 8 plans)\n\n");
     let g = ChimeraGraph::new(4, 4);
     let layout = clustered::layout_clusters(&g, &[8, 8, 8, 8]).expect("fits a 4x4 grid");
-    layout.verify(&g).expect("all intra-cluster pairs realisable");
+    layout
+        .verify(&g)
+        .expect("all intra-cluster pairs realisable");
     out.push_str(&render::render(&g, Some(&layout.embedding)));
     let sharing = layout.sharing_pairs(&g);
     out.push_str(&format!(

@@ -22,6 +22,9 @@ pub struct HarnessOptions {
     pub plans_filter: Option<usize>,
     /// Use the small 4×4 machine instead of the 12×12 paper machine.
     pub small: bool,
+    /// Worker threads for device reads and instance batches
+    /// (`0` = available parallelism).
+    pub threads: usize,
 }
 
 impl Default for HarnessOptions {
@@ -35,6 +38,7 @@ impl Default for HarnessOptions {
             seed: 0,
             plans_filter: None,
             small: false,
+            threads: 0,
         }
     }
 }
@@ -62,10 +66,12 @@ impl HarnessOptions {
                 }
                 "--reads" => opts.reads = next_value(&mut it, arg)?,
                 "--seed" => opts.seed = next_value(&mut it, arg)?,
+                "--threads" => opts.threads = next_value(&mut it, arg)?,
                 "--plans" => opts.plans_filter = Some(next_value(&mut it, arg)?),
                 "--out" => {
                     opts.out_dir = PathBuf::from(
-                        it.next().ok_or_else(|| help(format!("{arg} needs a value")))?,
+                        it.next()
+                            .ok_or_else(|| help(format!("{arg} needs a value")))?,
                     )
                 }
                 "--help" | "-h" => return Err(help(String::new())),
@@ -108,9 +114,11 @@ fn next_value<T: std::str::FromStr>(
 
 fn help(prefix: String) -> String {
     let usage = "usage: <harness> [--full] [--small] [--instances N] [--budget-ms MS] \
-                 [--reads N] [--seed S] [--plans L] [--out DIR]\n\
+                 [--reads N] [--seed S] [--threads N] [--plans L] [--out DIR]\n\
                  --full       paper protocol (20 instances, 100 s budgets)\n\
                  --small      4x4 toy machine instead of the 12x12 D-Wave 2X\n\
+                 --threads N  worker threads for device reads and instance \
+                 batches (0 = all cores); results are thread-count invariant\n\
                  --plans L    run only the class with L plans per query";
     if prefix.is_empty() {
         usage.to_string()
@@ -160,10 +168,21 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_defaults_to_auto() {
+        assert_eq!(parse(&[]).unwrap().threads, 0);
+        assert_eq!(parse(&["--threads", "4"]).unwrap().threads, 4);
+        assert!(parse(&["--threads"]).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
     fn help_and_errors() {
         assert!(parse(&["--help"]).unwrap_err().starts_with("usage"));
         assert!(parse(&["--bogus"]).unwrap_err().contains("unknown flag"));
-        assert!(parse(&["--instances"]).unwrap_err().contains("needs a value"));
-        assert!(parse(&["--instances", "x"]).unwrap_err().contains("invalid"));
+        assert!(parse(&["--instances"])
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse(&["--instances", "x"])
+            .unwrap_err()
+            .contains("invalid"));
     }
 }

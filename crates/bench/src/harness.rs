@@ -1,6 +1,7 @@
 //! Experiment driver: paper classes, instance batches, and aggregates.
 
 use crate::algorithms::{run_all, AlgoRun, CompetitorConfig};
+use mqo_annealer::parallel::{parallel_map_with, resolve_threads};
 use mqo_chimera::graph::ChimeraGraph;
 use mqo_workload::paper::{self, PaperWorkloadConfig};
 use rand::SeedableRng;
@@ -61,6 +62,12 @@ impl ClassResult {
 
 /// Runs `num_instances` instances of the class with `plans` plans per query
 /// on `graph`, executing all six competitors on each.
+///
+/// Instances fan out over `cfg.threads` workers; each derives its own seed
+/// from the instance index, so the generated instances (and the device-time
+/// QA traces) are identical at any thread count. Classical competitors are
+/// timed on the wall clock, so their traces — but not their final quality
+/// within budget — can shift under concurrent execution.
 pub fn run_class(
     graph: &ChimeraGraph,
     plans: usize,
@@ -68,44 +75,43 @@ pub fn run_class(
     cfg: &CompetitorConfig,
 ) -> ClassResult {
     let workload = PaperWorkloadConfig::paper_class(plans);
-    let mut instances = Vec::with_capacity(num_instances);
-    let mut queries = 0;
-    let mut qubits_per_variable = 0.0;
-    for i in 0..num_instances {
-        let seed = cfg.seed.wrapping_add(1000 * i as u64 + 17);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let inst = paper::generate(graph, &workload, &mut rng);
-        queries = inst.problem.num_queries();
-        qubits_per_variable = inst.layout.embedding.qubits_per_variable();
-        let run_cfg = CompetitorConfig { seed, ..*cfg };
-        let runs = run_all(&inst, graph, &run_cfg);
-        let best_known = runs
-            .iter()
-            .filter_map(|r| r.trace.best())
-            .fold(f64::INFINITY, f64::min);
-        instances.push(InstanceResult {
-            seed,
-            queries,
-            best_known,
-            runs,
-        });
-    }
+    let instances = parallel_map_with(
+        num_instances,
+        resolve_threads(cfg.threads),
+        || (),
+        |_, i| {
+            let seed = cfg.seed.wrapping_add(1000 * i as u64 + 17);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let inst = paper::generate(graph, &workload, &mut rng);
+            let run_cfg = CompetitorConfig { seed, ..*cfg };
+            let runs = run_all(&inst, graph, &run_cfg);
+            let best_known = runs
+                .iter()
+                .filter_map(|r| r.trace.best())
+                .fold(f64::INFINITY, f64::min);
+            let result = InstanceResult {
+                seed,
+                queries: inst.problem.num_queries(),
+                best_known,
+                runs,
+            };
+            (result, inst.layout.embedding.qubits_per_variable())
+        },
+    );
+    let queries = instances.last().map_or(0, |(r, _)| r.queries);
+    let qubits_per_variable = instances.last().map_or(0.0, |&(_, q)| q);
     ClassResult {
         plans,
         queries,
         qubits_per_variable,
-        instances,
+        instances: instances.into_iter().map(|(r, _)| r).collect(),
     }
 }
 
 /// Mean normalised cost of a competitor at a checkpoint across a class's
 /// instances: `(cost − best_known) / best_known`, or `None` when the
 /// competitor had no solution yet on any instance.
-pub fn mean_normalised_cost(
-    class: &ClassResult,
-    algo: &str,
-    checkpoint: Duration,
-) -> Option<f64> {
+pub fn mean_normalised_cost(class: &ClassResult, algo: &str, checkpoint: Duration) -> Option<f64> {
     let mut sum = 0.0;
     let mut n = 0usize;
     for inst in &class.instances {
@@ -175,7 +181,10 @@ mod tests {
             .collect();
         assert_eq!(mins.len(), 6);
         let best = mins.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(best.abs() < 1e-9, "someone must sit at the anchor: {mins:?}");
+        assert!(
+            best.abs() < 1e-9,
+            "someone must sit at the anchor: {mins:?}"
+        );
         assert!(mins.iter().all(|&v| v >= -1e-9));
     }
 

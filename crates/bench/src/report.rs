@@ -77,8 +77,8 @@ pub fn checkpoint_csv(class: &ClassResult, checkpoints: &[Duration]) -> String {
     let mut out = String::from("plans,queries,algorithm,time_ms,mean_norm_cost\n");
     for algo in ALGORITHMS {
         for c in checkpoints {
-            let value = mean_normalised_cost(class, algo, *c)
-                .map_or(String::new(), |v| format!("{v:.6}"));
+            let value =
+                mean_normalised_cost(class, algo, *c).map_or(String::new(), |v| format!("{v:.6}"));
             let _ = writeln!(
                 out,
                 "{},{},{},{},{}",

@@ -15,8 +15,8 @@
 //! All figures below assume an intact matrix (Figure 7 explicitly assumes no
 //! broken qubits); `mqo-chimera::embedding::clustered` handles defects.
 
-use crate::graph::CELL_SIZE;
 use crate::embedding::triad::triad_block_side;
+use crate::graph::CELL_SIZE;
 
 /// Queries with `plans_per_query` plans that fit one intact unit cell
 /// (0 when a single cell is too small).

@@ -135,7 +135,8 @@ impl CellPool {
         let single_r = *self.right.iter().find(|k| !pair_ks.contains(k))?;
 
         self.left.retain(|k| !pair_ks.contains(k) && *k != single_l);
-        self.right.retain(|k| !pair_ks.contains(k) && *k != single_r);
+        self.right
+            .retain(|k| !pair_ks.contains(k) && *k != single_r);
 
         let mut chains = Vec::with_capacity(l);
         chains.push(vec![graph.qubit(row, col, Side::Vertical, single_l)]);

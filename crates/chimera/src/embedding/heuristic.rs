@@ -33,7 +33,10 @@ pub fn find_embedding(
 ) -> Result<Embedding, EmbeddingError> {
     assert!(tries >= 1, "need at least one attempt");
     for &(a, b) in edges {
-        assert!(a.index() < num_vars && b.index() < num_vars, "edge out of range");
+        assert!(
+            a.index() < num_vars && b.index() < num_vars,
+            "edge out of range"
+        );
         assert_ne!(a, b, "self-edges are not quadratic terms");
     }
     if num_vars == 0 {
@@ -287,10 +290,7 @@ mod tests {
     fn handles_disconnected_and_isolated_variables() {
         let graph = ChimeraGraph::new(2, 2);
         // Two components plus an isolated variable 4.
-        let edges = vec![
-            (VarId(0), VarId(1)),
-            (VarId(2), VarId(3)),
-        ];
+        let edges = vec![(VarId(0), VarId(1)), (VarId(2), VarId(3))];
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let e = find_embedding(5, &edges, &graph, &mut rng, 8).unwrap();
         e.verify(&graph, edges.iter().copied()).unwrap();
@@ -300,7 +300,7 @@ mod tests {
     #[test]
     fn works_around_broken_qubits() {
         let graph = ChimeraGraph::new(2, 2);
-        let broken: Vec<QubitId> = (0..8).map(|k| QubitId(k)).collect(); // kill cell (0,0)
+        let broken: Vec<QubitId> = (0..8).map(QubitId).collect(); // kill cell (0,0)
         let graph = graph.with_broken(&broken);
         let edges = path_edges(8);
         let mut rng = ChaCha8Rng::seed_from_u64(5);

@@ -317,10 +317,7 @@ mod tests {
         let a = vec![g.qubit(0, 0, Side::Vertical, 0)];
         let b = vec![g.qubit(0, 0, Side::Horizontal, 3)];
         let e = Embedding::new(vec![a.clone(), b.clone()], g.num_qubits()).unwrap();
-        assert_eq!(
-            e.find_coupler(&g, VarId(0), VarId(1)),
-            Some((a[0], b[0]))
-        );
+        assert_eq!(e.find_coupler(&g, VarId(0), VarId(1)), Some((a[0], b[0])));
         assert!(e.verify(&g, [(VarId(0), VarId(1))]).is_ok());
     }
 

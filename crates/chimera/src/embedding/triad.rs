@@ -67,12 +67,10 @@ pub fn single_cell(
     }
 
     let pairs_needed = n - 2;
-    let pairable: Vec<usize> = left
-        .iter()
-        .copied()
-        .filter(|k| right.contains(k))
-        .collect();
-    if pairable.len() < pairs_needed || left.len() < pairs_needed + 1 || right.len() < pairs_needed + 1
+    let pairable: Vec<usize> = left.iter().copied().filter(|k| right.contains(k)).collect();
+    if pairable.len() < pairs_needed
+        || left.len() < pairs_needed + 1
+        || right.len() < pairs_needed + 1
     {
         return None;
     }
@@ -183,7 +181,8 @@ mod tests {
         for n in 1..=5 {
             let chains = single_cell(&g, 0, 0, n).unwrap_or_else(|| panic!("K{n} failed"));
             let e = Embedding::new(chains, g.num_qubits()).unwrap();
-            e.verify(&g, all_pairs(n)).unwrap_or_else(|err| panic!("K{n}: {err}"));
+            e.verify(&g, all_pairs(n))
+                .unwrap_or_else(|err| panic!("K{n}: {err}"));
         }
     }
 
@@ -227,7 +226,8 @@ mod tests {
         let g = ChimeraGraph::new(4, 4);
         for n in [5, 8, 12] {
             let e = triad(&g, 0, 0, n).unwrap_or_else(|err| panic!("K{n}: {err}"));
-            e.verify(&g, all_pairs(n)).unwrap_or_else(|err| panic!("K{n}: {err}"));
+            e.verify(&g, all_pairs(n))
+                .unwrap_or_else(|err| panic!("K{n}: {err}"));
             assert_eq!(e.qubits_used(), triad_qubits(n));
         }
     }

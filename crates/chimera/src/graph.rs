@@ -113,7 +113,10 @@ impl ChimeraGraph {
 
     /// Breaks `count` distinct, uniformly chosen qubits.
     pub fn break_random_qubits(&mut self, count: usize, rng: &mut impl Rng) {
-        assert!(count <= self.num_qubits(), "cannot break more qubits than exist");
+        assert!(
+            count <= self.num_qubits(),
+            "cannot break more qubits than exist"
+        );
         let mut ids: Vec<u32> = (0..self.num_qubits() as u32).collect();
         ids.shuffle(rng);
         for &id in &ids[..count] {
@@ -402,7 +405,10 @@ mod tests {
         let dead = g.qubit(0, 0, Side::Vertical, 2);
         let g = g.with_broken(&[dead]);
         let left = g.working_in_cell(0, 0, Side::Vertical);
-        assert_eq!(left.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(
+            left.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![0, 1, 3]
+        );
         let right = g.working_in_cell(0, 0, Side::Horizontal);
         assert_eq!(right.len(), 4);
     }

@@ -81,7 +81,13 @@ impl PhysicalMapping {
         graph: &ChimeraGraph,
         epsilon: f64,
     ) -> Result<Self, EmbeddingError> {
-        Self::with_mode(logical, embedding, graph, epsilon, ChainStrengthMode::PerChain)
+        Self::with_mode(
+            logical,
+            embedding,
+            graph,
+            epsilon,
+            ChainStrengthMode::PerChain,
+        )
     }
 
     /// Like [`PhysicalMapping::new`] with an explicit chain-strength mode.
@@ -413,7 +419,10 @@ mod tests {
                 grew = true;
             }
         }
-        assert!(grew, "larger weights must raise at least one chain strength");
+        assert!(
+            grew,
+            "larger weights must raise at least one chain strength"
+        );
     }
 
     #[test]

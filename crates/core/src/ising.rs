@@ -198,6 +198,13 @@ pub fn spins_to_bits(s: &[i8]) -> Vec<bool> {
     s.iter().map(|&v| v > 0).collect()
 }
 
+/// Like [`spins_to_bits`], reusing `out` (cleared first) to avoid a fresh
+/// allocation in hot read loops.
+pub fn spins_to_bits_into(s: &[i8], out: &mut Vec<bool>) {
+    out.clear();
+    out.extend(s.iter().map(|&v| v > 0));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,11 +304,7 @@ mod tests {
 
     #[test]
     fn max_abs_weight_covers_fields_and_couplings() {
-        let ising = Ising::new(
-            vec![0.5, -3.0],
-            vec![(VarId(0), VarId(1), 2.0)],
-            10.0,
-        );
+        let ising = Ising::new(vec![0.5, -3.0], vec![(VarId(0), VarId(1), 2.0)], 10.0);
         assert_eq!(ising.max_abs_weight(), 3.0);
     }
 }

@@ -189,11 +189,7 @@ impl LogicalMapping {
     /// can).
     ///
     /// Returns the repaired selection and whether any repair was necessary.
-    pub fn decode_with_repair(
-        &self,
-        problem: &MqoProblem,
-        x: &[bool],
-    ) -> (Selection, bool) {
+    pub fn decode_with_repair(&self, problem: &MqoProblem, x: &[bool]) -> (Selection, bool) {
         assert_eq!(x.len(), self.qubo.num_vars(), "assignment length mismatch");
         // First pass: settle the valid queries, remember the violated ones.
         let mut selected_mask = vec![false; problem.num_plans()];

@@ -353,11 +353,7 @@ impl From<MqoProblem> for ProblemSpec {
             .queries()
             .map(|q| p.plans_of(q).map(|pl| p.plan_cost(pl)).collect())
             .collect();
-        let savings = p
-            .savings
-            .iter()
-            .map(|&(a, b, s)| (a.0, b.0, s))
-            .collect();
+        let savings = p.savings.iter().map(|&(a, b, s)| (a.0, b.0, s)).collect();
         ProblemSpec { queries, savings }
     }
 }
@@ -455,7 +451,10 @@ mod tests {
         let q2 = b.add_query(&[1.0]);
         let a = b.plans_of(q1)[0];
         let c = b.plans_of(q2)[0];
-        assert_eq!(b.add_saving(a, a, 1.0).unwrap_err(), CoreError::SelfSaving(a));
+        assert_eq!(
+            b.add_saving(a, a, 1.0).unwrap_err(),
+            CoreError::SelfSaving(a)
+        );
         assert!(matches!(
             b.add_saving(a, c, 0.0).unwrap_err(),
             CoreError::NonPositiveSaving(..)

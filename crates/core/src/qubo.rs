@@ -105,7 +105,11 @@ impl Qubo {
     /// precision (Section 4 of the paper).
     pub fn max_abs_weight(&self) -> f64 {
         let lin = self.linear.iter().map(|w| w.abs()).fold(0.0, f64::max);
-        let quad = self.quad.iter().map(|(_, _, w)| w.abs()).fold(0.0, f64::max);
+        let quad = self
+            .quad
+            .iter()
+            .map(|(_, _, w)| w.abs())
+            .fold(0.0, f64::max);
         lin.max(quad)
     }
 

@@ -160,11 +160,7 @@ mod tests {
     }
 
     fn initial(p: &MqoProblem) -> Selection {
-        Selection::new(
-            p.queries()
-                .map(|q| p.plans_of(q).next().unwrap())
-                .collect(),
-        )
+        Selection::new(p.queries().map(|q| p.plans_of(q).next().unwrap()).collect())
     }
 
     #[test]

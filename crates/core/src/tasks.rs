@@ -117,11 +117,7 @@ impl TaskReduction {
             .map(|q| {
                 let qid = QueryId::new(q);
                 let chosen = selection.plan_of(qid);
-                let first = self
-                    .problem
-                    .plans_of(qid)
-                    .next()
-                    .expect("non-empty query");
+                let first = self.problem.plans_of(qid).next().expect("non-empty query");
                 chosen.index() - first.index()
             })
             .collect()
@@ -194,12 +190,7 @@ mod tests {
                 for mask in 0u32..8 {
                     let mut plans = Vec::new();
                     for (q, &choice) in [a, c].iter().enumerate() {
-                        plans.push(
-                            red.problem
-                                .plans_of(QueryId::new(q))
-                                .nth(choice)
-                                .unwrap(),
-                        );
+                        plans.push(red.problem.plans_of(QueryId::new(q)).nth(choice).unwrap());
                     }
                     for task in 0..3 {
                         let helper = QueryId::new(2 + task);

@@ -32,11 +32,11 @@ fn arb_qubo() -> impl Strategy<Value = Qubo> {
 
 /// Strategy: a random MQO instance with 2–5 queries of 2–3 plans.
 fn arb_problem() -> impl Strategy<Value = MqoProblem> {
-    let queries = proptest::collection::vec(
-        proptest::collection::vec(0.0f64..10.0, 2..=3),
-        2..=5,
-    );
-    (queries, proptest::collection::vec((0usize..100, 0usize..100, 0.5f64..5.0), 0..=8))
+    let queries = proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 2..=3), 2..=5);
+    (
+        queries,
+        proptest::collection::vec((0usize..100, 0usize..100, 0.5f64..5.0), 0..=8),
+    )
         .prop_map(|(costs, savings)| {
             let mut b: ProblemBuilder = MqoProblem::builder();
             for q in &costs {

@@ -27,10 +27,7 @@ pub trait AnytimeHeuristic {
 }
 
 /// A uniformly random valid selection.
-pub(crate) fn random_selection(
-    problem: &MqoProblem,
-    rng: &mut impl rand::Rng,
-) -> Selection {
+pub(crate) fn random_selection(problem: &MqoProblem, rng: &mut impl rand::Rng) -> Selection {
     Selection::new(
         problem
             .queries()

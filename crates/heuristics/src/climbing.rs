@@ -21,7 +21,11 @@ pub struct HillClimbing;
 impl HillClimbing {
     /// Climbs `selection` to a local optimum in place; returns the final
     /// cost. Public so tests and other solvers can reuse the climb.
-    pub fn climb(problem: &MqoProblem, selection: Selection, deadline: Instant) -> (Selection, f64) {
+    pub fn climb(
+        problem: &MqoProblem,
+        selection: Selection,
+        deadline: Instant,
+    ) -> (Selection, f64) {
         let mut eval = CostEvaluator::new(problem, selection);
         loop {
             let mut best_move = None;

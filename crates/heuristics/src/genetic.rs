@@ -101,8 +101,8 @@ impl AnytimeHeuristic for GeneticAlgorithm {
         let mut best = population[0].clone();
         trace.record(start.elapsed(), best.1);
 
-        let survivors = ((pop_size as f64 * self.config.survivor_fraction) as usize)
-            .clamp(2, pop_size);
+        let survivors =
+            ((pop_size as f64 * self.config.survivor_fraction) as usize).clamp(2, pop_size);
         let offspring_target = (pop_size as f64 * self.config.crossover_rate).ceil() as usize;
 
         let mut generations = 0u64;
@@ -147,12 +147,7 @@ impl AnytimeHeuristic for GeneticAlgorithm {
 }
 
 /// Single-point crossover on the query-indexed chromosome.
-fn crossover(
-    problem: &MqoProblem,
-    a: &Selection,
-    b: &Selection,
-    rng: &mut impl Rng,
-) -> Selection {
+fn crossover(problem: &MqoProblem, a: &Selection, b: &Selection, rng: &mut impl Rng) -> Selection {
     let n = problem.num_queries();
     let point = rng.gen_range(0..n);
     let plans = (0..n)
@@ -169,12 +164,7 @@ fn crossover(
 
 /// Mutates each gene to a uniformly random alternative plan with probability
 /// `rate`.
-fn mutate(
-    problem: &MqoProblem,
-    mut s: Selection,
-    rate: f64,
-    rng: &mut impl Rng,
-) -> Selection {
+fn mutate(problem: &MqoProblem, mut s: Selection, rate: f64, rng: &mut impl Rng) -> Selection {
     for q in problem.queries() {
         if rng.gen::<f64>() < rate {
             let count = problem.num_plans_of(q);

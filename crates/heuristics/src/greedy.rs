@@ -28,13 +28,7 @@ impl Greedy {
             .map(|q| {
                 problem
                     .plans_of(q)
-                    .map(|p| {
-                        problem
-                            .savings_of(p)
-                            .iter()
-                            .map(|(_, s)| *s)
-                            .sum::<f64>()
-                    })
+                    .map(|p| problem.savings_of(p).iter().map(|(_, s)| *s).sum::<f64>())
                     .fold(0.0, f64::max)
             })
             .collect();
@@ -62,7 +56,12 @@ impl Greedy {
             chosen[qi] = Some(p);
             selected[p.index()] = true;
         }
-        Selection::new(chosen.into_iter().map(|p| p.expect("all queries")).collect())
+        Selection::new(
+            chosen
+                .into_iter()
+                .map(|p| p.expect("all queries"))
+                .collect(),
+        )
     }
 }
 

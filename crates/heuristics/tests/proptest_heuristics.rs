@@ -8,8 +8,7 @@ use proptest::prelude::*;
 use std::time::Duration;
 
 fn arb_problem() -> impl Strategy<Value = MqoProblem> {
-    let queries =
-        proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 1..=4), 2..=6);
+    let queries = proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 1..=4), 2..=6);
     (
         queries,
         proptest::collection::vec((0usize..128, 0usize..128, 0.5f64..4.0), 0..=10),

@@ -137,7 +137,11 @@ impl<'a> MqoBound<'a> {
                 query: q,
                 best_plan: best_plan.expect("non-empty query"),
                 best,
-                regret: if second.is_finite() { second - best } else { 0.0 },
+                regret: if second.is_finite() {
+                    second - best
+                } else {
+                    0.0
+                },
             });
         }
 
@@ -298,10 +302,7 @@ mod tests {
     fn mqo_bound_is_exact_when_everything_is_fixed() {
         let mut next = rng_stream(0x1234);
         let p = random_problem(&mut next);
-        let all: Vec<PlanId> = p
-            .queries()
-            .map(|q| p.plans_of(q).next().unwrap())
-            .collect();
+        let all: Vec<PlanId> = p.queries().map(|q| p.plans_of(q).next().unwrap()).collect();
         let mut bound = MqoBound::new(&p);
         let r = bound.evaluate(&all);
         let cost = p.selection_cost(&Selection::new(all));

@@ -621,7 +621,10 @@ mod tests {
                             s.objective
                         );
                     }
-                    assert!(p.is_feasible(&s.x, 1e-5), "case {case}: LP point infeasible");
+                    assert!(
+                        p.is_feasible(&s.x, 1e-5),
+                        "case {case}: LP point infeasible"
+                    );
                 }
                 LpOutcome::Infeasible => {
                     assert!(best.is_infinite(), "case {case}: LP infeasible but ILP not");

@@ -43,8 +43,7 @@ fn arb_binary_box_lp() -> impl Strategy<Value = LinearProgram> {
 
 /// Strategy: a random MQO instance (2–5 queries × 2–3 plans, sparse savings).
 fn arb_problem() -> impl Strategy<Value = MqoProblem> {
-    let queries =
-        proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 2..=3), 2..=5);
+    let queries = proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 2..=3), 2..=5);
     (
         queries,
         proptest::collection::vec((0usize..64, 0usize..64, 0.5f64..4.0), 0..=8),

@@ -126,10 +126,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let inst = generate(&g, &PaperWorkloadConfig::paper_class(3), &mut rng);
         assert_eq!(inst.problem.num_queries(), inst.layout.num_clusters);
-        assert_eq!(
-            inst.problem.num_plans(),
-            inst.layout.embedding.num_vars()
-        );
+        assert_eq!(inst.problem.num_plans(), inst.layout.embedding.num_vars());
         for q in inst.problem.queries() {
             assert_eq!(inst.problem.num_plans_of(q), 3);
         }
@@ -148,7 +145,10 @@ mod tests {
             .collect();
         assert!(!inst.problem.savings().is_empty());
         for &(p1, p2, s) in inst.problem.savings() {
-            assert!(available.contains(&(p1.0, p2.0)), "{p1}-{p2} not realisable");
+            assert!(
+                available.contains(&(p1.0, p2.0)),
+                "{p1}-{p2} not realisable"
+            );
             assert!(s == 1.0 || s == 2.0, "saving {s} outside {{1,2}}");
         }
     }
@@ -163,12 +163,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let inst = generate(&g, &PaperWorkloadConfig::paper_class(2), &mut rng);
         let mapping = LogicalMapping::with_default_epsilon(&inst.problem);
-        let pm = PhysicalMapping::new(
-            mapping.qubo(),
-            inst.layout.embedding.clone(),
-            &g,
-            0.25,
-        );
+        let pm = PhysicalMapping::new(mapping.qubo(), inst.layout.embedding.clone(), &g, 0.25);
         assert!(pm.is_ok(), "{:?}", pm.err());
     }
 
@@ -226,7 +221,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let g = ChimeraGraph::dwave_2x_as_used_in_paper(&mut rng);
         let two = generate(&g, &PaperWorkloadConfig::paper_class(2), &mut rng);
-        assert!(two.problem.num_queries() >= 500, "{}", two.problem.num_queries());
+        assert!(
+            two.problem.num_queries() >= 500,
+            "{}",
+            two.problem.num_queries()
+        );
         let five = generate(&g, &PaperWorkloadConfig::paper_class(5), &mut rng);
         assert!(
             (80..=144).contains(&five.problem.num_queries()),

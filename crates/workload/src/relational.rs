@@ -288,9 +288,18 @@ mod tests {
     #[test]
     fn prefix_cost_grows_with_prefix_length() {
         let tables = vec![
-            Table { name: "a".into(), rows: 1000.0 },
-            Table { name: "b".into(), rows: 2000.0 },
-            Table { name: "c".into(), rows: 500.0 },
+            Table {
+                name: "a".into(),
+                rows: 1000.0,
+            },
+            Table {
+                name: "b".into(),
+                rows: 2000.0,
+            },
+            Table {
+                name: "c".into(),
+                rows: 500.0,
+            },
         ];
         let order = [0, 1, 2];
         let c1 = prefix_cost(&tables, &order, 1, 0.01);
@@ -302,9 +311,18 @@ mod tests {
     #[test]
     fn join_order_matters_for_cost() {
         let tables = vec![
-            Table { name: "small".into(), rows: 10.0 },
-            Table { name: "big".into(), rows: 1e6 },
-            Table { name: "mid".into(), rows: 1e3 },
+            Table {
+                name: "small".into(),
+                rows: 10.0,
+            },
+            Table {
+                name: "big".into(),
+                rows: 1e6,
+            },
+            Table {
+                name: "mid".into(),
+                rows: 1e3,
+            },
         ];
         // Starting with the two small tables is cheaper.
         let good = prefix_cost(&tables, &[0, 2, 1], 3, 0.01);

@@ -23,6 +23,9 @@ proptest! {
     ) {
         let broken: Vec<QubitId> = defects.into_iter().map(QubitId).collect();
         let graph = ChimeraGraph::new(3, 3).with_broken(&broken);
+        // `paper::generate` documents a panic when the defect pattern
+        // leaves no room for even one query of `plans` plans.
+        prop_assume!(clustered::max_uniform_queries(&graph, plans) > 0);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(plans), &mut rng);
         prop_assert_eq!(inst.problem.num_queries(), inst.layout.num_clusters);
@@ -38,7 +41,7 @@ proptest! {
             .collect();
         for &(p1, p2, s) in inst.problem.savings() {
             prop_assert!(realisable.contains(&(p1.0, p2.0)));
-            prop_assert!(s >= 1.0 && s <= 2.0);
+            prop_assert!((1.0..=2.0).contains(&s));
             prop_assert_ne!(
                 inst.problem.query_of(p1),
                 inst.problem.query_of(p2)
@@ -80,7 +83,7 @@ proptest! {
         prop_assert_eq!(p.num_queries(), queries);
         prop_assert_eq!(p.num_plans(), queries * plans);
         for &(_, _, s) in p.savings() {
-            prop_assert!(s >= 1.0 && s <= 2.0);
+            prop_assert!((1.0..=2.0).contains(&s));
         }
         // A brute-force-checkable invariant on small shapes.
         if queries <= 6 && plans <= 3 {

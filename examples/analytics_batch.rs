@@ -33,7 +33,10 @@ fn main() {
     for t in &batch.tables {
         println!("  {:>4}: {:>9.0} rows", t.name, t.rows);
     }
-    println!("\nbatch of {} queries; alternative plans:", batch.queries.len());
+    println!(
+        "\nbatch of {} queries; alternative plans:",
+        batch.queries.len()
+    );
     for p in batch.problem.plans() {
         println!("  [{:>2}] {}", p.index(), batch.describe_plan(p));
     }
