@@ -1,0 +1,457 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! The paper's D-Wave 2X was a flaky physical machine: 55 of 1152 qubits
+//! were dead, calibrations drifted between programmings, and reads came
+//! back with broken chains. The static broken-qubit set on
+//! [`mqo_chimera::graph::ChimeraGraph`] models the *permanent* defects;
+//! this module models the *transient* ones, so the pipeline's resilience
+//! story (retry, re-embed, classical fallback) can be exercised and tested
+//! without real hardware.
+//!
+//! Fault taxonomy (all independently configurable, all off by default):
+//!
+//! * **Qubit dropout** — a qubit dies between two gauge programmings and
+//!   stays dead for the rest of the run; its reads turn into noise.
+//! * **Readout bit flips** — each read bit flips independently at a fixed
+//!   rate, after gauge undo (i.e. in the reported frame).
+//! * **Programming rejections** — a gauge batch fails to program and is
+//!   retried after a simulated backoff; exhausting the per-gauge attempt
+//!   budget aborts the whole run with
+//!   [`crate::device::DeviceError::ProgrammingFailed`].
+//! * **Stuck reads** — an entire read returns a garbage configuration
+//!   unrelated to the programmed problem.
+//!
+//! Every roll derives from `(run_seed, stream, indices)` via
+//! [`crate::parallel::derive_seed`] — the same scheme the device uses for
+//! its annealing randomness — so injected faults are a pure function of the
+//! run seed and the fault configuration: bit-identical at any thread count,
+//! and completely absent (with the clean RNG streams untouched) when the
+//! configuration is inert.
+
+use crate::parallel::{derive_seed, splitmix64};
+
+/// Stream tag for programming-cycle rejection rolls.
+pub const STREAM_FAULT_PROGRAM: u64 = 0x4650_524f_4721_0004;
+/// Stream tag for qubit-dropout rolls.
+pub const STREAM_FAULT_DROPOUT: u64 = 0x4644_524f_5021_0005;
+/// Stream tag for per-read fault randomness (stuck reads, dead-qubit noise,
+/// readout bit flips).
+pub const STREAM_FAULT_READ: u64 = 0x4652_4541_4421_0006;
+
+/// Maps a derived seed to one uniform sample in `[0, 1)` through an extra
+/// SplitMix64 round — a single probability roll without an RNG object.
+#[must_use]
+pub fn unit_uniform(seed: u64) -> f64 {
+    (splitmix64(seed) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Fault-injection model of one device run. The default (all rates zero)
+/// injects nothing and leaves the device bit-identical to the fault-free
+/// code path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Per-qubit, per-gauge probability that a qubit drops dead before the
+    /// gauge is programmed. Dropouts are cumulative for the rest of the run.
+    pub qubit_dropout_rate: f64,
+    /// Per-bit probability that a read-out bit is flipped.
+    pub readout_flip_rate: f64,
+    /// Per-attempt probability that a gauge programming is rejected.
+    pub programming_reject_rate: f64,
+    /// Per-read probability that the whole read is a garbage configuration.
+    pub stuck_read_rate: f64,
+    /// Programming attempts per gauge before the run is aborted with
+    /// [`crate::device::DeviceError::ProgrammingFailed`]. Must be positive.
+    pub max_programming_attempts: usize,
+    /// Simulated device time charged per rejected programming, microseconds.
+    /// Delays shift the timestamps of every subsequent read.
+    pub reprogram_backoff_us: f64,
+}
+
+/// The inert fault model (no faults, no delays).
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::NONE
+    }
+}
+
+impl FaultConfig {
+    /// No faults at all: the device takes the exact fault-free code path.
+    pub const NONE: FaultConfig = FaultConfig {
+        qubit_dropout_rate: 0.0,
+        readout_flip_rate: 0.0,
+        programming_reject_rate: 0.0,
+        stuck_read_rate: 0.0,
+        max_programming_attempts: 4,
+        reprogram_backoff_us: 7_000.0,
+    };
+
+    /// All four fault classes at the same `rate` — the harness's
+    /// `--fault-rate` knob.
+    #[must_use]
+    pub fn uniform(rate: f64) -> FaultConfig {
+        FaultConfig {
+            qubit_dropout_rate: rate,
+            readout_flip_rate: rate,
+            programming_reject_rate: rate,
+            stuck_read_rate: rate,
+            ..FaultConfig::NONE
+        }
+    }
+
+    /// Whether this configuration can never inject anything. Inert configs
+    /// skip fault-plan construction entirely, so the clean RNG streams are
+    /// consumed exactly as in the fault-free device.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.qubit_dropout_rate <= 0.0
+            && self.readout_flip_rate <= 0.0
+            && self.programming_reject_rate <= 0.0
+            && self.stuck_read_rate <= 0.0
+    }
+
+    /// Validates rates and budgets; the device surfaces violations as
+    /// [`crate::device::DeviceError::InvalidConfig`].
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let rate_ok = |r: f64| (0.0..=1.0).contains(&r);
+        if !rate_ok(self.qubit_dropout_rate)
+            || !rate_ok(self.readout_flip_rate)
+            || !rate_ok(self.programming_reject_rate)
+            || !rate_ok(self.stuck_read_rate)
+        {
+            return Err("fault rates must lie in [0, 1]");
+        }
+        if self.max_programming_attempts == 0 {
+            return Err("max_programming_attempts must be positive");
+        }
+        if !self.reprogram_backoff_us.is_finite() || self.reprogram_backoff_us < 0.0 {
+            return Err("reprogram_backoff_us must be finite and non-negative");
+        }
+        Ok(())
+    }
+}
+
+/// Everything a device run injected, aggregated for the caller.
+///
+/// The pipeline merges the events of every retry/re-embed run it performs,
+/// so `dropped_qubits` may mix dense physical indices from different
+/// embeddings; the *count* is the meaningful aggregate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultEvents {
+    /// Dense physical indices of qubits that dropped out during the run.
+    pub dropped_qubits: Vec<usize>,
+    /// Read-out bits flipped by injected noise, across all reads.
+    pub readout_flips: usize,
+    /// Reads replaced wholesale by garbage configurations.
+    pub stuck_reads: usize,
+    /// Rejected programming attempts absorbed by device-side retries.
+    pub programming_rejects: usize,
+    /// Total simulated delay added by re-programming backoffs, microseconds.
+    pub delay_us: f64,
+}
+
+impl FaultEvents {
+    /// Total number of injected fault events.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.dropped_qubits.len() + self.readout_flips + self.stuck_reads + self.programming_rejects
+    }
+
+    /// Whether no fault was injected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Folds another run's events into this aggregate. Dropped-qubit
+    /// indices are kept without deduplication across runs (each run has its
+    /// own physical index space).
+    pub fn merge(&mut self, other: &FaultEvents) {
+        self.dropped_qubits.extend_from_slice(&other.dropped_qubits);
+        self.readout_flips += other.readout_flips;
+        self.stuck_reads += other.stuck_reads;
+        self.programming_rejects += other.programming_rejects;
+        self.delay_us += other.delay_us;
+    }
+}
+
+/// A gauge programming exhausted its attempt budget; the device aborts the
+/// run (the pipeline decides whether to retry the whole job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejectedProgramming {
+    /// Index of the gauge batch that failed to program.
+    pub gauge: usize,
+    /// Programming attempts consumed (equals the configured maximum).
+    pub attempts: usize,
+}
+
+/// The precomputed fault schedule of one run: which qubits are dead during
+/// each gauge batch, how many programming attempts each gauge consumed, and
+/// the cumulative backoff delay in front of each gauge's reads.
+///
+/// Building the plan up front (it is cheap: `O(gauges × qubits)`) keeps the
+/// read phase embarrassingly parallel — a read only consults the plan, it
+/// never updates shared fault state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    dead_by_gauge: Vec<Vec<bool>>,
+    attempts_by_gauge: Vec<usize>,
+    delay_before_gauge_us: Vec<f64>,
+}
+
+impl FaultPlan {
+    /// Rolls the full fault schedule for a run of `num_gauges` gauge batches
+    /// over `num_spins` physical variables. Fails if any gauge exhausts its
+    /// programming-attempt budget.
+    pub fn build(
+        cfg: &FaultConfig,
+        run_seed: u64,
+        num_gauges: usize,
+        num_spins: usize,
+    ) -> Result<FaultPlan, RejectedProgramming> {
+        let mut dead = vec![false; num_spins];
+        let mut dead_by_gauge = Vec::with_capacity(num_gauges);
+        let mut attempts_by_gauge = Vec::with_capacity(num_gauges);
+        let mut delay_before_gauge_us = Vec::with_capacity(num_gauges);
+        let mut delay = 0.0;
+        for g in 0..num_gauges {
+            if cfg.qubit_dropout_rate > 0.0 {
+                for (q, slot) in dead.iter_mut().enumerate() {
+                    if !*slot {
+                        let roll = unit_uniform(derive_seed(
+                            run_seed,
+                            STREAM_FAULT_DROPOUT,
+                            g as u64,
+                            q as u64,
+                        ));
+                        *slot = roll < cfg.qubit_dropout_rate;
+                    }
+                }
+            }
+            dead_by_gauge.push(dead.clone());
+
+            let mut attempts = 0usize;
+            loop {
+                attempts += 1;
+                let rejected = cfg.programming_reject_rate > 0.0
+                    && unit_uniform(derive_seed(
+                        run_seed,
+                        STREAM_FAULT_PROGRAM,
+                        g as u64,
+                        attempts as u64,
+                    )) < cfg.programming_reject_rate;
+                if !rejected {
+                    break;
+                }
+                if attempts >= cfg.max_programming_attempts {
+                    return Err(RejectedProgramming { gauge: g, attempts });
+                }
+            }
+            delay += (attempts - 1) as f64 * cfg.reprogram_backoff_us;
+            delay_before_gauge_us.push(delay);
+            attempts_by_gauge.push(attempts);
+        }
+        Ok(FaultPlan {
+            dead_by_gauge,
+            attempts_by_gauge,
+            delay_before_gauge_us,
+        })
+    }
+
+    /// Qubits dead while `gauge` is active (cumulative over the run), as a
+    /// mask over dense physical indices.
+    #[must_use]
+    pub fn dead_mask(&self, gauge: usize) -> &[bool] {
+        &self.dead_by_gauge[gauge]
+    }
+
+    /// Cumulative re-programming delay in front of `gauge`'s reads,
+    /// microseconds (includes this gauge's own rejected attempts).
+    #[must_use]
+    pub fn delay_before_us(&self, gauge: usize) -> f64 {
+        self.delay_before_gauge_us[gauge]
+    }
+
+    /// All qubits that dropped out at any point of the run, in index order.
+    #[must_use]
+    pub fn dropped_qubits(&self) -> Vec<usize> {
+        match self.dead_by_gauge.last() {
+            Some(mask) => mask
+                .iter()
+                .enumerate()
+                .filter_map(|(q, &d)| d.then_some(q))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total rejected programming attempts across all gauges.
+    #[must_use]
+    pub fn programming_rejects(&self) -> usize {
+        self.attempts_by_gauge.iter().map(|&a| a - 1).sum()
+    }
+
+    /// Total simulated delay injected by re-programming, microseconds.
+    #[must_use]
+    pub fn total_delay_us(&self) -> f64 {
+        self.delay_before_gauge_us.last().copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_uniform_lands_in_the_half_open_interval() {
+        for seed in 0..10_000u64 {
+            let u = unit_uniform(seed);
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
+    fn inert_configs_are_detected() {
+        assert!(FaultConfig::NONE.is_inert());
+        assert!(FaultConfig::default().is_inert());
+        assert!(FaultConfig::uniform(0.0).is_inert());
+        assert!(!FaultConfig::uniform(0.01).is_inert());
+        let only_flips = FaultConfig {
+            readout_flip_rate: 0.1,
+            ..FaultConfig::NONE
+        };
+        assert!(!only_flips.is_inert());
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates_and_budgets() {
+        assert!(FaultConfig::NONE.validate().is_ok());
+        assert!(FaultConfig::uniform(1.0).validate().is_ok());
+        assert!(FaultConfig::uniform(1.5).validate().is_err());
+        assert!(FaultConfig::uniform(-0.1).validate().is_err());
+        assert!(FaultConfig::uniform(f64::NAN).validate().is_err());
+        let no_attempts = FaultConfig {
+            max_programming_attempts: 0,
+            ..FaultConfig::NONE
+        };
+        assert!(no_attempts.validate().is_err());
+        let bad_backoff = FaultConfig {
+            reprogram_backoff_us: f64::INFINITY,
+            ..FaultConfig::NONE
+        };
+        assert!(bad_backoff.validate().is_err());
+    }
+
+    #[test]
+    fn plans_are_deterministic_in_the_seed() {
+        let cfg = FaultConfig::uniform(0.2);
+        let a = FaultPlan::build(&cfg, 7, 5, 12);
+        let b = FaultPlan::build(&cfg, 7, 5, 12);
+        assert_eq!(a, b);
+        let c = FaultPlan::build(&cfg, 8, 5, 12);
+        assert_ne!(a, c, "different seeds should roll different faults");
+    }
+
+    #[test]
+    fn dropouts_are_cumulative_across_gauges() {
+        let cfg = FaultConfig {
+            qubit_dropout_rate: 0.3,
+            ..FaultConfig::NONE
+        };
+        let plan = FaultPlan::build(&cfg, 3, 6, 20).expect("no programming faults configured");
+        for g in 1..6 {
+            for q in 0..20 {
+                assert!(
+                    !plan.dead_mask(g - 1)[q] || plan.dead_mask(g)[q],
+                    "qubit {q} resurrected at gauge {g}"
+                );
+            }
+        }
+        let dropped = plan.dropped_qubits();
+        assert_eq!(
+            dropped,
+            plan.dead_mask(5)
+                .iter()
+                .enumerate()
+                .filter_map(|(q, &d)| d.then_some(q))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn certain_dropout_kills_every_qubit_at_gauge_zero() {
+        let cfg = FaultConfig {
+            qubit_dropout_rate: 1.0,
+            ..FaultConfig::NONE
+        };
+        let plan = FaultPlan::build(&cfg, 0, 2, 5).unwrap();
+        assert!(plan.dead_mask(0).iter().all(|&d| d));
+        assert_eq!(plan.dropped_qubits(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn certain_rejection_exhausts_the_attempt_budget() {
+        let cfg = FaultConfig {
+            programming_reject_rate: 1.0,
+            max_programming_attempts: 3,
+            ..FaultConfig::NONE
+        };
+        let err = FaultPlan::build(&cfg, 1, 4, 8).unwrap_err();
+        assert_eq!(
+            err,
+            RejectedProgramming {
+                gauge: 0,
+                attempts: 3
+            }
+        );
+    }
+
+    #[test]
+    fn rejections_accumulate_backoff_delay() {
+        // Moderate rejection rate: some gauges reprogram, none exhaust the
+        // (generous) budget for this seed sweep.
+        let cfg = FaultConfig {
+            programming_reject_rate: 0.4,
+            max_programming_attempts: 64,
+            reprogram_backoff_us: 100.0,
+            ..FaultConfig::NONE
+        };
+        let mut saw_reject = false;
+        for seed in 0..20 {
+            let plan = FaultPlan::build(&cfg, seed, 8, 4).expect("budget of 64 never exhausts");
+            let rejects = plan.programming_rejects();
+            saw_reject |= rejects > 0;
+            assert!((plan.total_delay_us() - 100.0 * rejects as f64).abs() < 1e-9);
+            // Delays are non-decreasing over gauges.
+            for g in 1..8 {
+                assert!(plan.delay_before_us(g) >= plan.delay_before_us(g - 1));
+            }
+        }
+        assert!(saw_reject, "40% rejection over 20 seeds must fire");
+    }
+
+    #[test]
+    fn fault_events_merge_and_count() {
+        let mut a = FaultEvents {
+            dropped_qubits: vec![1, 4],
+            readout_flips: 3,
+            stuck_reads: 1,
+            programming_rejects: 2,
+            delay_us: 200.0,
+        };
+        assert_eq!(a.total(), 8);
+        assert!(!a.is_empty());
+        let b = FaultEvents {
+            dropped_qubits: vec![0],
+            readout_flips: 1,
+            stuck_reads: 0,
+            programming_rejects: 1,
+            delay_us: 100.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.dropped_qubits, vec![1, 4, 0]);
+        assert_eq!(a.readout_flips, 4);
+        assert_eq!(a.programming_rejects, 3);
+        assert!((a.delay_us - 300.0).abs() < 1e-12);
+        assert!(FaultEvents::default().is_empty());
+    }
+}

@@ -51,6 +51,7 @@ pub mod behavioral;
 pub mod clusters;
 pub mod device;
 pub mod exact;
+pub mod faults;
 pub mod gauge;
 pub mod metrics;
 pub mod noise;
@@ -62,10 +63,11 @@ pub mod sqa;
 pub use behavioral::{BehavioralConfig, BehavioralSampler};
 pub use device::{DeviceConfig, DeviceError, QuantumAnnealer};
 pub use exact::ExactSampler;
+pub use faults::{FaultConfig, FaultEvents, FaultPlan};
 pub use gauge::Gauge;
 pub use metrics::{success_probability, time_to_solution, time_to_target};
 pub use noise::ControlErrorModel;
 pub use parallel::{derive_seed, parallel_map_with, resolve_threads};
 pub use sa::{SaConfig, SimulatedAnnealingSampler};
-pub use sampler::{ProgrammedSampler, Read, SampleSet, Sampler};
+pub use sampler::{ChainBreakStats, ProgrammedSampler, Read, SampleSet, Sampler};
 pub use sqa::{PathIntegralQmcSampler, SqaConfig};

@@ -6,6 +6,7 @@
 //! wraps a sampler with gauge transformations, control-error noise, and the
 //! per-read timing model.
 
+use crate::faults::FaultEvents;
 use mqo_core::ising::Ising;
 use rand::RngCore;
 
@@ -104,13 +105,25 @@ pub struct Read {
 #[derive(Debug, Clone, Default)]
 pub struct SampleSet {
     reads: Vec<Read>,
+    faults: FaultEvents,
 }
 
 impl SampleSet {
-    /// Wraps reads in chronological order.
+    /// Wraps reads in chronological order (no faults recorded).
     pub fn new(reads: Vec<Read>) -> Self {
+        SampleSet::with_faults(reads, FaultEvents::default())
+    }
+
+    /// Wraps reads in chronological order together with the fault events
+    /// the device injected while producing them.
+    pub fn with_faults(reads: Vec<Read>, faults: FaultEvents) -> Self {
         debug_assert!(reads.windows(2).all(|w| w[0].elapsed_us <= w[1].elapsed_us));
-        SampleSet { reads }
+        SampleSet { reads, faults }
+    }
+
+    /// Fault events injected during the run (all-zero without injection).
+    pub fn faults(&self) -> &FaultEvents {
+        &self.faults
     }
 
     /// All reads in chronological order.
@@ -157,6 +170,86 @@ impl SampleSet {
         }
         out
     }
+
+    /// Per-chain break statistics over all reads, against the given chains
+    /// (dense physical indices per logical variable, e.g. from
+    /// `PhysicalMapping::dense_chains`). A chain is *broken* in a read when
+    /// its qubits disagree; broken chains are repaired by majority vote,
+    /// with exact ties resolved to `true` by convention.
+    pub fn chain_break_stats(&self, chains: &[Vec<usize>]) -> ChainBreakStats {
+        let mut breaks_per_chain = vec![0usize; chains.len()];
+        let mut total_breaks = 0;
+        let mut majority_repairs = 0;
+        let mut tie_breaks = 0;
+        for r in &self.reads {
+            for (c, chain) in chains.iter().enumerate() {
+                let ones = chain.iter().filter(|&&i| r.assignment[i]).count();
+                if ones != 0 && ones != chain.len() {
+                    breaks_per_chain[c] += 1;
+                    total_breaks += 1;
+                    if 2 * ones == chain.len() {
+                        tie_breaks += 1;
+                    } else {
+                        majority_repairs += 1;
+                    }
+                }
+            }
+        }
+        ChainBreakStats {
+            reads: self.reads.len(),
+            breaks_per_chain,
+            total_breaks,
+            majority_repairs,
+            tie_breaks,
+        }
+    }
+}
+
+/// Chain-break statistics of one device run, per chain and aggregated.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChainBreakStats {
+    /// Reads the statistics cover.
+    pub reads: usize,
+    /// Break count per chain (index = logical variable order of the chains
+    /// the statistics were computed against).
+    pub breaks_per_chain: Vec<usize>,
+    /// Total broken-chain observations across all reads and chains.
+    pub total_breaks: usize,
+    /// Broken chains where a strict qubit majority determined the value.
+    pub majority_repairs: usize,
+    /// Broken chains with an exact tie, resolved to `true` by convention.
+    pub tie_breaks: usize,
+}
+
+impl ChainBreakStats {
+    /// Number of chains covered.
+    #[must_use]
+    pub fn num_chains(&self) -> usize {
+        self.breaks_per_chain.len()
+    }
+
+    /// Mean break probability per (read, chain) cell.
+    #[must_use]
+    pub fn break_rate(&self) -> f64 {
+        let cells = self.reads * self.breaks_per_chain.len();
+        if cells == 0 {
+            0.0
+        } else {
+            self.total_breaks as f64 / cells as f64
+        }
+    }
+
+    /// Break rate of the most fragile chain.
+    #[must_use]
+    pub fn max_chain_break_rate(&self) -> f64 {
+        if self.reads == 0 {
+            return 0.0;
+        }
+        self.breaks_per_chain
+            .iter()
+            .map(|&b| b as f64 / self.reads as f64)
+            .fold(0.0, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -200,5 +293,51 @@ mod tests {
         assert_eq!(s.len(), 0);
         assert!(s.best().is_none());
         assert!(s.trajectory().is_empty());
+        assert!(s.faults().is_empty());
+        let stats = s.chain_break_stats(&[]);
+        assert_eq!(stats.break_rate(), 0.0);
+        assert_eq!(stats.max_chain_break_rate(), 0.0);
+    }
+
+    fn read_bits(bits: &[bool]) -> Read {
+        Read {
+            assignment: bits.to_vec(),
+            energy: 0.0,
+            elapsed_us: 376.0,
+            gauge: 0,
+        }
+    }
+
+    #[test]
+    fn chain_break_stats_count_breaks_majorities_and_ties() {
+        // Chains: [0,1,2] and [3,4]. Read 1: first chain broken 2-vs-1
+        // (majority), second intact. Read 2: first intact, second tied.
+        let reads = vec![
+            read_bits(&[true, true, false, false, false]),
+            read_bits(&[false, false, false, true, false]),
+        ];
+        let mut r2 = reads[1].clone();
+        r2.elapsed_us = 752.0;
+        let s = SampleSet::new(vec![reads[0].clone(), r2]);
+        let chains = vec![vec![0, 1, 2], vec![3, 4]];
+        let stats = s.chain_break_stats(&chains);
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.num_chains(), 2);
+        assert_eq!(stats.breaks_per_chain, vec![1, 1]);
+        assert_eq!(stats.total_breaks, 2);
+        assert_eq!(stats.majority_repairs, 1);
+        assert_eq!(stats.tie_breaks, 1);
+        assert!((stats.break_rate() - 0.5).abs() < 1e-12);
+        assert!((stats.max_chain_break_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faults_are_carried_by_the_set() {
+        let faults = crate::faults::FaultEvents {
+            readout_flips: 4,
+            ..Default::default()
+        };
+        let s = SampleSet::with_faults(vec![read(1.0, 376.0)], faults.clone());
+        assert_eq!(s.faults(), &faults);
     }
 }

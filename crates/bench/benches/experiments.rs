@@ -38,7 +38,8 @@ fn bench_experiments(c: &mut Criterion) {
 
     g.bench_function("table1_lin_mqo", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
-        let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng);
+        let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng)
+            .expect("benchmark machine hosts the paper class");
         b.iter(|| {
             bb_mqo::solve(
                 &inst.problem,
@@ -52,7 +53,8 @@ fn bench_experiments(c: &mut Criterion) {
 
     g.bench_function("fig4_5_competitors", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(12);
-        let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng);
+        let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng)
+            .expect("benchmark machine hosts the paper class");
         let cfg = fast_cfg();
         b.iter(|| run_all(&inst, &graph, &cfg))
     });

@@ -14,7 +14,8 @@ use rand_chacha::ChaCha8Rng;
 fn bench_mapping(c: &mut Criterion) {
     let graph = ChimeraGraph::new(6, 6);
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(3), &mut rng);
+    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(3), &mut rng)
+        .expect("benchmark machine hosts the paper class");
     let logical = LogicalMapping::with_default_epsilon(&inst.problem);
 
     let mut g = c.benchmark_group("mapping");

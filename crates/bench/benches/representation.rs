@@ -51,7 +51,8 @@ impl DenseQubo {
 fn bench_representation(c: &mut Criterion) {
     let graph = ChimeraGraph::new(6, 6);
     let mut rng = ChaCha8Rng::seed_from_u64(5);
-    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng);
+    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng)
+        .expect("benchmark machine hosts the paper class");
     let mapping = LogicalMapping::with_default_epsilon(&inst.problem);
     let sparse = mapping.qubo();
     let dense = DenseQubo::from_sparse(sparse);

@@ -18,7 +18,8 @@ use rand_chacha::ChaCha8Rng;
 fn programmed_problem() -> Ising {
     let graph = ChimeraGraph::new(4, 4);
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng);
+    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng)
+        .expect("benchmark machine hosts the paper class");
     let logical = LogicalMapping::with_default_epsilon(&inst.problem);
     let pm =
         PhysicalMapping::new(logical.qubo(), inst.layout.embedding.clone(), &graph, 0.25).unwrap();

@@ -10,9 +10,10 @@
 //! * `QA` — Algorithm 1 on the simulated annealer (simulated device time);
 //! * `CLIMB`, `GA(50)`, `GA(200)` — the randomised heuristics (wall time).
 
-use mqo::pipeline::QuantumMqoSolver;
+use mqo::pipeline::{QuantumMqoOutcome, QuantumMqoSolver, ResilienceConfig};
 use mqo_annealer::behavioral::{BehavioralConfig, BehavioralSampler};
 use mqo_annealer::device::{DeviceConfig, QuantumAnnealer};
+use mqo_annealer::faults::FaultConfig;
 use mqo_chimera::graph::ChimeraGraph;
 use mqo_core::logical::LogicalMapping;
 use mqo_core::problem::MqoProblem;
@@ -33,6 +34,58 @@ pub struct AlgoRun {
     pub trace: Trace,
     /// Whether an exact solver proved optimality within budget.
     pub proved_optimal: bool,
+    /// Fault/resilience accounting — `Some` only for the `QA` track.
+    #[serde(default)]
+    pub resilience: Option<ResilienceSummary>,
+}
+
+/// Flattened fault and resilience counters of one QA run, sized for CSV.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceSummary {
+    /// Total reads across all device runs.
+    pub reads: usize,
+    /// Reads with at least one broken chain.
+    pub broken_chain_reads: usize,
+    /// Reads whose decoded selection needed repair.
+    pub repaired_reads: usize,
+    /// Mean per-read-per-chain break rate of the final run.
+    pub chain_break_rate: f64,
+    /// Break rate of the worst single chain in the final run.
+    pub max_chain_break_rate: f64,
+    /// Qubits that dropped dead during the run(s).
+    pub dropped_qubits: usize,
+    /// Readout bits flipped by injected noise.
+    pub readout_flips: usize,
+    /// Reads replaced wholesale by garbage.
+    pub stuck_reads: usize,
+    /// Rejected gauge programmings (including retried runs).
+    pub programming_rejects: usize,
+    /// Full device re-runs after rejected programmings.
+    pub retries: usize,
+    /// Re-embedding rounds after qubit dropout.
+    pub reembeds: usize,
+    /// Whether the classical fallback produced the final answer.
+    pub fallback: bool,
+}
+
+impl ResilienceSummary {
+    /// Flattens a pipeline outcome into the CSV-ready counters.
+    pub fn from_outcome(out: &QuantumMqoOutcome) -> Self {
+        ResilienceSummary {
+            reads: out.reads,
+            broken_chain_reads: out.broken_chain_reads,
+            repaired_reads: out.repaired_reads,
+            chain_break_rate: out.chain_breaks.break_rate(),
+            max_chain_break_rate: out.chain_breaks.max_chain_break_rate(),
+            dropped_qubits: out.faults.dropped_qubits.len(),
+            readout_flips: out.faults.readout_flips,
+            stuck_reads: out.faults.stuck_reads,
+            programming_rejects: out.faults.programming_rejects,
+            retries: out.retries,
+            reembeds: out.reembeds,
+            fallback: out.fallback,
+        }
+    }
 }
 
 /// Shared experiment parameters.
@@ -55,6 +108,10 @@ pub struct CompetitorConfig {
     /// value; classical competitors are timed on the wall clock, so heavy
     /// oversubscription can stretch their traces.
     pub threads: usize,
+    /// Fault model injected into the QA device (inert by default).
+    pub faults: FaultConfig,
+    /// Resilience policy of the QA pipeline.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for CompetitorConfig {
@@ -67,6 +124,8 @@ impl Default for CompetitorConfig {
             qa_sweeps: 8,
             seed: 0,
             threads: 0,
+            faults: FaultConfig::NONE,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -85,6 +144,7 @@ pub fn run_lin_mqo(problem: &MqoProblem, cfg: &CompetitorConfig) -> AlgoRun {
         name: "LIN-MQO".to_string(),
         trace: out.trace,
         proved_optimal: out.stop == StopReason::Optimal,
+        resilience: None,
     }
 }
 
@@ -107,6 +167,7 @@ pub fn run_lin_qub(problem: &MqoProblem, cfg: &CompetitorConfig) -> AlgoRun {
         name: "LIN-QUB".to_string(),
         trace,
         proved_optimal: out.stop == StopReason::Optimal,
+        resilience: None,
     }
 }
 
@@ -123,6 +184,7 @@ pub fn run_qa(instance: &PaperInstance, graph: &ChimeraGraph, cfg: &CompetitorCo
             num_gauges: cfg.qa_gauges,
             control_error: mqo_annealer::noise::ControlErrorModel::new(cfg.qa_noise),
             threads: cfg.threads,
+            faults: cfg.faults,
             ..DeviceConfig::default()
         },
         BehavioralSampler::new(BehavioralConfig {
@@ -130,7 +192,7 @@ pub fn run_qa(instance: &PaperInstance, graph: &ChimeraGraph, cfg: &CompetitorCo
             ..BehavioralConfig::default()
         }),
     );
-    let solver = QuantumMqoSolver::new(graph.clone(), device);
+    let solver = QuantumMqoSolver::new(graph.clone(), device).with_resilience(cfg.resilience);
     let out = solver
         .solve_with_embedding(
             &instance.problem,
@@ -140,6 +202,7 @@ pub fn run_qa(instance: &PaperInstance, graph: &ChimeraGraph, cfg: &CompetitorCo
         .expect("paper instances embed on their own graph");
     AlgoRun {
         name: "QA".to_string(),
+        resilience: Some(ResilienceSummary::from_outcome(&out)),
         trace: out.trace,
         proved_optimal: false,
     }
@@ -156,6 +219,7 @@ pub fn run_heuristic(
         name: heuristic.name(),
         trace: out.trace,
         proved_optimal: false,
+        resilience: None,
     }
 }
 
@@ -186,7 +250,8 @@ mod tests {
     fn tiny_instance() -> (PaperInstance, ChimeraGraph) {
         let graph = ChimeraGraph::new(2, 2);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng);
+        let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng)
+            .expect("toy graph hosts the paper class");
         (inst, graph)
     }
 
@@ -241,13 +306,41 @@ mod tests {
     }
 
     #[test]
+    fn qa_reports_resilience_counters_and_classical_tracks_do_not() {
+        let (inst, graph) = tiny_instance();
+        let cfg = fast_cfg();
+        assert!(run_lin_mqo(&inst.problem, &cfg).resilience.is_none());
+        let clean = run_qa(&inst, &graph, &cfg);
+        let summary = clean.resilience.expect("QA always reports a summary");
+        assert_eq!(summary.reads, cfg.qa_reads);
+        assert_eq!(summary.dropped_qubits + summary.readout_flips, 0);
+        assert!(!summary.fallback);
+
+        let faulty = run_qa(
+            &inst,
+            &graph,
+            &CompetitorConfig {
+                faults: FaultConfig {
+                    readout_flip_rate: 0.05,
+                    ..FaultConfig::NONE
+                },
+                ..cfg
+            },
+        );
+        let summary = faulty.resilience.expect("QA always reports a summary");
+        assert!(summary.readout_flips > 0, "5% flips over 60 reads must hit");
+        assert!(!faulty.trace.points().is_empty());
+    }
+
+    #[test]
     fn lin_qub_trace_is_on_the_mqo_cost_scale() {
         // Single cell → 4 queries × 2 plans: small enough that the QUBO B&B
         // (whose penalty-laden bound is deliberately weak, cf. the paper's
         // LIN-QUB observations) converges within the test budget.
         let graph = ChimeraGraph::new(1, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng);
+        let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng)
+            .expect("single cell hosts the paper class");
         let cfg = fast_cfg();
         let qub = run_lin_qub(&inst.problem, &cfg);
         let mqo = run_lin_mqo(&inst.problem, &cfg);

@@ -16,7 +16,9 @@
 use mqo_bench::algorithms::CompetitorConfig;
 use mqo_bench::cli::HarnessOptions;
 use mqo_bench::harness::{paper_machine, quantum_speedup, run_class, small_machine};
-use mqo_bench::report::{checkpoint_csv, checkpoint_table, checkpoints_up_to, write_result_file};
+use mqo_bench::report::{
+    checkpoint_csv, checkpoint_table, checkpoints_up_to, fault_csv, fault_table, write_result_file,
+};
 use mqo_workload::paper::PAPER_CLASSES;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -33,9 +35,12 @@ fn main() {
         qa_reads: opts.reads,
         seed: opts.seed,
         threads: opts.threads,
+        faults: opts.fault_config(),
+        resilience: opts.resilience_config(),
         ..CompetitorConfig::default()
     };
     let checkpoints = checkpoints_up_to(opts.budget);
+    let mut classes = Vec::new();
 
     let mut md = String::from("# Figures 4 & 5: cost vs optimization time\n\n");
     let mut csv = String::new();
@@ -86,6 +91,7 @@ fn main() {
             if bounded > 0 { "≥ " } else { "" },
             class.instances.len()
         );
+        classes.push(class);
     }
     md.push_str(&fig6);
     println!("{fig6}");
@@ -98,6 +104,12 @@ fn main() {
         eprintln!("wrote {}", p.display());
     }
     if let Some(p) = write_result_file(&opts.out_dir, "figures4_5.csv", &csv) {
+        eprintln!("wrote {}", p.display());
+    }
+    // Fault/resilience accounting of the QA track (all-zero on clean runs).
+    let faults_md = fault_table(&classes);
+    println!("{faults_md}");
+    if let Some(p) = write_result_file(&opts.out_dir, "faults.csv", &fault_csv(&classes)) {
         eprintln!("wrote {}", p.display());
     }
 }

@@ -27,6 +27,11 @@ use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
 use std::time::Duration;
 
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
 struct Calibration {
     first_read_overhead: f64,
     final_overhead: f64,
@@ -43,7 +48,7 @@ fn measure(
     let solver = QuantumMqoSolver::new(graph.clone(), device);
     let out = solver
         .solve_with_embedding(&inst.problem, inst.layout.embedding.clone(), seed)
-        .expect("paper instance embeds");
+        .unwrap_or_else(|e| fail(e));
     let first = out
         .trace
         .value_at(Duration::from_secs_f64(376e-6))
@@ -65,7 +70,8 @@ fn main() {
     };
     let plans = opts.plans_filter.unwrap_or(2);
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed.wrapping_add(17));
-    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(plans), &mut rng);
+    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(plans), &mut rng)
+        .unwrap_or_else(|e| fail(e));
     eprintln!(
         "instance: {} queries x {plans} plans, {} savings",
         inst.problem.num_queries(),
@@ -81,7 +87,11 @@ fn main() {
             ..MqoBbConfig::default()
         },
     );
-    let optimum = exact.best.as_ref().expect("incumbent").1;
+    let optimum = exact
+        .best
+        .as_ref()
+        .unwrap_or_else(|| fail("reference solver produced no incumbent"))
+        .1;
     eprintln!(
         "reference cost {optimum:.1} ({})",
         if exact.stop == mqo_milp::StopReason::Optimal {

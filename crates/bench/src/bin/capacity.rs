@@ -70,7 +70,15 @@ fn growth(threads: usize) -> String {
             let n = sizes[i];
             let m = triad::triad_block_side(n);
             let g = ChimeraGraph::new(m, m);
-            let e = triad::triad(&g, 0, 0, n).expect("intact block");
+            let e = match triad::triad(&g, 0, 0, n) {
+                Ok(e) => e,
+                Err(err) => {
+                    eprintln!(
+                        "error: TRIAD on an intact {m}x{m} block failed for {n} chains: {err}"
+                    );
+                    std::process::exit(2);
+                }
+            };
             e.qubits_used()
         },
     );

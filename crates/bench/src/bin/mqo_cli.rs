@@ -26,8 +26,13 @@ fn usage() -> ! {
         "usage:\n  mqo_cli generate --kind paper|random|relational [--plans L] [--queries N] \
          [--seed S] [--graph RxC] --out FILE\n  mqo_cli info FILE\n  mqo_cli solve FILE \
          --algo qa|qa-sparse|bb|qubo-bb|climb|ga|greedy|decomposed [--budget-ms MS] \
-         [--reads N] [--seed S] [--threads N] [--graph RxC]"
+         [--reads N] [--seed S] [--threads N] [--graph RxC] [--fault-rate R]"
     );
+    std::process::exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
     std::process::exit(2)
 }
 
@@ -90,7 +95,9 @@ fn generate(args: &Args) {
                 max_queries: queries,
                 ..PaperWorkloadConfig::paper_class(plans)
             };
-            paper::generate(&graph, &cfg, &mut rng).problem
+            paper::generate(&graph, &cfg, &mut rng)
+                .unwrap_or_else(|e| fail(e))
+                .problem
         }
         "random" => generic::generate(
             &RandomWorkloadConfig {
@@ -113,10 +120,12 @@ fn generate(args: &Args) {
         }
         _ => usage(),
     };
-    let json = serde_json::to_string_pretty(&problem).expect("serialisable");
+    let json = serde_json::to_string_pretty(&problem)
+        .unwrap_or_else(|e| fail(format!("cannot serialise the instance: {e}")));
     match flag(args, "out") {
         Some(path) => {
-            std::fs::write(path, json).expect("writable output file");
+            std::fs::write(path, json)
+                .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
             eprintln!(
                 "wrote {} ({} queries, {} plans, {} savings)",
                 path,
@@ -131,8 +140,10 @@ fn generate(args: &Args) {
 
 fn load(args: &Args) -> MqoProblem {
     let path = args.positional.get(1).unwrap_or_else(|| usage());
-    let data = std::fs::read_to_string(path).expect("readable instance file");
-    serde_json::from_str(&data).expect("valid MqoProblem JSON")
+    let data =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    serde_json::from_str(&data)
+        .unwrap_or_else(|e| fail(format!("{path} is not valid MqoProblem JSON: {e}")))
 }
 
 fn info(args: &Args) {
@@ -158,12 +169,17 @@ fn solve(args: &Args) {
     let budget = Duration::from_millis(num_flag(args, "budget-ms", 2000));
     let reads = num_flag(args, "reads", 1000);
     let threads = num_flag(args, "threads", 0);
+    let fault_rate: f64 = num_flag(args, "fault-rate", 0.0);
+    if !(0.0..=1.0).contains(&fault_rate) {
+        fail("--fault-rate must be in [0, 1]");
+    }
     let graph = flag(args, "graph").map_or_else(ChimeraGraph::dwave_2x, parse_graph);
     let device = || {
         QuantumAnnealer::new(
             DeviceConfig {
                 num_reads: reads,
                 threads,
+                faults: FaultConfig::uniform(fault_rate),
                 ..DeviceConfig::default()
             },
             PathIntegralQmcSampler::default(),
@@ -180,7 +196,7 @@ fn solve(args: &Args) {
                 _ => {
                     let out = solver
                         .solve_decomposed(&problem, &DecompositionConfig::default(), seed)
-                        .expect("decomposition always applies");
+                        .unwrap_or_else(|e| fail(e));
                     eprintln!(
                         "decomposed: {} blocks, {} improved, {:.1} ms device time",
                         out.blocks_solved,
@@ -194,6 +210,11 @@ fn solve(args: &Args) {
                         repaired_reads: 0,
                         broken_chain_reads: 0,
                         qubits_used: 0,
+                        faults: FaultEvents::default(),
+                        retries: 0,
+                        reembeds: 0,
+                        fallback: false,
+                        chain_breaks: Default::default(),
                     })
                 }
             };
@@ -215,7 +236,8 @@ fn solve(args: &Args) {
                 "bb: {:?}, {} nodes, root bound {:.3}",
                 out.stop, out.nodes, out.root_bound
             );
-            out.best.expect("incumbent always exists")
+            out.best
+                .unwrap_or_else(|| fail("branch-and-bound produced no incumbent within budget"))
         }
         "qubo-bb" => {
             let mapping = mqo_core::logical::LogicalMapping::with_default_epsilon(&problem);
@@ -227,7 +249,9 @@ fn solve(args: &Args) {
                 },
             );
             eprintln!("qubo-bb: {:?}, {} nodes", out.stop, out.nodes);
-            let (x, _) = out.best.expect("incumbent always exists");
+            let (x, _) = out
+                .best
+                .unwrap_or_else(|| fail("QUBO branch-and-bound produced no incumbent"));
             let (sel, _) = mapping.decode_with_repair(&problem, &x);
             let cost = problem.selection_cost(&sel);
             (sel, cost)
@@ -244,7 +268,7 @@ fn solve(args: &Args) {
 
     problem
         .validate_selection(&selection)
-        .expect("solver returned a valid selection");
+        .unwrap_or_else(|e| fail(format!("solver returned an invalid selection: {e:?}")));
     let plans: Vec<u32> = selection.plans().iter().map(|p| p.0).collect();
     println!(
         "{}",

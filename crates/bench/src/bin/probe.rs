@@ -23,6 +23,18 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::time::{Duration, Instant};
 
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+fn env_num<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| fail(format!("{name} must be numeric, got {v:?}")))
+    })
+}
+
 fn main() {
     let opts = HarnessOptions::from_env();
     let graph = if opts.small {
@@ -33,13 +45,13 @@ fn main() {
     let plans = opts.plans_filter.unwrap_or(3);
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed.wrapping_add(17));
     let mut workload = PaperWorkloadConfig::paper_class(plans);
-    if let Ok(scale) = std::env::var("MQO_PROBE_SCALE") {
-        workload.saving_scale = scale.parse().expect("numeric MQO_PROBE_SCALE");
+    if let Some(scale) = env_num("MQO_PROBE_SCALE") {
+        workload.saving_scale = scale;
     }
-    if let Ok(levels) = std::env::var("MQO_PROBE_COST_LEVELS") {
-        workload.cost_levels = levels.parse().expect("numeric MQO_PROBE_COST_LEVELS");
+    if let Some(levels) = env_num("MQO_PROBE_COST_LEVELS") {
+        workload.cost_levels = levels;
     }
-    let inst = paper::generate(&graph, &workload, &mut rng);
+    let inst = paper::generate(&graph, &workload, &mut rng).unwrap_or_else(|e| fail(e));
     eprintln!(
         "instance: {} queries x {plans} plans, {} vars, {} savings",
         inst.problem.num_queries(),
@@ -73,7 +85,7 @@ fn main() {
                 let t0 = Instant::now();
                 let out = solver
                     .solve_with_embedding(&inst.problem, inst.layout.embedding.clone(), opts.seed)
-                    .unwrap();
+                    .unwrap_or_else(|e| fail(e));
                 let wall = t0.elapsed().as_secs_f64() * 1e3 / out.reads as f64;
                 let first = out
                     .trace
@@ -104,17 +116,17 @@ fn main() {
         },
         {
             let mut bc = mqo_annealer::behavioral::BehavioralConfig::default();
-            if let Ok(v) = std::env::var("MQO_B_RESTARTS") {
-                bc.oracle_restarts = v.parse().unwrap();
+            if let Some(v) = env_num("MQO_B_RESTARTS") {
+                bc.oracle_restarts = v;
             }
-            if let Ok(v) = std::env::var("MQO_B_SWEEPS") {
-                bc.read_sweeps = v.parse().unwrap();
+            if let Some(v) = env_num("MQO_B_SWEEPS") {
+                bc.read_sweeps = v;
             }
-            if let Ok(v) = std::env::var("MQO_B_BETA") {
-                bc.beta = v.parse().unwrap();
+            if let Some(v) = env_num("MQO_B_BETA") {
+                bc.beta = v;
             }
-            if let Ok(v) = std::env::var("MQO_B_THRESH") {
-                bc.cluster_threshold = v.parse().unwrap();
+            if let Some(v) = env_num("MQO_B_THRESH") {
+                bc.cluster_threshold = v;
             }
             BehavioralSampler::new(bc)
         },
@@ -123,7 +135,7 @@ fn main() {
     let t0 = Instant::now();
     let out = solver
         .solve_with_embedding(&inst.problem, inst.layout.embedding.clone(), opts.seed)
-        .unwrap();
+        .unwrap_or_else(|e| fail(e));
     let wall = t0.elapsed().as_secs_f64() * 1e3 / out.reads as f64;
     let first = out
         .trace

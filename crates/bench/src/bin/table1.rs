@@ -57,7 +57,10 @@ fn main() {
             |_, i| {
                 let seed = cfg.seed.wrapping_add(1000 * i as u64 + 17);
                 let mut rng = ChaCha8Rng::seed_from_u64(seed);
-                let inst = paper::generate(&graph, &workload, &mut rng);
+                let inst = match paper::generate(&graph, &workload, &mut rng) {
+                    Ok(inst) => inst,
+                    Err(e) => return Err(format!("class {plans}, seed {seed}: {e}")),
+                };
                 let out = bb_mqo::solve(
                     &inst.problem,
                     &MqoBbConfig {
@@ -66,19 +69,29 @@ fn main() {
                         ..MqoBbConfig::default()
                     },
                 );
-                (seed, inst.problem.num_queries(), out)
+                Ok((seed, inst.problem.num_queries(), out))
             },
         );
         let mut times_ms = Vec::new();
         let mut proved = 0usize;
         let mut queries = 0usize;
-        for (i, (seed, inst_queries, out)) in solved.into_iter().enumerate() {
+        for (i, solved) in solved.into_iter().enumerate() {
+            let (seed, inst_queries, out) = match solved {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot generate instance: {e}");
+                    std::process::exit(2);
+                }
+            };
             queries = inst_queries;
-            let best = out.trace.best().expect("greedy incumbent exists");
-            let t = out
-                .trace
-                .time_to_reach(best)
-                .expect("best value is in the trace");
+            let Some(best) = out.trace.best() else {
+                eprintln!("class {plans}, seed {seed}: no incumbent within budget; skipping");
+                continue;
+            };
+            let Some(t) = out.trace.time_to_reach(best) else {
+                eprintln!("class {plans}, seed {seed}: inconsistent trace; skipping");
+                continue;
+            };
             let is_proved = out.stop == StopReason::Optimal;
             if is_proved {
                 proved += 1;

@@ -82,7 +82,8 @@ pub fn run_class(
         |_, i| {
             let seed = cfg.seed.wrapping_add(1000 * i as u64 + 17);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let inst = paper::generate(graph, &workload, &mut rng);
+            let inst = paper::generate(graph, &workload, &mut rng)
+                .expect("experiment machines host every paper class");
             let run_cfg = CompetitorConfig { seed, ..*cfg };
             let runs = run_all(&inst, graph, &run_cfg);
             let best_known = runs

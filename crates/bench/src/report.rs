@@ -6,6 +6,131 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Duration;
 
+/// Fault/resilience counters of one class, summed over its instances' QA
+/// runs (rates are averaged).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultAggregate {
+    /// QA runs that reported a resilience summary.
+    pub instances: usize,
+    /// Total device reads.
+    pub reads: usize,
+    /// Reads with at least one broken chain.
+    pub broken_chain_reads: usize,
+    /// Reads whose decoded selection needed repair.
+    pub repaired_reads: usize,
+    /// Mean per-read-per-chain break rate across instances.
+    pub mean_chain_break_rate: f64,
+    /// Worst single-chain break rate seen on any instance.
+    pub max_chain_break_rate: f64,
+    /// Qubits that dropped dead.
+    pub dropped_qubits: usize,
+    /// Readout bits flipped by injected noise.
+    pub readout_flips: usize,
+    /// Reads replaced wholesale by garbage.
+    pub stuck_reads: usize,
+    /// Rejected gauge programmings.
+    pub programming_rejects: usize,
+    /// Device re-runs after rejected programmings.
+    pub retries: usize,
+    /// Re-embedding rounds after qubit dropout.
+    pub reembeds: usize,
+    /// Instances the classical fallback had to answer.
+    pub fallbacks: usize,
+}
+
+/// Sums the QA resilience counters of a class. `None` when no instance
+/// carries a summary (e.g. results deserialized from a pre-fault harness).
+pub fn aggregate_resilience(class: &ClassResult) -> Option<FaultAggregate> {
+    let mut agg = FaultAggregate::default();
+    for inst in &class.instances {
+        for run in inst.runs.iter().filter(|r| r.name == "QA") {
+            let Some(s) = run.resilience else { continue };
+            agg.instances += 1;
+            agg.reads += s.reads;
+            agg.broken_chain_reads += s.broken_chain_reads;
+            agg.repaired_reads += s.repaired_reads;
+            agg.mean_chain_break_rate += s.chain_break_rate;
+            agg.max_chain_break_rate = agg.max_chain_break_rate.max(s.max_chain_break_rate);
+            agg.dropped_qubits += s.dropped_qubits;
+            agg.readout_flips += s.readout_flips;
+            agg.stuck_reads += s.stuck_reads;
+            agg.programming_rejects += s.programming_rejects;
+            agg.retries += s.retries;
+            agg.reembeds += s.reembeds;
+            agg.fallbacks += s.fallback as usize;
+        }
+    }
+    if agg.instances == 0 {
+        return None;
+    }
+    agg.mean_chain_break_rate /= agg.instances as f64;
+    Some(agg)
+}
+
+/// Markdown table of the fault/resilience accounting per class.
+pub fn fault_table(classes: &[ClassResult]) -> String {
+    let mut out = String::from("### Fault accounting (QA track)\n");
+    let _ = writeln!(
+        out,
+        "| class | reads | broken chains | repaired | break rate | dropped | \
+         flips | stuck | rejects | retries | reembeds | fallbacks |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|---|");
+    for class in classes {
+        let Some(a) = aggregate_resilience(class) else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {:.4} | {} | {} | {} | {} | {} | {} | {} |",
+            class.label(),
+            a.reads,
+            a.broken_chain_reads,
+            a.repaired_reads,
+            a.mean_chain_break_rate,
+            a.dropped_qubits,
+            a.readout_flips,
+            a.stuck_reads,
+            a.programming_rejects,
+            a.retries,
+            a.reembeds,
+            a.fallbacks
+        );
+    }
+    out
+}
+
+/// CSV of the same counters, one row per class.
+pub fn fault_csv(classes: &[ClassResult]) -> String {
+    let mut out = String::from(
+        "plans,queries,reads,broken_chain_reads,repaired_reads,mean_chain_break_rate,\
+         dropped_qubits,readout_flips,stuck_reads,programming_rejects,retries,reembeds,fallbacks\n",
+    );
+    for class in classes {
+        let Some(a) = aggregate_resilience(class) else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.6},{},{},{},{},{},{},{}",
+            class.plans,
+            class.queries,
+            a.reads,
+            a.broken_chain_reads,
+            a.repaired_reads,
+            a.mean_chain_break_rate,
+            a.dropped_qubits,
+            a.readout_flips,
+            a.stuck_reads,
+            a.programming_rejects,
+            a.retries,
+            a.reembeds,
+            a.fallbacks
+        );
+    }
+    out
+}
+
 /// The paper's measurement checkpoints: 1 ms … 100 s (Figures 4 and 5).
 pub fn paper_checkpoints() -> Vec<Duration> {
     [1u64, 10, 100, 1_000, 10_000, 100_000]
@@ -181,6 +306,42 @@ mod tests {
             1 + ALGORITHMS.len() * cps.len(),
             "csv row count"
         );
+    }
+
+    #[test]
+    fn fault_accounting_aggregates_the_qa_track() {
+        let clean = tiny_class();
+        let agg = aggregate_resilience(&clean).expect("QA reports summaries");
+        assert_eq!(agg.instances, 1);
+        assert_eq!(agg.reads, 30);
+        assert_eq!(agg.fallbacks, 0);
+        assert_eq!(agg.dropped_qubits + agg.readout_flips + agg.stuck_reads, 0);
+
+        let faulty = run_class(
+            &ChimeraGraph::new(2, 2),
+            2,
+            1,
+            &CompetitorConfig {
+                classical_budget: Duration::from_millis(30),
+                qa_reads: 30,
+                qa_gauges: 3,
+                seed: 4,
+                faults: mqo_annealer::faults::FaultConfig {
+                    readout_flip_rate: 0.05,
+                    ..mqo_annealer::faults::FaultConfig::NONE
+                },
+                ..CompetitorConfig::default()
+            },
+        );
+        let agg = aggregate_resilience(&faulty).expect("QA reports summaries");
+        assert!(agg.readout_flips > 0);
+
+        let classes = [clean, faulty];
+        let md = fault_table(&classes);
+        assert!(md.contains("Fault accounting"));
+        let csv = fault_csv(&classes);
+        assert_eq!(csv.lines().count(), 1 + classes.len());
+        assert!(csv.starts_with("plans,queries,reads,"));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! broken qubits); `mqo-chimera::embedding::clustered` handles defects.
 
 use crate::embedding::triad::triad_block_side;
+use crate::embedding::EmbeddingError;
 use crate::graph::CELL_SIZE;
 
 /// Queries with `plans_per_query` plans that fit one intact unit cell
@@ -66,6 +67,23 @@ pub fn max_plans_per_query(num_qubits: usize, num_queries: usize) -> usize {
         }
     }
     best
+}
+
+/// Typed capacity check: `Ok(capacity)` when `num_qubits` (intact,
+/// conceptually square) can host at least one query of `plans_per_query`
+/// plans, otherwise a structured
+/// [`EmbeddingError::InsufficientCapacity`] that callers can surface
+/// instead of panicking on zero-capacity topologies.
+pub fn check_capacity(num_qubits: usize, plans_per_query: usize) -> Result<usize, EmbeddingError> {
+    let capacity = max_queries(num_qubits, plans_per_query);
+    if capacity == 0 {
+        Err(EmbeddingError::InsufficientCapacity {
+            requested: plans_per_query,
+            available: num_qubits,
+        })
+    } else {
+        Ok(capacity)
+    }
 }
 
 /// Average physical qubits consumed per logical variable for uniform
@@ -139,6 +157,20 @@ mod tests {
         // Monotone non-decreasing.
         let vals: Vec<f64> = (2..=20).map(qubits_per_variable).collect();
         assert!(vals.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+    }
+
+    #[test]
+    fn check_capacity_returns_typed_errors_for_impossible_topologies() {
+        assert_eq!(check_capacity(1152, 2), Ok(576));
+        assert_eq!(check_capacity(1152, 5), Ok(144));
+        assert_eq!(
+            check_capacity(4, 2),
+            Err(crate::embedding::EmbeddingError::InsufficientCapacity {
+                requested: 2,
+                available: 4,
+            })
+        );
+        assert!(check_capacity(1152, 0).is_err());
     }
 
     #[test]

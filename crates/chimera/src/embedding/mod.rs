@@ -237,6 +237,36 @@ impl Embedding {
     }
 }
 
+/// Re-embeds `num_vars` variables with required `edges` on a (typically
+/// freshly degraded) graph — the pipeline's recovery entry point after
+/// qubit dropout.
+///
+/// Strategy: scan every TRIAD block origin for a clique embedding that
+/// avoids the broken qubits (cheap, and exact for clique-shaped problems);
+/// if no origin works, fall back to the randomized heuristic embedder
+/// routing only the edges actually required. `tries` (≥ 1) bounds the
+/// heuristic's attempts; the error of the last failing strategy is
+/// returned.
+pub fn reembed(
+    graph: &ChimeraGraph,
+    num_vars: usize,
+    edges: &[(VarId, VarId)],
+    rng: &mut impl rand::Rng,
+    tries: usize,
+) -> Result<Embedding, EmbeddingError> {
+    assert!(num_vars >= 1, "cannot re-embed zero variables");
+    assert!(tries >= 1, "at least one heuristic attempt is required");
+    let m = triad::triad_block_side(num_vars);
+    for row in 0..=graph.rows().saturating_sub(m) {
+        for col in 0..=graph.cols().saturating_sub(m) {
+            if let Ok(e) = triad::triad(graph, row, col, num_vars) {
+                return Ok(e);
+            }
+        }
+    }
+    heuristic::find_embedding(num_vars, edges, graph, rng, tries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +365,51 @@ mod tests {
         .unwrap();
         // var0–var1 share a cell; var2 is isolated from both.
         assert_eq!(e.connectable_pairs(&g), vec![(VarId(0), VarId(1))]);
+    }
+
+    #[test]
+    fn reembed_scans_triad_origins_around_broken_qubits() {
+        use rand::SeedableRng;
+        let g = ChimeraGraph::new(2, 2);
+        // Kill the whole top-left cell: TRIAD at (0, 0) is impossible, but
+        // scanning finds another origin for a 4-clique.
+        let dead: Vec<QubitId> = (0..2)
+            .flat_map(|u| {
+                [
+                    g.qubit(0, 0, Side::Vertical, u),
+                    g.qubit(0, 0, Side::Horizontal, u),
+                ]
+            })
+            .collect();
+        let broken = g.clone().with_broken(&dead);
+        assert!(triad::triad(&broken, 0, 0, 4).is_err());
+        let edges = [
+            (VarId(0), VarId(1)),
+            (VarId(0), VarId(2)),
+            (VarId(1), VarId(3)),
+        ];
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let e = reembed(&broken, 4, &edges, &mut rng, 4).expect("another origin hosts the clique");
+        assert_eq!(e.num_vars(), 4);
+        assert!(e.verify(&broken, edges.iter().copied()).is_ok());
+        for chain in e.chains() {
+            for q in chain {
+                assert!(!dead.contains(q), "re-embedding used a dead qubit");
+            }
+        }
+    }
+
+    #[test]
+    fn reembed_falls_back_to_the_heuristic_for_sparse_problems() {
+        use rand::SeedableRng;
+        // 10 variables exceed the 2x2 TRIAD clique capacity (8), but a
+        // sparse chain of edges routes heuristically.
+        let g = ChimeraGraph::new(2, 2);
+        let edges: Vec<(VarId, VarId)> = (0..9).map(|i| (VarId(i), VarId(i + 1))).collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let e = reembed(&g, 10, &edges, &mut rng, 16).expect("a sparse chain routes on 2x2");
+        assert_eq!(e.num_vars(), 10);
+        assert!(e.verify(&g, edges.iter().copied()).is_ok());
     }
 
     #[test]

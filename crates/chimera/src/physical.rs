@@ -242,6 +242,25 @@ impl PhysicalMapping {
         self.phys_of_qubit[q.index()].map(|p| p as usize)
     }
 
+    /// The chains of the embedding translated to dense physical indices, in
+    /// logical-variable order — the representation device-side machinery
+    /// (sampler hints, chain-break statistics) works with.
+    pub fn dense_chains(&self) -> Vec<Vec<usize>> {
+        self.embedding
+            .chains()
+            .iter()
+            .map(|chain| {
+                chain
+                    .iter()
+                    .map(|&q| {
+                        self.phys_of_qubit(q)
+                            .expect("every chain qubit is an active physical variable")
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// The ferromagnetic strength chosen for a chain.
     #[inline]
     pub fn chain_strength(&self, v: VarId) -> f64 {

@@ -22,5 +22,5 @@ pub mod paper;
 pub mod relational;
 
 pub use generic::RandomWorkloadConfig;
-pub use paper::{PaperInstance, PaperWorkloadConfig};
+pub use paper::{PaperInstance, PaperWorkloadConfig, WorkloadError};
 pub use relational::{RelationalBatch, RelationalConfig};

@@ -18,10 +18,56 @@
 //! instance — exactly how the paper's pipeline works.
 
 use mqo_chimera::embedding::clustered::{self, ClusteredLayout};
+use mqo_chimera::embedding::EmbeddingError;
 use mqo_chimera::graph::ChimeraGraph;
 use mqo_core::ids::PlanId;
 use mqo_core::problem::MqoProblem;
 use rand::Rng;
+
+/// Errors of the workload generators — typed, so harnesses and services can
+/// react to an impossible topology instead of unwinding through a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The (defective) graph cannot host even one query of the requested
+    /// size.
+    ZeroCapacity {
+        /// Plans per query the caller asked for.
+        plans_per_query: usize,
+        /// Working qubits the graph offers.
+        working_qubits: usize,
+    },
+    /// Layout construction failed structurally.
+    Embedding(EmbeddingError),
+    /// The generator configuration is invalid.
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::ZeroCapacity {
+                plans_per_query,
+                working_qubits,
+            } => write!(
+                f,
+                "graph with {working_qubits} working qubits cannot host even one \
+                 query of {plans_per_query} plans"
+            ),
+            WorkloadError::Embedding(e) => write!(f, "layout generation failed: {e}"),
+            WorkloadError::InvalidConfig(msg) => {
+                write!(f, "invalid workload configuration: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<EmbeddingError> for WorkloadError {
+    fn from(e: EmbeddingError) -> Self {
+        WorkloadError::Embedding(e)
+    }
+}
 
 /// Configuration of the paper generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,24 +114,42 @@ pub struct PaperInstance {
 
 /// Generates one instance on the given (possibly defective) graph.
 ///
-/// # Panics
-/// Panics if the graph cannot host a single query of the requested size.
+/// Returns [`WorkloadError::ZeroCapacity`] when the graph cannot host a
+/// single query of the requested size (the old API panicked here), and
+/// [`WorkloadError::InvalidConfig`] for out-of-range knobs.
 pub fn generate(
     graph: &ChimeraGraph,
     config: &PaperWorkloadConfig,
     rng: &mut impl Rng,
-) -> PaperInstance {
-    assert!(config.cost_levels >= 1 && config.saving_levels >= 1);
-    assert!((0.0..=1.0).contains(&config.sharing_probability));
-    assert!(config.saving_scale > 0.0);
+) -> Result<PaperInstance, WorkloadError> {
+    if config.plans_per_query == 0 {
+        return Err(WorkloadError::InvalidConfig(
+            "plans_per_query must be positive",
+        ));
+    }
+    if config.cost_levels < 1 || config.saving_levels < 1 {
+        return Err(WorkloadError::InvalidConfig(
+            "cost_levels and saving_levels must be at least 1",
+        ));
+    }
+    if !(0.0..=1.0).contains(&config.sharing_probability) {
+        return Err(WorkloadError::InvalidConfig(
+            "sharing_probability must lie in [0, 1]",
+        ));
+    }
+    if !(config.saving_scale > 0.0 && config.saving_scale.is_finite()) {
+        return Err(WorkloadError::InvalidConfig(
+            "saving_scale must be finite and positive",
+        ));
+    }
 
-    let layout = clustered::layout_uniform(graph, config.max_queries, config.plans_per_query)
-        .expect("layout generation cannot fail structurally");
-    assert!(
-        layout.num_clusters > 0,
-        "graph too small for even one query of {} plans",
-        config.plans_per_query
-    );
+    let layout = clustered::layout_uniform(graph, config.max_queries, config.plans_per_query)?;
+    if layout.num_clusters == 0 {
+        return Err(WorkloadError::ZeroCapacity {
+            plans_per_query: config.plans_per_query,
+            working_qubits: graph.num_working_qubits(),
+        });
+    }
 
     let mut builder = MqoProblem::builder();
     for _ in 0..layout.num_clusters {
@@ -103,7 +167,7 @@ pub fn generate(
         }
     }
     let problem = builder.build().expect("generated instance is well-formed");
-    PaperInstance { problem, layout }
+    Ok(PaperInstance { problem, layout })
 }
 
 /// The four test-case classes of the paper's evaluation: plans per query 2,
@@ -124,7 +188,7 @@ mod tests {
     fn generated_instance_matches_the_layout_structure() {
         let g = small_graph();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let inst = generate(&g, &PaperWorkloadConfig::paper_class(3), &mut rng);
+        let inst = generate(&g, &PaperWorkloadConfig::paper_class(3), &mut rng).unwrap();
         assert_eq!(inst.problem.num_queries(), inst.layout.num_clusters);
         assert_eq!(inst.problem.num_plans(), inst.layout.embedding.num_vars());
         for q in inst.problem.queries() {
@@ -136,7 +200,7 @@ mod tests {
     fn savings_sit_only_on_connectable_cross_query_pairs() {
         let g = small_graph();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let inst = generate(&g, &PaperWorkloadConfig::paper_class(2), &mut rng);
+        let inst = generate(&g, &PaperWorkloadConfig::paper_class(2), &mut rng).unwrap();
         let available: std::collections::HashSet<_> = inst
             .layout
             .sharing_pairs(&g)
@@ -161,7 +225,7 @@ mod tests {
         use mqo_core::logical::LogicalMapping;
         let g = small_graph();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let inst = generate(&g, &PaperWorkloadConfig::paper_class(2), &mut rng);
+        let inst = generate(&g, &PaperWorkloadConfig::paper_class(2), &mut rng).unwrap();
         let mapping = LogicalMapping::with_default_epsilon(&inst.problem);
         let pm = PhysicalMapping::new(mapping.qubo(), inst.layout.embedding.clone(), &g, 0.25);
         assert!(pm.is_ok(), "{:?}", pm.err());
@@ -173,13 +237,14 @@ mod tests {
         let intact = {
             let mut rng = ChaCha8Rng::seed_from_u64(4);
             generate(&g, &PaperWorkloadConfig::paper_class(5), &mut rng)
+                .unwrap()
                 .problem
                 .num_queries()
         };
         let mut g2 = g.clone();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         g2.break_random_qubits(10, &mut rng);
-        let inst = generate(&g2, &PaperWorkloadConfig::paper_class(5), &mut rng);
+        let inst = generate(&g2, &PaperWorkloadConfig::paper_class(5), &mut rng).unwrap();
         assert!(inst.problem.num_queries() < intact);
         assert!(inst.problem.num_queries() > 0);
     }
@@ -191,8 +256,8 @@ mod tests {
         dense_cfg.sharing_probability = 1.0;
         let mut sparse_cfg = dense_cfg;
         sparse_cfg.sharing_probability = 0.2;
-        let dense = generate(&g, &dense_cfg, &mut ChaCha8Rng::seed_from_u64(6));
-        let sparse = generate(&g, &sparse_cfg, &mut ChaCha8Rng::seed_from_u64(6));
+        let dense = generate(&g, &dense_cfg, &mut ChaCha8Rng::seed_from_u64(6)).unwrap();
+        let sparse = generate(&g, &sparse_cfg, &mut ChaCha8Rng::seed_from_u64(6)).unwrap();
         assert!(sparse.problem.num_savings() < dense.problem.num_savings());
     }
 
@@ -201,7 +266,7 @@ mod tests {
         let g = small_graph();
         let mut cfg = PaperWorkloadConfig::paper_class(2);
         cfg.saving_scale = 10.0;
-        let inst = generate(&g, &cfg, &mut ChaCha8Rng::seed_from_u64(7));
+        let inst = generate(&g, &cfg, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
         for &(_, _, s) in inst.problem.savings() {
             assert!(s == 10.0 || s == 20.0);
         }
@@ -211,22 +276,68 @@ mod tests {
     fn generation_is_deterministic_in_the_seed() {
         let g = small_graph();
         let cfg = PaperWorkloadConfig::paper_class(3);
-        let a = generate(&g, &cfg, &mut ChaCha8Rng::seed_from_u64(8));
-        let b = generate(&g, &cfg, &mut ChaCha8Rng::seed_from_u64(8));
+        let a = generate(&g, &cfg, &mut ChaCha8Rng::seed_from_u64(8)).unwrap();
+        let b = generate(&g, &cfg, &mut ChaCha8Rng::seed_from_u64(8)).unwrap();
         assert_eq!(a.problem, b.problem);
+    }
+
+    #[test]
+    fn zero_capacity_graphs_yield_a_typed_error_instead_of_a_panic() {
+        // Break every qubit of a single-cell graph: nothing can be hosted.
+        use mqo_chimera::graph::QubitId;
+        let g = ChimeraGraph::new(1, 1);
+        let all: Vec<QubitId> = (0..g.num_qubits()).map(|i| QubitId(i as u32)).collect();
+        let dead = g.clone().with_broken(&all);
+        let err = generate(
+            &dead,
+            &PaperWorkloadConfig::paper_class(2),
+            &mut ChaCha8Rng::seed_from_u64(0),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            WorkloadError::ZeroCapacity {
+                plans_per_query: 2,
+                working_qubits: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_configurations_yield_typed_errors() {
+        let g = small_graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut cfg = PaperWorkloadConfig::paper_class(2);
+        cfg.sharing_probability = 1.5;
+        assert!(matches!(
+            generate(&g, &cfg, &mut rng),
+            Err(WorkloadError::InvalidConfig(_))
+        ));
+        let mut cfg = PaperWorkloadConfig::paper_class(2);
+        cfg.saving_scale = 0.0;
+        assert!(matches!(
+            generate(&g, &cfg, &mut rng),
+            Err(WorkloadError::InvalidConfig(_))
+        ));
+        let mut cfg = PaperWorkloadConfig::paper_class(2);
+        cfg.plans_per_query = 0;
+        assert!(matches!(
+            generate(&g, &cfg, &mut rng),
+            Err(WorkloadError::InvalidConfig(_))
+        ));
     }
 
     #[test]
     fn paper_machine_classes_have_paper_scale() {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let g = ChimeraGraph::dwave_2x_as_used_in_paper(&mut rng);
-        let two = generate(&g, &PaperWorkloadConfig::paper_class(2), &mut rng);
+        let two = generate(&g, &PaperWorkloadConfig::paper_class(2), &mut rng).unwrap();
         assert!(
             two.problem.num_queries() >= 500,
             "{}",
             two.problem.num_queries()
         );
-        let five = generate(&g, &PaperWorkloadConfig::paper_class(5), &mut rng);
+        let five = generate(&g, &PaperWorkloadConfig::paper_class(5), &mut rng).unwrap();
         assert!(
             (80..=144).contains(&five.problem.num_queries()),
             "{}",

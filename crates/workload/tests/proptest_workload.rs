@@ -23,11 +23,18 @@ proptest! {
     ) {
         let broken: Vec<QubitId> = defects.into_iter().map(QubitId).collect();
         let graph = ChimeraGraph::new(3, 3).with_broken(&broken);
-        // `paper::generate` documents a panic when the defect pattern
-        // leaves no room for even one query of `plans` plans.
-        prop_assume!(clustered::max_uniform_queries(&graph, plans) > 0);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(plans), &mut rng);
+        let result = paper::generate(&graph, &PaperWorkloadConfig::paper_class(plans), &mut rng);
+        // A defect pattern that leaves no room for even one query must
+        // surface as the typed zero-capacity error, never as a panic.
+        if clustered::max_uniform_queries(&graph, plans) == 0 {
+            prop_assert!(matches!(
+                result,
+                Err(mqo_workload::WorkloadError::ZeroCapacity { .. })
+            ));
+            return Ok(());
+        }
+        let inst = result.expect("graph hosts at least one query");
         prop_assert_eq!(inst.problem.num_queries(), inst.layout.num_clusters);
         prop_assert_eq!(inst.problem.num_plans(), inst.problem.num_queries() * plans);
         for q in inst.problem.queries() {

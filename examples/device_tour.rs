@@ -49,7 +49,8 @@ fn main() {
     }
 
     // ── 4. Program a real instance and inspect the physical formula ────
-    let instance = paper::generate(&graph, &PaperWorkloadConfig::paper_class(3), &mut rng);
+    let instance = paper::generate(&graph, &PaperWorkloadConfig::paper_class(3), &mut rng)
+        .expect("benchmark machine hosts the paper class");
     let logical = LogicalMapping::with_default_epsilon(&instance.problem);
     let physical = PhysicalMapping::new(
         logical.qubo(),

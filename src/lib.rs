@@ -62,8 +62,11 @@ pub mod pipeline;
 /// One-stop imports for the common pipeline types.
 pub mod prelude {
     pub use crate::decomposition::{DecompositionConfig, DecompositionOutcome};
-    pub use crate::pipeline::{PipelineError, QuantumMqoOutcome, QuantumMqoSolver};
+    pub use crate::pipeline::{
+        PipelineError, QuantumMqoOutcome, QuantumMqoSolver, ResilienceConfig,
+    };
     pub use mqo_annealer::device::{DeviceConfig, QuantumAnnealer};
+    pub use mqo_annealer::faults::{FaultConfig, FaultEvents};
     pub use mqo_annealer::sa::SimulatedAnnealingSampler;
     pub use mqo_annealer::sqa::PathIntegralQmcSampler;
     pub use mqo_chimera::graph::ChimeraGraph;

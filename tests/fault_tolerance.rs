@@ -1,0 +1,115 @@
+//! Acceptance tests of the fault-injection + resilience stack: at a 5%
+//! uniform fault rate on the small machine, the pipeline must return a
+//! valid plan selection on every seeded run, never panic, and account for
+//! every injected fault; with faults disabled everything reproduces the
+//! clean pipeline exactly.
+
+use mqo::prelude::*;
+use mqo_workload::paper::{self, PaperWorkloadConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const READS: usize = 40;
+const GAUGES: usize = 4;
+
+/// The scaled-down CI machine of the bench harness: 4×4 cells, ~5% defects.
+fn small_machine() -> ChimeraGraph {
+    let mut g = ChimeraGraph::new(4, 4);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD_2016);
+    g.break_random_qubits(6, &mut rng);
+    g
+}
+
+fn small_instance(graph: &ChimeraGraph) -> paper::PaperInstance {
+    let cfg = PaperWorkloadConfig {
+        max_queries: 6,
+        ..PaperWorkloadConfig::paper_class(2)
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED);
+    paper::generate(graph, &cfg, &mut rng).expect("small machine hosts six queries")
+}
+
+fn solver(
+    graph: &ChimeraGraph,
+    faults: FaultConfig,
+) -> QuantumMqoSolver<SimulatedAnnealingSampler> {
+    QuantumMqoSolver::new(
+        graph.clone(),
+        QuantumAnnealer::new(
+            DeviceConfig {
+                num_reads: READS,
+                num_gauges: GAUGES,
+                faults,
+                ..DeviceConfig::default()
+            },
+            SimulatedAnnealingSampler::default(),
+        ),
+    )
+}
+
+#[test]
+fn five_percent_faults_always_yield_a_valid_selection() {
+    let graph = small_machine();
+    let inst = small_instance(&graph);
+    let s = solver(&graph, FaultConfig::uniform(0.05));
+    let mut total_faults = 0usize;
+    let mut reembeds = 0usize;
+    for seed in 0..50u64 {
+        let out = s
+            .solve_with_embedding(&inst.problem, inst.layout.embedding.clone(), seed)
+            .unwrap_or_else(|e| panic!("seed {seed}: pipeline failed: {e}"));
+        assert!(
+            inst.problem.validate_selection(&out.best.0).is_ok(),
+            "seed {seed}: invalid selection"
+        );
+        assert!(
+            out.faults.total() > 0,
+            "seed {seed}: a 5% fault rate must inject something"
+        );
+        // Every read is accounted for: each successful device run (the
+        // first plus one per completed re-embedding round) contributes
+        // exactly READS reads; fallback-only runs contribute none.
+        if !out.fallback {
+            assert_eq!(out.reads % READS, 0, "seed {seed}");
+            assert!(out.reads >= READS, "seed {seed}");
+            assert!(out.reads <= READS * (1 + out.reembeds), "seed {seed}");
+        }
+        assert_eq!(out.chain_breaks.reads, READS.min(out.reads), "seed {seed}");
+        total_faults += out.faults.total();
+        reembeds += out.reembeds;
+    }
+    assert!(total_faults > 50, "faults must be plentiful at 5%");
+    assert!(reembeds > 0, "5% dropout must trigger re-embeds somewhere");
+}
+
+#[test]
+fn disabled_faults_reproduce_the_clean_pipeline_bit_for_bit() {
+    let graph = small_machine();
+    let inst = small_instance(&graph);
+    let clean = solver(&graph, FaultConfig::NONE);
+    // Inert knobs differ from the default config but inject nothing.
+    let inert = solver(
+        &graph,
+        FaultConfig {
+            max_programming_attempts: 11,
+            reprogram_backoff_us: 123.0,
+            ..FaultConfig::NONE
+        },
+    );
+    for seed in [0u64, 7, 23] {
+        let a = clean
+            .solve_with_embedding(&inst.problem, inst.layout.embedding.clone(), seed)
+            .unwrap();
+        let b = inert
+            .solve_with_embedding(&inst.problem, inst.layout.embedding.clone(), seed)
+            .unwrap();
+        assert_eq!(a.best, b.best, "seed {seed}");
+        assert_eq!(a.trace.points(), b.trace.points(), "seed {seed}");
+        assert_eq!(a.reads, READS);
+        assert!(a.faults.is_empty());
+        assert_eq!(a.retries, 0);
+        assert_eq!(a.reembeds, 0);
+        assert!(!a.fallback);
+        assert_eq!(a.chain_breaks, b.chain_breaks);
+    }
+}

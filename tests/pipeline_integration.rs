@@ -26,7 +26,8 @@ fn quantum_pipeline_matches_exact_solver_on_paper_workloads() {
     let graph = ChimeraGraph::new(3, 3);
     for plans in [2usize, 3, 4, 5] {
         let mut rng = ChaCha8Rng::seed_from_u64(100 + plans as u64);
-        let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(plans), &mut rng);
+        let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(plans), &mut rng)
+            .expect("benchmark machine hosts the paper class");
 
         let exact = bb_mqo::solve(&inst.problem, &MqoBbConfig::default());
         assert_eq!(exact.stop, StopReason::Optimal, "plans={plans}");
@@ -55,7 +56,8 @@ fn exact_sampler_pipeline_is_provably_optimal_on_tiny_instances() {
     // the full logical→physical→anneal→decode loop returns the optimum.
     let graph = ChimeraGraph::new(1, 1);
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng);
+    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(2), &mut rng)
+        .expect("benchmark machine hosts the paper class");
     let solver = QuantumMqoSolver::new(
         graph.clone(),
         QuantumAnnealer::new(
@@ -83,7 +85,8 @@ fn device_time_and_wall_time_are_separate_axes() {
     // even though the simulation takes far longer in wall time.
     let graph = ChimeraGraph::new(2, 2);
     let mut rng = ChaCha8Rng::seed_from_u64(8);
-    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(3), &mut rng);
+    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(3), &mut rng)
+        .expect("benchmark machine hosts the paper class");
     let solver = QuantumMqoSolver::new(graph.clone(), device(100));
     let out = solver
         .solve_with_embedding(&inst.problem, inst.layout.embedding.clone(), 1)
@@ -101,7 +104,8 @@ fn broken_qubits_shrink_capacity_but_pipeline_still_works() {
     let mut graph = ChimeraGraph::new(3, 3);
     let mut rng = ChaCha8Rng::seed_from_u64(21);
     graph.break_random_qubits(12, &mut rng);
-    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(4), &mut rng);
+    let inst = paper::generate(&graph, &PaperWorkloadConfig::paper_class(4), &mut rng)
+        .expect("benchmark machine hosts the paper class");
     assert!(inst.problem.num_queries() < 9, "defects must cost capacity");
     let solver = QuantumMqoSolver::new(graph.clone(), device(200));
     let out = solver

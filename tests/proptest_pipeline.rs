@@ -1,0 +1,81 @@
+//! Property-based test of the resilient pipeline: whatever the fault mix,
+//! `solve` either returns a valid plan selection or a typed, displayable
+//! error — it never panics and never fabricates an invalid answer.
+
+use mqo::prelude::*;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn chain_problem(queries: usize) -> MqoProblem {
+    let mut b = MqoProblem::builder();
+    let mut prev = None;
+    for i in 0..queries {
+        let q = b.add_query(&[2.0 + (i % 3) as f64, 3.0]);
+        let plans = b.plans_of(q);
+        if let Some(p) = prev {
+            b.add_saving(p, plans[0], 1.5).unwrap();
+        }
+        prev = Some(plans[0]);
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn solve_never_panics_and_answers_are_valid_or_typed(
+        queries in 1usize..=4,
+        rate in 0.0f64..0.3,
+        reject in 0.0f64..0.9,
+        seed in 0u64..200,
+        fallback in proptest::bool::ANY,
+    ) {
+        let problem = chain_problem(queries);
+        let solver = QuantumMqoSolver::new(
+            ChimeraGraph::new(2, 2),
+            QuantumAnnealer::new(
+                DeviceConfig {
+                    num_reads: 12,
+                    num_gauges: 3,
+                    faults: FaultConfig {
+                        programming_reject_rate: reject,
+                        ..FaultConfig::uniform(rate)
+                    },
+                    ..DeviceConfig::default()
+                },
+                SimulatedAnnealingSampler::default(),
+            ),
+        )
+        .with_resilience(ResilienceConfig {
+            classical_fallback: fallback,
+            fallback_budget: Duration::from_millis(20),
+            ..ResilienceConfig::default()
+        });
+        match solver.solve(&problem, seed) {
+            Ok(out) => {
+                prop_assert!(problem.validate_selection(&out.best.0).is_ok());
+                prop_assert!(out.best.1.is_finite());
+                // The trace is monotone in simulated device time.
+                let pts = out.trace.points();
+                prop_assert!(!pts.is_empty());
+                prop_assert!(pts.windows(2).all(|w| w[0].elapsed <= w[1].elapsed));
+                // Fallback only fires once the retry budget is spent.
+                if out.fallback {
+                    prop_assert_eq!(out.retries, 2);
+                }
+            }
+            Err(e) => {
+                // Typed and displayable; with the fallback enabled, retry
+                // exhaustion can never surface as an error.
+                prop_assert!(!format!("{e}").is_empty());
+                if fallback {
+                    prop_assert!(!matches!(
+                        e,
+                        mqo::pipeline::PipelineError::RetriesExhausted { .. }
+                    ));
+                }
+            }
+        }
+    }
+}
