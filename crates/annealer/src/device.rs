@@ -39,7 +39,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// Device-level configuration. Defaults follow Section 7.1 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(default)]
 pub struct DeviceConfig {
     /// Annealing time per run, microseconds (paper default: 129).
     pub anneal_time_us: f64,

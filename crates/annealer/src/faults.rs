@@ -48,7 +48,8 @@ pub fn unit_uniform(seed: u64) -> f64 {
 /// Fault-injection model of one device run. The default (all rates zero)
 /// injects nothing and leaves the device bit-identical to the fault-free
 /// code path.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(default)]
 pub struct FaultConfig {
     /// Per-qubit, per-gauge probability that a qubit drops dead before the
     /// gauge is programmed. Dropouts are cumulative for the rest of the run.
@@ -135,7 +136,7 @@ impl FaultConfig {
 /// The pipeline merges the events of every retry/re-embed run it performs,
 /// so `dropped_qubits` may mix dense physical indices from different
 /// embeddings; the *count* is the meaningful aggregate.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FaultEvents {
     /// Dense physical indices of qubits that dropped out during the run.
     pub dropped_qubits: Vec<usize>,

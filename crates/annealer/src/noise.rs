@@ -14,7 +14,7 @@ use mqo_core::ising::Ising;
 use rand::{Rng, RngCore};
 
 /// Gaussian control-error model.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ControlErrorModel {
     /// Noise standard deviation relative to the largest absolute weight.
     /// D-Wave 2X-era hardware is commonly modelled with a few percent.

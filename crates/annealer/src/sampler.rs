@@ -206,7 +206,7 @@ impl SampleSet {
 }
 
 /// Chain-break statistics of one device run, per chain and aggregated.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ChainBreakStats {
     /// Reads the statistics cover.
     pub reads: usize,
@@ -312,7 +312,7 @@ mod tests {
     fn chain_break_stats_count_breaks_majorities_and_ties() {
         // Chains: [0,1,2] and [3,4]. Read 1: first chain broken 2-vs-1
         // (majority), second intact. Read 2: first intact, second tied.
-        let reads = vec![
+        let reads = [
             read_bits(&[true, true, false, false, false]),
             read_bits(&[false, false, false, true, false]),
         ];

@@ -1,0 +1,249 @@
+//! `loadgen` — replays paper-workload request streams against `mqo_serve`
+//! and reports throughput plus p50/p99 latency, split by cache hit/miss.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--requests N] [--clients C] [--structures S]
+//!         [--plans P] [--reads N] [--seed S] [--small]
+//! ```
+//!
+//! Without `--addr` the harness self-hosts a server on a loopback port,
+//! so a single invocation produces the full ISSUE-3 acceptance report:
+//! repeated identical-structure requests must show up as cache hits with
+//! measurably lower latency than the cold (embedding) requests.
+
+use mqo_chimera::graph::ChimeraGraph;
+use mqo_service::engine::EngineConfig;
+use mqo_service::http::roundtrip;
+use mqo_service::server::{Server, ServerConfig};
+use mqo_workload::paper::{self, PaperWorkloadConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct Options {
+    addr: Option<String>,
+    requests: usize,
+    clients: usize,
+    structures: usize,
+    plans: usize,
+    reads: usize,
+    seed: u64,
+    small: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: None,
+            requests: 64,
+            clients: 4,
+            structures: 4,
+            plans: 2,
+            reads: 50,
+            seed: 7,
+            small: true,
+        }
+    }
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("loadgen: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(format!("{flag} needs a value")))
+        };
+        fn num<T: std::str::FromStr>(v: String, flag: &str) -> T {
+            v.parse()
+                .unwrap_or_else(|_| fail(format!("{flag}: cannot parse {v:?}")))
+        }
+        match flag.as_str() {
+            "--addr" => opts.addr = Some(value("--addr")),
+            "--requests" => opts.requests = num(value("--requests"), "--requests"),
+            "--clients" => opts.clients = num(value("--clients"), "--clients"),
+            "--structures" => opts.structures = num(value("--structures"), "--structures"),
+            "--plans" => opts.plans = num(value("--plans"), "--plans"),
+            "--reads" => opts.reads = num(value("--reads"), "--reads"),
+            "--seed" => opts.seed = num(value("--seed"), "--seed"),
+            "--small" => opts.small = true,
+            "--full" => opts.small = false,
+            "--help" | "-h" => {
+                println!(
+                    "loadgen: replay paper-workload streams against mqo_serve\n\
+                     --addr HOST:PORT  target an already-running server (default: self-host)\n\
+                     --requests N      total requests to send (64)\n\
+                     --clients C       concurrent client threads (4)\n\
+                     --structures S    distinct instance structures cycled through (4)\n\
+                     --plans P         plans per query of the paper class (2)\n\
+                     --reads N         annealing reads per request (50)\n\
+                     --seed S          workload generator seed (7)\n\
+                     --small           4-cell Chimera graph [default]\n\
+                     --full            12x12 D-Wave 2X graph"
+                );
+                std::process::exit(0);
+            }
+            other => fail(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if opts.requests == 0 || opts.clients == 0 || opts.structures == 0 {
+        fail("--requests, --clients, and --structures must be positive");
+    }
+    opts
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn mean(us: &[u64]) -> f64 {
+    if us.is_empty() {
+        return 0.0;
+    }
+    us.iter().sum::<u64>() as f64 / us.len() as f64
+}
+
+fn main() {
+    let opts = parse_options();
+    let graph = if opts.small {
+        ChimeraGraph::new(2, 2)
+    } else {
+        ChimeraGraph::dwave_2x()
+    };
+
+    // Distinct structures: vary the sharing pattern per generator seed so
+    // the cache sees `structures` different keys, each repeated
+    // `requests / structures` times.
+    let mut bodies = Vec::new();
+    for s in 0..opts.structures {
+        let cfg = PaperWorkloadConfig {
+            sharing_probability: 0.6,
+            max_queries: 4,
+            ..PaperWorkloadConfig::paper_class(opts.plans)
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed.wrapping_add(s as u64));
+        let inst = paper::generate(&graph, &cfg, &mut rng).unwrap_or_else(|e| fail(e));
+        let mut req = mqo_service::api::SolveRequest::new(inst.problem, opts.seed);
+        req.reads = Some(opts.reads);
+        let body = serde_json::to_string(&req).unwrap_or_else(|e| fail(e));
+        bodies.push(body.into_bytes());
+    }
+
+    // Self-host unless an address was given.
+    let (server, addr): (Option<Server>, SocketAddr) = match &opts.addr {
+        Some(a) => (None, a.parse().unwrap_or_else(|e| fail(e))),
+        None => {
+            let engine = EngineConfig::new(graph.clone());
+            let mut config = ServerConfig::new(engine);
+            config.addr = "127.0.0.1:0".to_string();
+            config.queue.workers = opts.clients.max(2);
+            let server = Server::start(config).unwrap_or_else(|e| fail(e));
+            let addr = server.local_addr();
+            (Some(server), addr)
+        }
+    };
+
+    // Replay: `clients` threads pull request indices off a shared counter,
+    // so the stream interleaves structures exactly like round-robin
+    // arrivals. (index, latency_us, cache_hit) tuples are collected.
+    let bodies = Arc::new(bodies);
+    let next = Arc::new(AtomicUsize::new(0));
+    let samples = Arc::new(Mutex::new(Vec::new()));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..opts.clients {
+        let bodies = Arc::clone(&bodies);
+        let next = Arc::clone(&next);
+        let samples = Arc::clone(&samples);
+        let total = opts.requests;
+        handles.push(std::thread::spawn(move || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                return;
+            }
+            let body = &bodies[i % bodies.len()];
+            let sent = Instant::now();
+            let (status, reply) = roundtrip(addr, "POST", "/solve", body)
+                .unwrap_or_else(|e| fail(format!("request {i}: {e}")));
+            let latency_us = sent.elapsed().as_micros() as u64;
+            if status != 200 {
+                fail(format!(
+                    "request {i}: status {status}: {}",
+                    String::from_utf8_lossy(&reply)
+                ));
+            }
+            let v: serde_json::Value = serde_json::from_slice(&reply).unwrap_or_else(|e| fail(e));
+            let hit = v["cache_hit"].as_bool().unwrap_or(false);
+            samples.lock().unwrap().push((i, latency_us, hit));
+        }));
+    }
+    for h in handles {
+        h.join().unwrap_or_else(|_| fail("client thread panicked"));
+    }
+    let wall = started.elapsed();
+
+    let (status, metrics_body) = roundtrip(addr, "GET", "/metrics", b"")
+        .unwrap_or_else(|e| fail(format!("GET /metrics: {e}")));
+    if status != 200 {
+        fail(format!("GET /metrics: status {status}"));
+    }
+    let metrics: serde_json::Value =
+        serde_json::from_slice(&metrics_body).unwrap_or_else(|e| fail(e));
+
+    if let Some(server) = server {
+        let _ = roundtrip(addr, "POST", "/shutdown", b"");
+        server.wait();
+    }
+
+    let samples = samples.lock().unwrap();
+    let mut all: Vec<u64> = samples.iter().map(|&(_, us, _)| us).collect();
+    let mut hits: Vec<u64> = samples
+        .iter()
+        .filter(|&&(_, _, h)| h)
+        .map(|&(_, us, _)| us)
+        .collect();
+    let mut misses: Vec<u64> = samples
+        .iter()
+        .filter(|&&(_, _, h)| !h)
+        .map(|&(_, us, _)| us)
+        .collect();
+    all.sort_unstable();
+    hits.sort_unstable();
+    misses.sort_unstable();
+
+    let report = serde_json::json!({
+        "requests": samples.len(),
+        "clients": opts.clients,
+        "structures": opts.structures,
+        "wall_ms": wall.as_secs_f64() * 1e3,
+        "throughput_rps": samples.len() as f64 / wall.as_secs_f64().max(1e-9),
+        "p50_us": percentile(&all, 0.50),
+        "p99_us": percentile(&all, 0.99),
+        "cache_hits": hits.len(),
+        "cache_misses": misses.len(),
+        "hit_mean_us": mean(&hits),
+        "hit_p50_us": percentile(&hits, 0.50),
+        "miss_mean_us": mean(&misses),
+        "miss_p50_us": percentile(&misses, 0.50),
+        "server_metrics": metrics,
+    });
+    println!("{report}");
+
+    // The acceptance signal: repeated structures must be hits, and the hit
+    // path (weights-only reprogramming) must be at least as fast on median.
+    if samples.len() > opts.structures && hits.is_empty() {
+        fail("no cache hits despite repeated structures");
+    }
+}

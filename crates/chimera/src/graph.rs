@@ -147,6 +147,39 @@ impl ChimeraGraph {
         self.working.iter().filter(|&&w| w).count()
     }
 
+    /// Stable FNV-1a fingerprint of the topology: dimensions plus the
+    /// working-qubit bitmap. Two graphs with equal fingerprints host exactly
+    /// the same embeddings, so this participates in embedding-cache keys
+    /// alongside the problem's structure hash.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.rows as u64);
+        mix(self.cols as u64);
+        // Pack the bitmap into words so the byte stream stays compact.
+        let mut word = 0u64;
+        for (i, &w) in self.working.iter().enumerate() {
+            if w {
+                word |= 1 << (i % 64);
+            }
+            if i % 64 == 63 {
+                mix(word);
+                word = 0;
+            }
+        }
+        if !self.working.len().is_multiple_of(64) {
+            mix(word);
+        }
+        h
+    }
+
     /// Whether a qubit is functional.
     #[inline]
     pub fn is_working(&self, q: QubitId) -> bool {

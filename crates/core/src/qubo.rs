@@ -113,6 +113,37 @@ impl Qubo {
         lin.max(quad)
     }
 
+    /// Canonical hash of the problem's *structure* — the variable count and
+    /// the sorted quadratic adjacency, ignoring all weights.
+    ///
+    /// Minor embeddings depend only on this structure (Choi's construction
+    /// routes edges, not weights), so two QUBOs with equal `structure_hash`
+    /// can share an embedding and differ only in the weights programmed onto
+    /// it. This is the cache key of the service layer's embedding cache.
+    ///
+    /// The hash is a fixed FNV-1a over the canonical upper-triangular edge
+    /// list: stable across processes, platforms, and compiler versions (it
+    /// never goes through `std::hash`).
+    pub fn structure_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.n as u64);
+        // `quad` is already sorted upper-triangular (BTreeMap order), so the
+        // byte stream is canonical for the structure.
+        for &(i, j, _) in &self.quad {
+            mix(u64::from(i.0));
+            mix(u64::from(j.0));
+        }
+        h
+    }
+
     /// Exhaustive minimisation for tests and tiny instances (`n ≤ 24`).
     /// Returns a minimising assignment and its energy; ties break towards the
     /// lexicographically smallest assignment (all-false first).
@@ -260,6 +291,28 @@ mod tests {
         // Optimum: x1 = x2 = 1, x0 = 0 → −3 + 1 − 2 = −4.
         assert_eq!(x, vec![false, true, true]);
         assert_eq!(e, -4.0);
+    }
+
+    #[test]
+    fn structure_hash_ignores_weights_but_not_structure() {
+        let h = small_qubo().structure_hash();
+        // Same adjacency, completely different weights.
+        let mut b = Qubo::builder(3);
+        b.add_linear(VarId(0), -7.5);
+        b.add_quadratic(VarId(0), VarId(1), 0.125);
+        b.add_quadratic(VarId(1), VarId(2), 99.0);
+        assert_eq!(b.build().structure_hash(), h);
+        // One extra edge changes the hash.
+        let mut b = Qubo::builder(3);
+        b.add_quadratic(VarId(0), VarId(1), 4.0);
+        b.add_quadratic(VarId(1), VarId(2), -2.0);
+        b.add_quadratic(VarId(0), VarId(2), 1.0);
+        assert_ne!(b.build().structure_hash(), h);
+        // A different variable count changes the hash even with equal edges.
+        let mut b = Qubo::builder(4);
+        b.add_quadratic(VarId(0), VarId(1), 4.0);
+        b.add_quadratic(VarId(1), VarId(2), -2.0);
+        assert_ne!(b.build().structure_hash(), h);
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! `mqo_serve` — the batching MQO solve server.
+//!
+//! ```text
+//! mqo_serve [--addr 127.0.0.1:7700] [--small] [--reads N] [--gauges N]
+//!           [--threads N] [--queue-depth N] [--workers N] [--batch N]
+//!           [--cache-capacity N] [--fault-rate F] [--derating F]
+//!           [--deadline-ms N] [--milp-max-queries N] [--budget-ms N]
+//! ```
+//!
+//! Binds, prints `listening on <addr>` (scripts parse that line), then
+//! serves until `POST /shutdown` arrives; shutdown drains the queue before
+//! the process exits.
+
+use mqo_chimera::graph::ChimeraGraph;
+use mqo_service::engine::EngineConfig;
+use mqo_service::queue::QueueConfig;
+use mqo_service::server::{Server, ServerConfig};
+use std::time::Duration;
+
+struct Options {
+    addr: String,
+    small: bool,
+    reads: usize,
+    gauges: usize,
+    threads: usize,
+    queue_depth: usize,
+    workers: usize,
+    batch: usize,
+    cache_capacity: usize,
+    fault_rate: f64,
+    derating: f64,
+    deadline_ms: u64,
+    milp_max_queries: usize,
+    budget_ms: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:7700".to_string(),
+            small: false,
+            reads: 100,
+            gauges: 10,
+            threads: 0,
+            queue_depth: 64,
+            workers: 2,
+            batch: 8,
+            cache_capacity: 128,
+            fault_rate: 0.0,
+            derating: 0.0,
+            deadline_ms: 0,
+            milp_max_queries: 14,
+            budget_ms: 250,
+        }
+    }
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--small" => opts.small = true,
+            "--reads" => opts.reads = parse(&value("--reads")?, "--reads")?,
+            "--gauges" => opts.gauges = parse(&value("--gauges")?, "--gauges")?,
+            "--threads" => opts.threads = parse(&value("--threads")?, "--threads")?,
+            "--queue-depth" => opts.queue_depth = parse(&value("--queue-depth")?, "--queue-depth")?,
+            "--workers" => opts.workers = parse(&value("--workers")?, "--workers")?,
+            "--batch" => opts.batch = parse(&value("--batch")?, "--batch")?,
+            "--cache-capacity" => {
+                opts.cache_capacity = parse(&value("--cache-capacity")?, "--cache-capacity")?
+            }
+            "--fault-rate" => opts.fault_rate = parse(&value("--fault-rate")?, "--fault-rate")?,
+            "--derating" => opts.derating = parse(&value("--derating")?, "--derating")?,
+            "--deadline-ms" => opts.deadline_ms = parse(&value("--deadline-ms")?, "--deadline-ms")?,
+            "--milp-max-queries" => {
+                opts.milp_max_queries = parse(&value("--milp-max-queries")?, "--milp-max-queries")?
+            }
+            "--budget-ms" => opts.budget_ms = parse(&value("--budget-ms")?, "--budget-ms")?,
+            "--help" | "-h" => {
+                println!(
+                    "mqo_serve: batching MQO solve server\n\
+                     --addr A            bind address (default 127.0.0.1:7700)\n\
+                     --small             4-cell Chimera graph instead of the 12x12 D-Wave 2X\n\
+                     --reads N           default annealing reads per request (100)\n\
+                     --gauges N          default gauge batches per request (10)\n\
+                     --threads N         device read-execution threads, 0 = all cores (0)\n\
+                     --queue-depth N     admission queue bound (64)\n\
+                     --workers N         solve workers (2)\n\
+                     --batch N           max requests per worker wake-up (8)\n\
+                     --cache-capacity N  embedding cache entries, 0 disables (128)\n\
+                     --fault-rate F      per-gauge qubit dropout probability (0)\n\
+                     --derating F        capacity fraction withheld from routing (0)\n\
+                     --deadline-ms N     default queue deadline, 0 = none (0)\n\
+                     --milp-max-queries N  MILP routing bound (14)\n\
+                     --budget-ms N       classical backend wall budget (250)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: cannot parse {value:?}"))
+}
+
+fn main() {
+    let opts = match parse_options() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mqo_serve: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+
+    let graph = if opts.small {
+        ChimeraGraph::new(2, 2)
+    } else {
+        ChimeraGraph::dwave_2x()
+    };
+    let mut engine = EngineConfig::new(graph);
+    engine.device.num_reads = opts.reads.max(1);
+    engine.device.num_gauges = opts.gauges.clamp(1, engine.device.num_reads);
+    engine.device.threads = opts.threads;
+    engine.device.faults.qubit_dropout_rate = opts.fault_rate;
+    engine.cache_capacity = opts.cache_capacity;
+    engine.router.capacity_derating = if opts.fault_rate > 0.0 && opts.derating == 0.0 {
+        // A faulty device should not be routed instances that only fit a
+        // pristine chip; derate capacity by the dropout rate by default.
+        opts.fault_rate
+    } else {
+        opts.derating
+    };
+    engine.router.milp_max_queries = opts.milp_max_queries;
+    engine.classical_budget = Duration::from_millis(opts.budget_ms.max(1));
+
+    let mut config = ServerConfig::new(engine);
+    config.addr = opts.addr;
+    config.queue = QueueConfig {
+        depth: opts.queue_depth.max(1),
+        workers: opts.workers.max(1),
+        batch_size: opts.batch.max(1),
+        default_deadline_ms: opts.deadline_ms,
+    };
+
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mqo_serve: cannot bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    server.wait();
+    println!("drained and stopped");
+}

@@ -1,0 +1,234 @@
+//! The embedding/programming cache.
+//!
+//! Choi's minor-embedding construction depends only on the *structure* of
+//! the QUBO adjacency — which variables interact — never on the weights
+//! (Section 5 of the paper). Structurally identical MQO instances can
+//! therefore reuse one cached embedding and only re-derive the Ising
+//! weights, which turns the dominant per-request cost (placement/routing)
+//! into a lookup.
+//!
+//! Keys pair the canonical structure hash of the logical QUBO
+//! (`Qubo::structure_hash`) with the topology fingerprint of the device
+//! graph (`ChimeraGraph::fingerprint`): an embedding is only valid for the
+//! exact graph it was routed on. The cache is a bounded LRU with hit, miss,
+//! and eviction counters; all access is through one mutex (lookups are
+//! nanoseconds against solves that are milliseconds).
+
+use mqo_chimera::embedding::Embedding;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: problem structure × device topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheKey {
+    /// `Qubo::structure_hash` of the logical formula.
+    pub structure: u64,
+    /// `ChimeraGraph::fingerprint` of the graph the embedding was routed on.
+    pub graph: u64,
+}
+
+/// Counter snapshot of an [`EmbeddingCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found a reusable embedding.
+    pub hits: u64,
+    /// Lookups that required a fresh placement.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub len: usize,
+    /// The configured bound.
+    pub capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// Key → (embedding, recency stamp of the last touch).
+    map: HashMap<CacheKey, (Arc<Embedding>, u64)>,
+    /// Recency stamp → key, oldest first; kept in lockstep with `map`.
+    recency: BTreeMap<u64, CacheKey>,
+    /// Monotonic touch counter.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded LRU cache of minor embeddings.
+#[derive(Debug)]
+pub struct EmbeddingCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl EmbeddingCache {
+    /// Creates a cache bounded to `capacity` entries (`capacity = 0`
+    /// disables caching: every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        EmbeddingCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+        }
+    }
+
+    /// Looks up an embedding, bumping its recency. Counts a hit or a miss.
+    pub fn get(&self, key: CacheKey) -> Option<Arc<Embedding>> {
+        let mut inner = self.inner.lock().expect("cache mutex poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some((embedding, stamp)) => {
+                let old = std::mem::replace(stamp, tick);
+                let embedding = Arc::clone(embedding);
+                inner.recency.remove(&old);
+                inner.recency.insert(tick, key);
+                inner.hits += 1;
+                Some(embedding)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an embedding, evicting the least recently
+    /// used entry when the bound is exceeded.
+    pub fn insert(&self, key: CacheKey, embedding: Arc<Embedding>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache mutex poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((_, old)) = inner.map.insert(key, (embedding, tick)) {
+            inner.recency.remove(&old);
+        }
+        inner.recency.insert(tick, key);
+        while inner.map.len() > self.capacity {
+            let (&oldest, &victim) = inner
+                .recency
+                .iter()
+                .next()
+                .expect("recency tracks every entry");
+            inner.recency.remove(&oldest);
+            inner.map.remove(&victim);
+            inner.evictions += 1;
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache mutex poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_chimera::graph::ChimeraGraph;
+
+    fn embedding(n: usize) -> Arc<Embedding> {
+        use mqo_chimera::embedding::triad;
+        let g = ChimeraGraph::new(2, 2);
+        Arc::new(triad::triad(&g, 0, 0, n).unwrap())
+    }
+
+    fn key(structure: u64) -> CacheKey {
+        CacheKey {
+            structure,
+            graph: 1,
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = EmbeddingCache::new(4);
+        assert!(cache.get(key(1)).is_none());
+        cache.insert(key(1), embedding(2));
+        let e = cache.get(key(1)).expect("inserted entry is found");
+        assert_eq!(e.num_vars(), 2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.len), (1, 1, 0, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let cache = EmbeddingCache::new(2);
+        cache.insert(key(1), embedding(2));
+        cache.insert(key(2), embedding(3));
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert!(cache.get(key(1)).is_some());
+        cache.insert(key(3), embedding(4));
+        assert!(cache.get(key(2)).is_none(), "LRU entry was evicted");
+        assert!(cache.get(key(1)).is_some());
+        assert!(cache.get(key(3)).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.len, 2);
+    }
+
+    #[test]
+    fn capacity_bound_is_never_exceeded() {
+        let cache = EmbeddingCache::new(3);
+        for i in 0..50 {
+            cache.insert(key(i), embedding(2));
+            assert!(cache.stats().len <= 3);
+        }
+        let s = cache.stats();
+        assert_eq!(s.len, 3);
+        assert_eq!(s.evictions, 47);
+        // The three most recent keys survive.
+        for i in 47..50 {
+            assert!(cache.get(key(i)).is_some(), "key {i} should be cached");
+        }
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_leak_recency_entries() {
+        let cache = EmbeddingCache::new(2);
+        for _ in 0..10 {
+            cache.insert(key(1), embedding(2));
+        }
+        cache.insert(key(2), embedding(2));
+        cache.insert(key(3), embedding(2));
+        let s = cache.stats();
+        assert_eq!(s.len, 2);
+        assert_eq!(s.evictions, 1, "only key 1 was ever displaced");
+    }
+
+    #[test]
+    fn different_graphs_do_not_share_entries() {
+        let cache = EmbeddingCache::new(4);
+        cache.insert(
+            CacheKey {
+                structure: 7,
+                graph: 1,
+            },
+            embedding(2),
+        );
+        assert!(cache
+            .get(CacheKey {
+                structure: 7,
+                graph: 2,
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching_without_panicking() {
+        let cache = EmbeddingCache::new(0);
+        cache.insert(key(1), embedding(2));
+        assert!(cache.get(key(1)).is_none());
+        assert_eq!(cache.stats().len, 0);
+    }
+}

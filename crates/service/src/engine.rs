@@ -1,0 +1,428 @@
+//! The solve engine: routing, the embedding cache, and the three backends
+//! behind one synchronous `solve` call. Workers of the batching queue share
+//! one engine; everything inside is `Sync`.
+
+use crate::api::{Backend, Reject, SolveRequest, SolveResponse};
+use crate::cache::{CacheKey, CacheStats, EmbeddingCache};
+use crate::metrics::Metrics;
+use crate::router::{route, RouteDecision, RouterConfig};
+use mqo::pipeline::{PipelineError, QuantumMqoSolver, ResilienceConfig};
+use mqo_annealer::device::{DeviceConfig, QuantumAnnealer};
+use mqo_annealer::sa::SimulatedAnnealingSampler;
+use mqo_chimera::embedding::{embed_structure, EmbeddingError};
+use mqo_chimera::graph::ChimeraGraph;
+use mqo_core::logical::LogicalMapping;
+use mqo_core::solution::Selection;
+use mqo_heuristics::HillClimbing;
+use mqo_milp::bb_mqo::{self, MqoBbConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine configuration. [`EngineConfig::new`] applies service defaults
+/// sized for interactive latency (100 reads, not the paper's offline 1000).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Device topology.
+    pub graph: ChimeraGraph,
+    /// Device protocol defaults; per-request `reads`/`gauges` override them.
+    pub device: DeviceConfig,
+    /// Fault-tolerance policy of the pipeline.
+    pub resilience: ResilienceConfig,
+    /// Weight slack ε of both mapping stages (paper: 0.25).
+    pub epsilon: f64,
+    /// LRU bound of the embedding cache (0 disables caching).
+    pub cache_capacity: usize,
+    /// Routing policy.
+    pub router: RouterConfig,
+    /// Attempts of the heuristic embedder on cache misses.
+    pub embed_tries: usize,
+    /// Wall-clock budget of the classical backends.
+    pub classical_budget: Duration,
+    /// Hard cap on per-request annealing reads.
+    pub max_reads: usize,
+}
+
+impl EngineConfig {
+    /// Service defaults on the given topology.
+    pub fn new(graph: ChimeraGraph) -> Self {
+        EngineConfig {
+            graph,
+            device: DeviceConfig {
+                num_reads: 100,
+                num_gauges: 10,
+                ..DeviceConfig::default()
+            },
+            resilience: ResilienceConfig::default(),
+            epsilon: 0.25,
+            cache_capacity: 128,
+            router: RouterConfig::default(),
+            embed_tries: 16,
+            classical_budget: Duration::from_millis(250),
+            max_reads: 10_000,
+        }
+    }
+}
+
+/// The shared, thread-safe solve engine.
+#[derive(Debug)]
+pub struct SolveEngine {
+    config: EngineConfig,
+    graph_fingerprint: u64,
+    cache: EmbeddingCache,
+    metrics: Arc<Metrics>,
+}
+
+impl SolveEngine {
+    /// Builds the engine, fingerprinting the graph once.
+    pub fn new(config: EngineConfig, metrics: Arc<Metrics>) -> Self {
+        let graph_fingerprint = config.graph.fingerprint();
+        let cache = EmbeddingCache::new(config.cache_capacity);
+        SolveEngine {
+            config,
+            graph_fingerprint,
+            cache,
+            metrics,
+        }
+    }
+
+    /// The shared metrics handle.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Embedding-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Solves one admitted request synchronously. Never panics on
+    /// well-formed input: every failure path is a typed [`Reject`].
+    pub fn solve(&self, req: &SolveRequest) -> Result<SolveResponse, Reject> {
+        let start = Instant::now();
+        let decision = match req.backend {
+            Some(backend) => RouteDecision {
+                backend,
+                reason: "pinned by request".to_string(),
+            },
+            None => route(&req.problem, &self.config.graph, &self.config.router),
+        };
+
+        let mut response = match decision.backend {
+            Backend::Annealer => match self.solve_annealer(req) {
+                Ok(r) => r,
+                // Structure the router admitted but the embedder could not
+                // place (e.g. a dense savings graph on a degraded chip):
+                // degrade to the classical path instead of failing the
+                // request.
+                Err(AnnealerFailure::Embedding(e)) => {
+                    let mut r = self.solve_climbing(req);
+                    r.route_reason = format!("embedding failed ({e}); degraded to hill climbing");
+                    r
+                }
+                Err(AnnealerFailure::Fatal(detail)) => {
+                    Metrics::inc(&self.metrics.rejected_unsolvable);
+                    return Err(Reject::Unsolvable { detail });
+                }
+            },
+            Backend::Milp => self.solve_milp(req),
+            Backend::HillClimbing => self.solve_climbing(req),
+        };
+        if response.route_reason.is_empty() {
+            response.route_reason = decision.reason;
+        }
+        match response.backend {
+            Backend::Annealer => Metrics::inc(&self.metrics.backend_annealer),
+            Backend::Milp => Metrics::inc(&self.metrics.backend_milp),
+            Backend::HillClimbing => Metrics::inc(&self.metrics.backend_hill_climbing),
+        }
+        // Mirror cache counters into the service metrics (single source of
+        // truth stays the cache; /metrics reports both consistently).
+        let cs = self.cache.stats();
+        self.metrics
+            .cache_hits
+            .store(cs.hits, std::sync::atomic::Ordering::Relaxed);
+        self.metrics
+            .cache_misses
+            .store(cs.misses, std::sync::atomic::Ordering::Relaxed);
+        self.metrics
+            .cache_evictions
+            .store(cs.evictions, std::sync::atomic::Ordering::Relaxed);
+        Metrics::inc(&self.metrics.solved_total);
+        response.wall_us = start.elapsed().as_micros() as u64;
+        Ok(response)
+    }
+
+    fn solve_annealer(&self, req: &SolveRequest) -> Result<SolveResponse, AnnealerFailure> {
+        let logical = LogicalMapping::new(&req.problem, self.config.epsilon);
+        let key = CacheKey {
+            structure: logical.qubo().structure_hash(),
+            graph: self.graph_fingerprint,
+        };
+        let (embedding, cache_hit) = match self.cache.get(key) {
+            Some(e) => (e, true),
+            None => {
+                let edges: Vec<_> = logical
+                    .qubo()
+                    .quadratic()
+                    .iter()
+                    .map(|&(a, b, _)| (a, b))
+                    .collect();
+                let e = embed_structure(
+                    &self.config.graph,
+                    logical.qubo().num_vars(),
+                    &edges,
+                    key.structure,
+                    self.config.embed_tries,
+                )
+                .map_err(AnnealerFailure::Embedding)?;
+                let e = Arc::new(e);
+                self.cache.insert(key, Arc::clone(&e));
+                (e, false)
+            }
+        };
+
+        let mut device = self.config.device;
+        if let Some(reads) = req.reads {
+            device.num_reads = reads.clamp(1, self.config.max_reads);
+        }
+        if let Some(gauges) = req.gauges {
+            device.num_gauges = gauges.clamp(1, device.num_reads);
+        }
+        device.num_gauges = device.num_gauges.min(device.num_reads);
+
+        let solver = QuantumMqoSolver {
+            graph: self.config.graph.clone(),
+            device: QuantumAnnealer::new(device, SimulatedAnnealingSampler::default()),
+            epsilon: self.config.epsilon,
+            resilience: self.config.resilience,
+        };
+        let outcome = solver
+            .solve_with_embedding(&req.problem, (*embedding).clone(), req.seed)
+            .map_err(|e| match e {
+                PipelineError::Embedding(e) => AnnealerFailure::Embedding(e),
+                other => AnnealerFailure::Fatal(other.to_string()),
+            })?;
+        let (selection, cost) = outcome.best;
+        Ok(SolveResponse {
+            selection: selection.plans().iter().map(|p| p.0).collect(),
+            cost,
+            backend: Backend::Annealer,
+            route_reason: String::new(),
+            cache_hit,
+            reads: outcome.reads,
+            qubits_used: outcome.qubits_used,
+            device_time_us: outcome
+                .trace
+                .points()
+                .last()
+                .map_or(0.0, |p| p.elapsed.as_secs_f64() * 1e6),
+            wall_us: 0,
+            queue_wait_us: 0,
+        })
+    }
+
+    fn solve_milp(&self, req: &SolveRequest) -> SolveResponse {
+        let outcome = bb_mqo::solve(
+            &req.problem,
+            &MqoBbConfig {
+                deadline: Some(self.config.classical_budget),
+                ..MqoBbConfig::default()
+            },
+        );
+        match outcome.best {
+            Some((selection, cost)) => SolveResponse {
+                selection: selection.plans().iter().map(|p| p.0).collect(),
+                cost,
+                backend: Backend::Milp,
+                route_reason: String::new(),
+                cache_hit: false,
+                reads: 0,
+                qubits_used: 0,
+                device_time_us: 0.0,
+                wall_us: 0,
+                queue_wait_us: 0,
+            },
+            // Branch-and-bound found nothing inside the budget (it always
+            // has an incumbent in practice, but stay total): climb instead.
+            None => {
+                let mut r = self.solve_climbing(req);
+                r.route_reason = "MILP budget produced no incumbent; climbed instead".to_string();
+                r
+            }
+        }
+    }
+
+    fn solve_climbing(&self, req: &SolveRequest) -> SolveResponse {
+        let problem = &req.problem;
+        let deadline = Instant::now() + self.config.classical_budget;
+        let first = Selection::new(
+            problem
+                .queries()
+                .map(|q| {
+                    problem
+                        .plans_of(q)
+                        .next()
+                        .expect("every query has at least one plan")
+                })
+                .collect(),
+        );
+        let (mut best_sel, mut best_cost) = HillClimbing::climb(problem, first, deadline);
+        let mut rng = ChaCha8Rng::seed_from_u64(req.seed);
+        for _ in 0..4 {
+            if Instant::now() >= deadline {
+                break;
+            }
+            let restart = Selection::new(
+                problem
+                    .queries()
+                    .map(|q| {
+                        let k = rng.gen_range(0..problem.num_plans_of(q));
+                        problem.plans_of(q).nth(k).expect("plan index in range")
+                    })
+                    .collect(),
+            );
+            let (sel, cost) = HillClimbing::climb(problem, restart, deadline);
+            if cost < best_cost {
+                best_sel = sel;
+                best_cost = cost;
+            }
+        }
+        SolveResponse {
+            selection: best_sel.plans().iter().map(|p| p.0).collect(),
+            cost: best_cost,
+            backend: Backend::HillClimbing,
+            route_reason: String::new(),
+            cache_hit: false,
+            reads: 0,
+            qubits_used: 0,
+            device_time_us: 0.0,
+            wall_us: 0,
+            queue_wait_us: 0,
+        }
+    }
+}
+
+enum AnnealerFailure {
+    Embedding(EmbeddingError),
+    Fatal(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_core::problem::MqoProblem;
+
+    fn paper_example() -> MqoProblem {
+        let mut b = MqoProblem::builder();
+        let q1 = b.add_query(&[2.0, 4.0]);
+        let q2 = b.add_query(&[3.0, 1.0]);
+        let (p2, p3) = (b.plans_of(q1)[1], b.plans_of(q2)[0]);
+        b.add_saving(p2, p3, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn engine() -> SolveEngine {
+        let mut cfg = EngineConfig::new(ChimeraGraph::new(2, 2));
+        cfg.device.num_reads = 50;
+        cfg.device.num_gauges = 5;
+        SolveEngine::new(cfg, Arc::new(Metrics::default()))
+    }
+
+    #[test]
+    fn annealer_path_matches_the_offline_pipeline() {
+        let e = engine();
+        let problem = paper_example();
+        let req = SolveRequest::new(problem.clone(), 11);
+        let r = e.solve(&req).unwrap();
+        assert_eq!(r.backend, Backend::Annealer);
+        assert!(!r.cache_hit, "first request is a miss");
+        assert_eq!(r.cost, 2.0);
+        // Identical to QuantumMqoSolver::solve with the same seed.
+        let offline = QuantumMqoSolver::new(
+            ChimeraGraph::new(2, 2),
+            QuantumAnnealer::new(
+                DeviceConfig {
+                    num_reads: 50,
+                    num_gauges: 5,
+                    ..DeviceConfig::default()
+                },
+                SimulatedAnnealingSampler::default(),
+            ),
+        )
+        .solve(&problem, 11)
+        .unwrap();
+        let offline_sel: Vec<u32> = offline.best.0.plans().iter().map(|p| p.0).collect();
+        assert_eq!(r.selection, offline_sel);
+        assert_eq!(r.cost, offline.best.1);
+        assert_eq!(r.reads, offline.reads);
+    }
+
+    #[test]
+    fn second_identical_structure_is_a_cache_hit_with_identical_samples() {
+        let e = engine();
+        let cold = e.solve(&SolveRequest::new(paper_example(), 7)).unwrap();
+        let warm = e.solve(&SolveRequest::new(paper_example(), 7)).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit);
+        assert_eq!(cold.selection, warm.selection);
+        assert_eq!(cold.cost, warm.cost);
+        assert_eq!(cold.reads, warm.reads);
+        let stats = e.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn over_capacity_requests_answer_classically() {
+        // 5 queries × 2 plans = 10 plans: over the 1×1 clique (4) and the
+        // clustered bound (4 two-plan queries per cell).
+        let mut cfg = EngineConfig::new(ChimeraGraph::new(1, 1));
+        cfg.classical_budget = Duration::from_millis(50);
+        let e = SolveEngine::new(cfg, Arc::new(Metrics::default()));
+        let mut b = MqoProblem::builder();
+        for _ in 0..5 {
+            b.add_query(&[3.0, 1.0]);
+        }
+        let problem = b.build().unwrap();
+        let r = e.solve(&SolveRequest::new(problem.clone(), 0)).unwrap();
+        assert_eq!(r.backend, Backend::Milp);
+        // MILP inside its budget is exact here: all cheap plans.
+        assert_eq!(r.cost, 5.0);
+        assert!(problem
+            .validate_selection(&Selection::new(
+                r.selection
+                    .iter()
+                    .map(|&p| mqo_core::ids::PlanId(p))
+                    .collect()
+            ))
+            .is_ok());
+    }
+
+    #[test]
+    fn pinned_backend_overrides_the_router() {
+        let e = engine();
+        let mut req = SolveRequest::new(paper_example(), 3);
+        req.backend = Some(Backend::HillClimbing);
+        let r = e.solve(&req).unwrap();
+        assert_eq!(r.backend, Backend::HillClimbing);
+        assert_eq!(r.route_reason, "pinned by request");
+        assert_eq!(r.cost, 2.0, "the tiny example climbs to its optimum");
+    }
+
+    #[test]
+    fn per_request_read_overrides_are_clamped() {
+        let mut cfg = EngineConfig::new(ChimeraGraph::new(2, 2));
+        cfg.max_reads = 60;
+        let e = SolveEngine::new(cfg, Arc::new(Metrics::default()));
+        let mut req = SolveRequest::new(paper_example(), 1);
+        req.reads = Some(1_000_000);
+        let r = e.solve(&req).unwrap();
+        assert_eq!(r.reads, 60, "server cap applies");
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # mqo-service — a batching MQO solve server
+//!
+//! Long-running, std-only HTTP service over the Algorithm-1 pipeline (see
+//! DESIGN.md §8). A request travels through four layers:
+//!
+//! ```text
+//! POST /solve ──▶ admission queue ──▶ batching workers ──▶ router
+//!                 (bounded depth,      (groups requests,    │
+//!                  per-request          sorts batches by    ├─▶ annealer ──▶ embedding
+//!                  deadlines, typed     structure key)      │               cache (LRU)
+//!                  429 rejections)                          ├─▶ MILP
+//!                                                           └─▶ hill climbing
+//! ```
+//!
+//! * [`queue`] — bounded admission with per-request deadlines; overload
+//!   returns a typed rejection ([`api::Reject`]) instead of queuing without
+//!   bound, and graceful shutdown drains every admitted request.
+//! * [`cache`] — the embedding/programming cache. Choi's minor-embedding
+//!   construction is structure-dependent, not weight-dependent, so
+//!   structurally identical instances reuse a cached embedding and only
+//!   re-derive the Ising weights. Keys combine
+//!   `Qubo::structure_hash` with `ChimeraGraph::fingerprint`.
+//! * [`router`] — the paper's representability split (Section 6/7): instances
+//!   over the (possibly fault-degraded) Chimera capacity bound are routed to
+//!   the MILP or hill-climbing backends instead of the annealer.
+//! * [`server`] — hand-rolled HTTP/1.1 over `std::net` exposing
+//!   `POST /solve`, `GET /metrics`, `GET /healthz`, and `POST /shutdown`.
+//!
+//! The `mqo_serve` binary wires the layers together; the `loadgen` bench bin
+//! (in `mqo-bench`) replays paper-workload request streams against it.
+
+pub mod api;
+pub mod cache;
+pub mod engine;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod router;
+pub mod server;
+
+pub use api::{Backend, Reject, SolveRequest, SolveResponse};
+pub use cache::{CacheKey, CacheStats, EmbeddingCache};
+pub use engine::{EngineConfig, SolveEngine};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use queue::{QueueConfig, SolveQueue};
+pub use router::{route, RouteDecision, RouterConfig};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,238 @@
+//! Service counters and latency histograms, exported as JSON on
+//! `GET /metrics`.
+//!
+//! Everything is lock-free (`AtomicU64`): workers record on the hot path,
+//! the metrics endpoint takes a consistent-enough snapshot without stopping
+//! them.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets: bucket `i` covers
+/// `[2^i, 2^(i+1))` µs, the last bucket is open-ended (~2.3 min and up).
+const NUM_BUCKETS: usize = 28;
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation in microseconds.
+    pub fn record(&self, us: u64) {
+        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(NUM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Snapshot with approximate quantiles (upper bucket bounds, so the
+    /// estimate never under-reports).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let sum_us = self.sum_us.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return 1u64 << (i + 1); // upper bound of bucket i
+                }
+            }
+            1u64 << NUM_BUCKETS
+        };
+        HistogramSnapshot {
+            count,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                sum_us as f64 / count as f64
+            },
+            p50_us: quantile(0.50),
+            p99_us: quantile(0.99),
+            buckets,
+        }
+    }
+}
+
+/// Serialisable view of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Median upper-bound estimate, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile upper-bound estimate, microseconds.
+    pub p99_us: u64,
+    /// Raw bucket counts (`buckets[i]` covers `[2^i, 2^(i+1))` µs).
+    pub buckets: Vec<u64>,
+}
+
+/// All service counters. One instance is shared by the queue, the workers,
+/// the engine, and the HTTP front-end.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests that reached `POST /solve` (admitted or not).
+    pub requests_total: AtomicU64,
+    /// Requests answered with a solution.
+    pub solved_total: AtomicU64,
+    /// Typed rejections: admission queue at depth.
+    pub rejected_queue_full: AtomicU64,
+    /// Typed rejections: server draining.
+    pub rejected_shutdown: AtomicU64,
+    /// Typed rejections: deadline expired while queued.
+    pub rejected_deadline: AtomicU64,
+    /// Typed rejections: malformed request bodies.
+    pub rejected_invalid: AtomicU64,
+    /// Typed rejections: admitted but no backend could answer.
+    pub rejected_unsolvable: AtomicU64,
+    /// Embedding-cache hits (embedding reused, weights rewritten).
+    pub cache_hits: AtomicU64,
+    /// Embedding-cache misses (full placement performed).
+    pub cache_misses: AtomicU64,
+    /// Embedding-cache LRU evictions.
+    pub cache_evictions: AtomicU64,
+    /// Requests answered by the annealer backend.
+    pub backend_annealer: AtomicU64,
+    /// Requests answered by the MILP backend.
+    pub backend_milp: AtomicU64,
+    /// Requests answered by the hill-climbing backend.
+    pub backend_hill_climbing: AtomicU64,
+    /// Batches dispatched by the scheduler.
+    pub batches_dispatched: AtomicU64,
+    /// Requests currently queued (gauge).
+    pub queue_depth: AtomicU64,
+    /// End-to-end solve latency (dequeue → response ready).
+    pub solve_latency: LatencyHistogram,
+    /// Time spent waiting in the admission queue.
+    pub queue_wait: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Increments a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a serialisable snapshot of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            requests_total: load(&self.requests_total),
+            solved_total: load(&self.solved_total),
+            rejected_queue_full: load(&self.rejected_queue_full),
+            rejected_shutdown: load(&self.rejected_shutdown),
+            rejected_deadline: load(&self.rejected_deadline),
+            rejected_invalid: load(&self.rejected_invalid),
+            rejected_unsolvable: load(&self.rejected_unsolvable),
+            cache_hits: load(&self.cache_hits),
+            cache_misses: load(&self.cache_misses),
+            cache_evictions: load(&self.cache_evictions),
+            backend_annealer: load(&self.backend_annealer),
+            backend_milp: load(&self.backend_milp),
+            backend_hill_climbing: load(&self.backend_hill_climbing),
+            batches_dispatched: load(&self.batches_dispatched),
+            queue_depth: load(&self.queue_depth),
+            solve_latency: self.solve_latency.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+        }
+    }
+}
+
+/// Serialisable view of [`Metrics`] — the `GET /metrics` payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests that reached `POST /solve`.
+    pub requests_total: u64,
+    /// Requests answered with a solution.
+    pub solved_total: u64,
+    /// Rejections: queue at depth.
+    pub rejected_queue_full: u64,
+    /// Rejections: server draining.
+    pub rejected_shutdown: u64,
+    /// Rejections: deadline expired in queue.
+    pub rejected_deadline: u64,
+    /// Rejections: malformed bodies.
+    pub rejected_invalid: u64,
+    /// Rejections: no backend could answer.
+    pub rejected_unsolvable: u64,
+    /// Embedding-cache hits.
+    pub cache_hits: u64,
+    /// Embedding-cache misses.
+    pub cache_misses: u64,
+    /// Embedding-cache evictions.
+    pub cache_evictions: u64,
+    /// Annealer-backend answers.
+    pub backend_annealer: u64,
+    /// MILP-backend answers.
+    pub backend_milp: u64,
+    /// Hill-climbing answers.
+    pub backend_hill_climbing: u64,
+    /// Batches dispatched by the scheduler.
+    pub batches_dispatched: u64,
+    /// Requests queued right now.
+    pub queue_depth: u64,
+    /// Solve latency histogram.
+    pub solve_latency: HistogramSnapshot,
+    /// Queue-wait histogram.
+    pub queue_wait: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        // 99 fast observations, 1 slow one.
+        for _ in 0..99 {
+            h.record(100); // bucket 6: [64, 128)
+        }
+        h.record(1_000_000); // ~2^20 µs
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 128, "median upper bound of the fast bucket");
+        assert!(
+            s.p99_us <= 128,
+            "p99 rank 99 still lands in the fast bucket"
+        );
+        assert!((s.mean_us - (99.0 * 100.0 + 1_000_000.0) / 100.0).abs() < 1e-9);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn zero_latency_is_clamped_into_the_first_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.buckets[0], 1);
+    }
+
+    #[test]
+    fn snapshot_serialises_to_json() {
+        let m = Metrics::default();
+        Metrics::inc(&m.requests_total);
+        m.solve_latency.record(500);
+        let json = serde_json::to_string(&m.snapshot()).unwrap();
+        assert!(json.contains("\"requests_total\":1"));
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.requests_total, 1);
+        assert_eq!(back.solve_latency.count, 1);
+    }
+}

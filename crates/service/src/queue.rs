@@ -1,0 +1,353 @@
+//! Bounded admission queue + batching worker pool.
+//!
+//! The front-end enqueues; a small worker pool drains the queue in batches
+//! (grouping structurally similar requests so embedding-cache hits cluster)
+//! and answers each job through a one-shot channel. Overload is a typed
+//! [`Reject::QueueFull`] at admission time — the queue never grows without
+//! bound and never panics under pressure — and shutdown stops admissions
+//! while the workers drain everything already accepted.
+
+use crate::api::{Reject, SolveRequest, SolveResponse};
+use crate::engine::SolveEngine;
+use crate::metrics::Metrics;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Queue/scheduler knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Maximum queued (admitted but not yet dispatched) requests.
+    pub depth: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Maximum requests one worker claims per wake-up.
+    pub batch_size: usize,
+    /// Deadline applied to requests that specify none (0 = unbounded).
+    pub default_deadline_ms: u64,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            depth: 64,
+            workers: 2,
+            batch_size: 8,
+            default_deadline_ms: 0,
+        }
+    }
+}
+
+/// One admitted request awaiting dispatch.
+struct Job {
+    req: SolveRequest,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    deadline_ms: u64,
+    tx: mpsc::Sender<Result<SolveResponse, Reject>>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    accepting: bool,
+}
+
+/// The admission queue and its worker pool.
+pub struct SolveQueue {
+    state: Mutex<QueueState>,
+    wakeup: Condvar,
+    config: QueueConfig,
+    engine: Arc<SolveEngine>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for SolveQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveQueue")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SolveQueue {
+    /// Creates the queue without spawning workers (tests use this to
+    /// exercise admission behaviour deterministically).
+    pub fn new(engine: Arc<SolveEngine>, config: QueueConfig) -> Arc<Self> {
+        Arc::new(SolveQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                accepting: true,
+            }),
+            wakeup: Condvar::new(),
+            config,
+            engine,
+            workers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Creates the queue and spawns its worker pool.
+    pub fn start(engine: Arc<SolveEngine>, config: QueueConfig) -> Arc<Self> {
+        let queue = Self::new(engine, config);
+        queue.spawn_workers();
+        queue
+    }
+
+    /// Spawns the worker pool (idempotent only in the sense that calling it
+    /// twice doubles the pool; call once).
+    pub fn spawn_workers(self: &Arc<Self>) {
+        let n = self.config.workers.max(1);
+        let mut workers = self.workers.lock().expect("worker registry poisoned");
+        for i in 0..n {
+            let queue = Arc::clone(self);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("mqo-worker-{i}"))
+                    .spawn(move || queue.worker_loop())
+                    .expect("spawning a worker thread"),
+            );
+        }
+    }
+
+    /// Admits a request, returning the channel its answer will arrive on,
+    /// or a typed rejection when the queue is full or draining.
+    pub fn submit(
+        &self,
+        req: SolveRequest,
+    ) -> Result<mpsc::Receiver<Result<SolveResponse, Reject>>, Reject> {
+        let metrics = self.engine.metrics();
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        if !state.accepting {
+            Metrics::inc(&metrics.rejected_shutdown);
+            return Err(Reject::ShuttingDown);
+        }
+        if state.jobs.len() >= self.config.depth {
+            Metrics::inc(&metrics.rejected_queue_full);
+            return Err(Reject::QueueFull {
+                depth: self.config.depth,
+            });
+        }
+        let deadline_ms = req.deadline_ms.unwrap_or(self.config.default_deadline_ms);
+        let deadline = (deadline_ms > 0)
+            .then(|| Instant::now() + std::time::Duration::from_millis(deadline_ms));
+        let (tx, rx) = mpsc::channel();
+        state.jobs.push_back(Job {
+            req,
+            enqueued: Instant::now(),
+            deadline,
+            deadline_ms,
+            tx,
+        });
+        metrics
+            .queue_depth
+            .store(state.jobs.len() as u64, Ordering::Relaxed);
+        drop(state);
+        self.wakeup.notify_one();
+        Ok(rx)
+    }
+
+    /// Requests currently queued.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue mutex poisoned").jobs.len()
+    }
+
+    /// Stops admissions, lets the workers drain every queued job, and joins
+    /// them. Every admitted request receives an answer before this returns.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.state.lock().expect("queue mutex poisoned");
+            state.accepting = false;
+        }
+        self.wakeup.notify_all();
+        let mut workers = self.workers.lock().expect("worker registry poisoned");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn worker_loop(&self) {
+        let metrics = Arc::clone(self.engine.metrics());
+        loop {
+            let mut batch = {
+                let mut state = self.state.lock().expect("queue mutex poisoned");
+                loop {
+                    if !state.jobs.is_empty() {
+                        break;
+                    }
+                    if !state.accepting {
+                        return;
+                    }
+                    state = self.wakeup.wait(state).expect("queue mutex poisoned");
+                }
+                let n = self.config.batch_size.max(1).min(state.jobs.len());
+                let batch: Vec<Job> = state.jobs.drain(..n).collect();
+                metrics
+                    .queue_depth
+                    .store(state.jobs.len() as u64, Ordering::Relaxed);
+                batch
+            };
+            Metrics::inc(&metrics.batches_dispatched);
+            // Group structurally identical instances adjacently so the
+            // second one of a pair hits the embedding the first just cached.
+            batch.sort_by_key(|job| (job.req.problem.num_queries(), job.req.problem.num_plans()));
+            for job in batch {
+                if job
+                    .deadline
+                    .is_some_and(|deadline| Instant::now() >= deadline)
+                {
+                    Metrics::inc(&metrics.rejected_deadline);
+                    let _ = job.tx.send(Err(Reject::DeadlineExceeded {
+                        deadline_ms: job.deadline_ms,
+                    }));
+                    continue;
+                }
+                let wait_us = job.enqueued.elapsed().as_micros() as u64;
+                metrics.queue_wait.record(wait_us);
+                let started = Instant::now();
+                let result = self.engine.solve(&job.req).map(|mut response| {
+                    response.queue_wait_us = wait_us;
+                    response
+                });
+                metrics
+                    .solve_latency
+                    .record(started.elapsed().as_micros() as u64);
+                // A receiver that hung up is not an error for the worker.
+                let _ = job.tx.send(result);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Backend;
+    use crate::engine::EngineConfig;
+    use mqo_chimera::graph::ChimeraGraph;
+    use mqo_core::problem::MqoProblem;
+
+    fn tiny_problem() -> MqoProblem {
+        let mut b = MqoProblem::builder();
+        let q1 = b.add_query(&[2.0, 4.0]);
+        let q2 = b.add_query(&[3.0, 1.0]);
+        let (p2, p3) = (b.plans_of(q1)[1], b.plans_of(q2)[0]);
+        b.add_saving(p2, p3, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn engine() -> Arc<SolveEngine> {
+        let mut cfg = EngineConfig::new(ChimeraGraph::new(2, 2));
+        cfg.device.num_reads = 20;
+        cfg.device.num_gauges = 2;
+        Arc::new(SolveEngine::new(cfg, Arc::new(Metrics::default())))
+    }
+
+    #[test]
+    fn overload_is_a_typed_rejection_not_a_panic_or_hang() {
+        // No workers running: the queue fills to its bound, then rejects.
+        let queue = SolveQueue::new(
+            engine(),
+            QueueConfig {
+                depth: 3,
+                ..QueueConfig::default()
+            },
+        );
+        let mut pending = Vec::new();
+        for i in 0..3 {
+            pending.push(
+                queue
+                    .submit(SolveRequest::new(tiny_problem(), i))
+                    .unwrap_or_else(|r| panic!("request {i} should be admitted, got {r}")),
+            );
+        }
+        match queue.submit(SolveRequest::new(tiny_problem(), 99)) {
+            Err(Reject::QueueFull { depth }) => assert_eq!(depth, 3),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(queue.depth(), 3);
+        let m = queue.engine.metrics().snapshot();
+        assert_eq!(m.rejected_queue_full, 1);
+        assert_eq!(m.queue_depth, 3);
+
+        // Draining the backlog: every admitted request still gets answered.
+        queue.spawn_workers();
+        queue.shutdown();
+        for rx in pending {
+            let response = rx.recv().expect("drained job answers").unwrap();
+            assert_eq!(response.cost, 2.0);
+        }
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_drains_admitted_work() {
+        let queue = SolveQueue::start(
+            engine(),
+            QueueConfig {
+                workers: 2,
+                ..QueueConfig::default()
+            },
+        );
+        let rx = queue
+            .submit(SolveRequest::new(tiny_problem(), 1))
+            .expect("admitted before shutdown");
+        queue.shutdown();
+        let response = rx.recv().expect("in-flight job is drained").unwrap();
+        assert_eq!(response.cost, 2.0);
+        match queue.submit(SolveRequest::new(tiny_problem(), 2)) {
+            Err(Reject::ShuttingDown) => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+        let m = queue.engine.metrics().snapshot();
+        assert_eq!(m.rejected_shutdown, 1);
+        assert_eq!(m.solved_total, 1);
+    }
+
+    #[test]
+    fn expired_deadlines_reject_instead_of_solving() {
+        let queue = SolveQueue::new(engine(), QueueConfig::default());
+        let mut req = SolveRequest::new(tiny_problem(), 1);
+        req.deadline_ms = Some(1);
+        let rx = queue.submit(req).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        queue.spawn_workers();
+        queue.shutdown();
+        match rx.recv().unwrap() {
+            Err(Reject::DeadlineExceeded { deadline_ms }) => assert_eq!(deadline_ms, 1),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(queue.engine.metrics().snapshot().rejected_deadline, 1);
+    }
+
+    #[test]
+    fn batches_group_and_answer_every_request() {
+        let queue = SolveQueue::new(
+            engine(),
+            QueueConfig {
+                batch_size: 4,
+                workers: 1,
+                ..QueueConfig::default()
+            },
+        );
+        let receivers: Vec<_> = (0..8)
+            .map(|i| {
+                let mut req = SolveRequest::new(tiny_problem(), i);
+                req.backend = Some(Backend::HillClimbing);
+                queue.submit(req).unwrap()
+            })
+            .collect();
+        queue.spawn_workers();
+        queue.shutdown();
+        for rx in receivers {
+            assert_eq!(rx.recv().unwrap().unwrap().cost, 2.0);
+        }
+        let m = queue.engine.metrics().snapshot();
+        assert!(
+            m.batches_dispatched >= 2,
+            "8 jobs at batch size 4 need at least 2 batches, saw {}",
+            m.batches_dispatched
+        );
+        assert_eq!(m.solved_total, 8);
+        assert_eq!(m.queue_wait.count, 8);
+    }
+}

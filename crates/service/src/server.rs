@@ -1,0 +1,357 @@
+//! The HTTP front-end: binds a listener, parses requests with the
+//! [`crate::http`] subset, and bridges connections onto the admission
+//! queue.
+//!
+//! Endpoints:
+//!
+//! * `POST /solve` — body is a JSON [`crate::api::SolveRequest`]; answers a
+//!   [`crate::api::SolveResponse`] or a typed [`Reject`] with its status.
+//! * `GET /metrics` — JSON counters, latency histograms, cache statistics.
+//! * `GET /healthz` — liveness probe.
+//! * `POST /shutdown` — graceful drain: stop admissions, answer everything
+//!   already queued, then exit [`Server::wait`].
+
+use crate::api::{Reject, SolveRequest};
+use crate::engine::{EngineConfig, SolveEngine};
+use crate::http::{read_request, write_json_response, HttpError, Request};
+use crate::metrics::Metrics;
+use crate::queue::{QueueConfig, SolveQueue};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Full server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Engine (device, cache, router) configuration.
+    pub engine: EngineConfig,
+    /// Admission queue configuration.
+    pub queue: QueueConfig,
+    /// Cap on request body size, bytes.
+    pub max_body: usize,
+}
+
+impl ServerConfig {
+    /// Loopback defaults around the given engine configuration.
+    pub fn new(engine: EngineConfig) -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            engine,
+            queue: QueueConfig::default(),
+            max_body: 1 << 20,
+        }
+    }
+}
+
+/// A running solve server.
+pub struct Server {
+    addr: SocketAddr,
+    queue: Arc<SolveQueue>,
+    engine: Arc<SolveEngine>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener, spawns the accept loop and the worker pool.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let metrics = Arc::new(Metrics::default());
+        let engine = Arc::new(SolveEngine::new(config.engine, Arc::clone(&metrics)));
+        let queue = SolveQueue::start(Arc::clone(&engine), config.queue);
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_handle = {
+            let queue = Arc::clone(&queue);
+            let engine = Arc::clone(&engine);
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            let max_body = config.max_body;
+            std::thread::Builder::new()
+                .name("mqo-accept".to_string())
+                .spawn(move || loop {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let queue = Arc::clone(&queue);
+                            let engine = Arc::clone(&engine);
+                            let metrics = Arc::clone(&metrics);
+                            let shutdown = Arc::clone(&shutdown);
+                            // One thread per connection: connections are
+                            // short-lived (Connection: close) and the real
+                            // concurrency limit is the bounded queue behind.
+                            let _ = std::thread::Builder::new()
+                                .name("mqo-conn".to_string())
+                                .spawn(move || {
+                                    handle_connection(
+                                        stream, &queue, &engine, &metrics, &shutdown, max_body,
+                                    );
+                                });
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => return,
+                    }
+                })?
+        };
+
+        Ok(Server {
+            addr,
+            queue,
+            engine,
+            metrics,
+            shutdown,
+            accept_handle: Mutex::new(Some(accept_handle)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared metrics handle.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The engine (tests inspect cache statistics through it).
+    pub fn engine(&self) -> &Arc<SolveEngine> {
+        &self.engine
+    }
+
+    /// True once a shutdown has been requested (via [`Server::shutdown`] or
+    /// `POST /shutdown`).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until shutdown is requested, then drains and joins
+    /// everything: stops accepting connections, answers every queued
+    /// request, joins the workers.
+    pub fn wait(&self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if let Some(handle) = self
+            .accept_handle
+            .lock()
+            .expect("accept handle poisoned")
+            .take()
+        {
+            let _ = handle.join();
+        }
+        self.queue.shutdown();
+        // Give connection threads that already hold an answer a beat to
+        // finish writing it before the caller exits the process.
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    /// Requests a graceful shutdown and waits for the drain to finish.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.wait();
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    queue: &SolveQueue,
+    engine: &SolveEngine,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+    max_body: usize,
+) {
+    // Accepted sockets may inherit the listener's nonblocking mode on some
+    // platforms; request handling is plain blocking I/O with a cap.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+
+    let request = match read_request(&mut stream, max_body) {
+        Ok(r) => r,
+        Err(e) => {
+            let status = match e {
+                HttpError::BodyTooLarge { .. } => 413,
+                _ => 400,
+            };
+            let body = reject_body(&Reject::InvalidRequest {
+                detail: e.to_string(),
+            });
+            let _ = write_json_response(&mut stream, status, &body);
+            return;
+        }
+    };
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = write_json_response(&mut stream, 200, r#"{"status":"ok"}"#);
+        }
+        ("GET", "/metrics") => {
+            let payload = serde_json::json!({
+                "service": metrics.snapshot(),
+                "cache": engine.cache_stats(),
+            });
+            let _ = write_json_response(&mut stream, 200, &payload.to_string());
+        }
+        ("POST", "/solve") => handle_solve(&mut stream, request, queue, metrics),
+        ("POST", "/shutdown") => {
+            let _ = write_json_response(&mut stream, 200, r#"{"status":"draining"}"#);
+            shutdown.store(true, Ordering::SeqCst);
+        }
+        ("GET", "/solve") | ("POST", "/healthz") | ("POST", "/metrics") => {
+            let _ = write_json_response(&mut stream, 405, r#"{"error":"method not allowed"}"#);
+        }
+        _ => {
+            let _ = write_json_response(&mut stream, 404, r#"{"error":"not found"}"#);
+        }
+    }
+}
+
+fn handle_solve(stream: &mut TcpStream, request: Request, queue: &SolveQueue, metrics: &Metrics) {
+    Metrics::inc(&metrics.requests_total);
+    let solve_request: SolveRequest = match serde_json::from_slice(&request.body) {
+        Ok(r) => r,
+        Err(e) => {
+            Metrics::inc(&metrics.rejected_invalid);
+            let reject = Reject::InvalidRequest {
+                detail: e.to_string(),
+            };
+            let _ = write_json_response(stream, reject.http_status(), &reject_body(&reject));
+            return;
+        }
+    };
+    let receiver = match queue.submit(solve_request) {
+        Ok(rx) => rx,
+        Err(reject) => {
+            let _ = write_json_response(stream, reject.http_status(), &reject_body(&reject));
+            return;
+        }
+    };
+    // The worker pool always answers admitted jobs (shutdown drains); a
+    // recv error would mean the pool died, which we surface as 503.
+    match receiver.recv() {
+        Ok(Ok(response)) => {
+            let body = serde_json::to_string(&response)
+                .unwrap_or_else(|_| r#"{"error":"serialisation failure"}"#.to_string());
+            let _ = write_json_response(stream, 200, &body);
+        }
+        Ok(Err(reject)) => {
+            let _ = write_json_response(stream, reject.http_status(), &reject_body(&reject));
+        }
+        Err(_) => {
+            let _ = write_json_response(stream, 503, &reject_body(&Reject::ShuttingDown));
+        }
+    }
+}
+
+fn reject_body(reject: &Reject) -> String {
+    serde_json::to_string(reject).unwrap_or_else(|_| r#"{"reason":"internal"}"#.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::roundtrip;
+    use mqo_chimera::graph::ChimeraGraph;
+
+    fn small_server() -> Server {
+        let mut engine = EngineConfig::new(ChimeraGraph::new(2, 2));
+        engine.device.num_reads = 20;
+        engine.device.num_gauges = 2;
+        Server::start(ServerConfig::new(engine)).expect("bind loopback")
+    }
+
+    const TINY: &[u8] =
+        br#"{"problem": {"queries": [[2,4],[3,1]], "savings": [[1,2,5.0]]}, "seed": 7}"#;
+
+    #[test]
+    fn healthz_metrics_and_unknown_paths() {
+        let server = small_server();
+        let addr = server.local_addr();
+        let (status, body) = roundtrip(addr, "GET", "/healthz", b"").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, br#"{"status":"ok"}"#);
+        let (status, body) = roundtrip(addr, "GET", "/metrics", b"").unwrap();
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        assert!(v["service"]["requests_total"].is_u64());
+        assert!(v["cache"]["capacity"].is_u64());
+        let (status, _) = roundtrip(addr, "GET", "/nope", b"").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = roundtrip(addr, "GET", "/solve", b"").unwrap();
+        assert_eq!(status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn solve_round_trip_with_cache_hit_on_repeat() {
+        let server = small_server();
+        let addr = server.local_addr();
+        let (status, body) = roundtrip(addr, "POST", "/solve", TINY).unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        let cold: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        assert_eq!(cold["cost"], 2.0);
+        assert_eq!(cold["backend"], "annealer");
+        assert_eq!(cold["cache_hit"], false);
+
+        let (status, body) = roundtrip(addr, "POST", "/solve", TINY).unwrap();
+        assert_eq!(status, 200);
+        let warm: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        assert_eq!(warm["cache_hit"], true);
+        assert_eq!(warm["selection"], cold["selection"]);
+        assert_eq!(warm["cost"], cold["cost"]);
+
+        let (_, body) = roundtrip(addr, "GET", "/metrics", b"").unwrap();
+        let m: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        assert_eq!(m["service"]["solved_total"], 2);
+        assert_eq!(m["service"]["cache_hits"], 1);
+        assert_eq!(m["cache"]["hits"], 1);
+        assert_eq!(m["cache"]["misses"], 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_bodies_answer_400_not_a_hang() {
+        let server = small_server();
+        let addr = server.local_addr();
+        let (status, body) = roundtrip(addr, "POST", "/solve", b"{not json").unwrap();
+        assert_eq!(status, 400);
+        let v: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        assert_eq!(v["reason"], "invalid_request");
+        // Builder-invalid problem (saving inside one query): also 400.
+        let bad = br#"{"problem": {"queries": [[2,4]], "savings": [[0,1,5.0]]}}"#;
+        let (status, _) = roundtrip(addr, "POST", "/solve", bad).unwrap();
+        assert_eq!(status, 400);
+        assert_eq!(server.metrics().snapshot().rejected_invalid, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_endpoint_drains_and_releases_wait() {
+        let server = small_server();
+        let addr = server.local_addr();
+        let (status, body) = roundtrip(addr, "POST", "/shutdown", b"").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, br#"{"status":"draining"}"#);
+        server.wait();
+        assert!(server.shutdown_requested());
+    }
+}
