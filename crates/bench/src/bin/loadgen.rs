@@ -4,24 +4,40 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--clients C] [--structures S]
 //!         [--plans P] [--reads N] [--seed S] [--small]
+//!         [--chaos-seed N] [--chaos-panic-rate F] [--chaos-kill-rate F]
+//!         [--chaos-backend-failure-rate F] [--chaos-conn-abort-rate F]
+//!         [--chaos-slow-rate F] [--breaker-threshold N] [--breaker-open-ms N]
 //! ```
 //!
 //! Without `--addr` the harness self-hosts a server on a loopback port,
 //! so a single invocation produces the full ISSUE-3 acceptance report:
 //! repeated identical-structure requests must show up as cache hits with
 //! measurably lower latency than the cold (embedding) requests.
+//!
+//! Chaos mode (ISSUE-5): the server-side `--chaos-*` rates inject worker
+//! panics/deaths and backend failures (self-host only — against `--addr`
+//! pass the same flags to `mqo_serve` itself); the client-side
+//! `--chaos-conn-abort-rate` and `--chaos-slow-rate` abort or trickle a
+//! deterministic subset of connections. All schedules are keyed on the
+//! request index via the shared SplitMix64 chaos streams, so a fixed
+//! `(--chaos-seed, --requests)` pair aborts exactly the same requests at
+//! any `--clients` count. Under chaos the run asserts a clean drain:
+//! every request ends as a solve, a typed error, or a deliberate abort.
 
 use mqo_chimera::graph::ChimeraGraph;
+use mqo_service::chaos::{chaos_roll, ChaosConfig, STREAM_CHAOS_CONN};
 use mqo_service::engine::EngineConfig;
 use mqo_service::http::roundtrip;
 use mqo_service::server::{Server, ServerConfig};
 use mqo_workload::paper::{self, PaperWorkloadConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::io::Write;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Options {
     addr: Option<String>,
@@ -32,6 +48,11 @@ struct Options {
     reads: usize,
     seed: u64,
     small: bool,
+    chaos: ChaosConfig,
+    conn_abort_rate: f64,
+    slow_rate: f64,
+    breaker_threshold: u32,
+    breaker_open_ms: u64,
 }
 
 impl Default for Options {
@@ -45,7 +66,19 @@ impl Default for Options {
             reads: 50,
             seed: 7,
             small: true,
+            chaos: ChaosConfig::NONE,
+            conn_abort_rate: 0.0,
+            slow_rate: 0.0,
+            breaker_threshold: 5,
+            breaker_open_ms: 1_000,
         }
+    }
+}
+
+impl Options {
+    /// Whether any chaos — server- or client-side — is active.
+    fn chaos_active(&self) -> bool {
+        !self.chaos.is_inert() || self.conn_abort_rate > 0.0 || self.slow_rate > 0.0
     }
 }
 
@@ -76,6 +109,33 @@ fn parse_options() -> Options {
             "--seed" => opts.seed = num(value("--seed"), "--seed"),
             "--small" => opts.small = true,
             "--full" => opts.small = false,
+            "--chaos-seed" => opts.chaos.seed = num(value("--chaos-seed"), "--chaos-seed"),
+            "--chaos-panic-rate" => {
+                opts.chaos.worker_panic_rate =
+                    num(value("--chaos-panic-rate"), "--chaos-panic-rate")
+            }
+            "--chaos-kill-rate" => {
+                opts.chaos.worker_kill_rate = num(value("--chaos-kill-rate"), "--chaos-kill-rate")
+            }
+            "--chaos-backend-failure-rate" => {
+                opts.chaos.backend_failure_rate = num(
+                    value("--chaos-backend-failure-rate"),
+                    "--chaos-backend-failure-rate",
+                )
+            }
+            "--chaos-conn-abort-rate" => {
+                opts.conn_abort_rate =
+                    num(value("--chaos-conn-abort-rate"), "--chaos-conn-abort-rate")
+            }
+            "--chaos-slow-rate" => {
+                opts.slow_rate = num(value("--chaos-slow-rate"), "--chaos-slow-rate")
+            }
+            "--breaker-threshold" => {
+                opts.breaker_threshold = num(value("--breaker-threshold"), "--breaker-threshold")
+            }
+            "--breaker-open-ms" => {
+                opts.breaker_open_ms = num(value("--breaker-open-ms"), "--breaker-open-ms")
+            }
             "--help" | "-h" => {
                 println!(
                     "loadgen: replay paper-workload streams against mqo_serve\n\
@@ -87,7 +147,15 @@ fn parse_options() -> Options {
                      --reads N         annealing reads per request (50)\n\
                      --seed S          workload generator seed (7)\n\
                      --small           4-cell Chimera graph [default]\n\
-                     --full            12x12 D-Wave 2X graph"
+                     --full            12x12 D-Wave 2X graph\n\
+                     --chaos-seed N    seed of all chaos streams (0)\n\
+                     --chaos-panic-rate F    server: worker panic probability (0, self-host)\n\
+                     --chaos-kill-rate F     server: worker death probability (0, self-host)\n\
+                     --chaos-backend-failure-rate F  server: backend failure probability (0)\n\
+                     --chaos-conn-abort-rate F  client: abort connection mid-request (0)\n\
+                     --chaos-slow-rate F        client: trickle the request slowly (0)\n\
+                     --breaker-threshold N      self-host breaker threshold (5)\n\
+                     --breaker-open-ms N        self-host breaker cooling period (1000)"
                 );
                 std::process::exit(0);
             }
@@ -96,6 +164,12 @@ fn parse_options() -> Options {
     }
     if opts.requests == 0 || opts.clients == 0 || opts.structures == 0 {
         fail("--requests, --clients, and --structures must be positive");
+    }
+    if opts.chaos.validate().is_err()
+        || !(0.0..=1.0).contains(&opts.conn_abort_rate)
+        || !(0.0..=1.0).contains(&opts.slow_rate)
+    {
+        fail("chaos rates must lie in [0, 1]");
     }
     opts
 }
@@ -115,6 +189,80 @@ fn mean(us: &[u64]) -> f64 {
     us.iter().sum::<u64>() as f64 / us.len() as f64
 }
 
+/// What one replayed request ended as. Anything outside these three states
+/// (an I/O error on a connection chaos did not abort) is a lost request and
+/// fails the run.
+enum Outcome {
+    /// 200 with a solve body; latency and cache-hit flag recorded.
+    Solved { latency_us: u64, cache_hit: bool },
+    /// A typed non-200 rejection (`reason` tag from the JSON body).
+    TypedError { status: u16 },
+    /// Deliberately aborted by client-side chaos before completion.
+    Aborted,
+}
+
+/// Opens a raw connection and writes roughly half the request, then drops
+/// it — the deterministic "client died mid-request" probe. The server must
+/// shrug (no thread leak, no panic) and move on.
+fn abort_mid_request(addr: SocketAddr, raw: &[u8]) {
+    if let Ok(mut stream) = std::net::TcpStream::connect(addr) {
+        let half = raw.len() / 2;
+        let _ = stream.write_all(&raw[..half]);
+        let _ = stream.flush();
+        // Dropping the stream closes the socket mid-request.
+    }
+}
+
+/// Full request bytes for a manual (non-`roundtrip`) send.
+fn raw_request(addr: SocketAddr, body: &[u8]) -> Vec<u8> {
+    let mut raw = format!(
+        "POST /solve HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(body);
+    raw
+}
+
+/// Sends the request a few bytes at a time (a cooperative slowloris that
+/// stays inside the server's request deadline), then reads the response.
+fn slow_roundtrip(addr: SocketAddr, raw: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+    use std::io::{BufRead, BufReader, Read};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    for chunk in raw.chunks(32) {
+        stream.write_all(chunk)?;
+        stream.flush()?;
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        if header.trim_end().is_empty() {
+            break;
+        }
+        if let Some((name, v)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, body))
+}
+
 fn main() {
     let opts = parse_options();
     let graph = if opts.small {
@@ -126,7 +274,7 @@ fn main() {
     // Distinct structures: vary the sharing pattern per generator seed so
     // the cache sees `structures` different keys, each repeated
     // `requests / structures` times.
-    let mut bodies = Vec::new();
+    let mut problems = Vec::new();
     for s in 0..opts.structures {
         let cfg = PaperWorkloadConfig {
             sharing_probability: 0.6,
@@ -135,17 +283,32 @@ fn main() {
         };
         let mut rng = ChaCha8Rng::seed_from_u64(opts.seed.wrapping_add(s as u64));
         let inst = paper::generate(&graph, &cfg, &mut rng).unwrap_or_else(|e| fail(e));
-        let mut req = mqo_service::api::SolveRequest::new(inst.problem, opts.seed);
-        req.reads = Some(opts.reads);
-        let body = serde_json::to_string(&req).unwrap_or_else(|e| fail(e));
-        bodies.push(body.into_bytes());
+        problems.push(inst.problem);
     }
+    // Request i replays structure i % S under seed base+i: distinct seeds
+    // give the server-side chaos streams (keyed on request seed) a distinct
+    // roll per request, so fault schedules are index-deterministic.
+    let bodies: Vec<Vec<u8>> = (0..opts.requests)
+        .map(|i| {
+            let mut req = mqo_service::api::SolveRequest::new(
+                problems[i % problems.len()].clone(),
+                opts.seed.wrapping_add(i as u64),
+            );
+            req.reads = Some(opts.reads);
+            serde_json::to_string(&req)
+                .unwrap_or_else(|e| fail(e))
+                .into_bytes()
+        })
+        .collect();
 
     // Self-host unless an address was given.
     let (server, addr): (Option<Server>, SocketAddr) = match &opts.addr {
         Some(a) => (None, a.parse().unwrap_or_else(|e| fail(e))),
         None => {
-            let engine = EngineConfig::new(graph.clone());
+            let mut engine = EngineConfig::new(graph.clone());
+            engine.chaos = opts.chaos;
+            engine.breaker.failure_threshold = opts.breaker_threshold;
+            engine.breaker.open_ms = opts.breaker_open_ms;
             let mut config = ServerConfig::new(engine);
             config.addr = "127.0.0.1:0".to_string();
             config.queue.workers = opts.clients.max(2);
@@ -157,36 +320,68 @@ fn main() {
 
     // Replay: `clients` threads pull request indices off a shared counter,
     // so the stream interleaves structures exactly like round-robin
-    // arrivals. (index, latency_us, cache_hit) tuples are collected.
+    // arrivals.
+    let chaos_active = opts.chaos_active();
+    let chaos_seed = opts.chaos.seed;
+    let (abort_rate, slow_rate) = (opts.conn_abort_rate, opts.slow_rate);
     let bodies = Arc::new(bodies);
     let next = Arc::new(AtomicUsize::new(0));
-    let samples = Arc::new(Mutex::new(Vec::new()));
+    let outcomes = Arc::new(Mutex::new(Vec::new()));
     let started = Instant::now();
     let mut handles = Vec::new();
     for _ in 0..opts.clients {
         let bodies = Arc::clone(&bodies);
         let next = Arc::clone(&next);
-        let samples = Arc::clone(&samples);
+        let outcomes = Arc::clone(&outcomes);
         let total = opts.requests;
         handles.push(std::thread::spawn(move || loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= total {
                 return;
             }
-            let body = &bodies[i % bodies.len()];
+            let body = &bodies[i];
+            // Client-side chaos rolls, keyed on the request index — the
+            // same requests abort at any client-thread count.
+            let aborts = abort_rate > 0.0
+                && chaos_roll(chaos_seed, STREAM_CHAOS_CONN, i as u64, 0) < abort_rate;
+            let slow = slow_rate > 0.0
+                && chaos_roll(chaos_seed, STREAM_CHAOS_CONN, i as u64, 1) < slow_rate;
+            if aborts {
+                abort_mid_request(addr, &raw_request(addr, body));
+                outcomes.lock().unwrap().push((i, Outcome::Aborted));
+                continue;
+            }
             let sent = Instant::now();
-            let (status, reply) = roundtrip(addr, "POST", "/solve", body)
-                .unwrap_or_else(|e| fail(format!("request {i}: {e}")));
+            let result = if slow {
+                slow_roundtrip(addr, &raw_request(addr, body))
+            } else {
+                roundtrip(addr, "POST", "/solve", body)
+            };
+            let (status, reply) = result.unwrap_or_else(|e| fail(format!("request {i}: {e}")));
             let latency_us = sent.elapsed().as_micros() as u64;
-            if status != 200 {
+            let outcome = if status == 200 {
+                let v: serde_json::Value =
+                    serde_json::from_slice(&reply).unwrap_or_else(|e| fail(e));
+                Outcome::Solved {
+                    latency_us,
+                    cache_hit: v["cache_hit"].as_bool().unwrap_or(false),
+                }
+            } else if chaos_active {
+                // Under chaos, typed rejections are expected outcomes; an
+                // untyped body would mean the error path lost its shape.
+                let v: serde_json::Value = serde_json::from_slice(&reply)
+                    .unwrap_or_else(|e| fail(format!("request {i}: untyped {status}: {e}")));
+                if v["reason"].as_str().is_none() {
+                    fail(format!("request {i}: status {status} without a reason tag"));
+                }
+                Outcome::TypedError { status }
+            } else {
                 fail(format!(
                     "request {i}: status {status}: {}",
                     String::from_utf8_lossy(&reply)
                 ));
-            }
-            let v: serde_json::Value = serde_json::from_slice(&reply).unwrap_or_else(|e| fail(e));
-            let hit = v["cache_hit"].as_bool().unwrap_or(false);
-            samples.lock().unwrap().push((i, latency_us, hit));
+            };
+            outcomes.lock().unwrap().push((i, outcome));
         }));
     }
     for h in handles {
@@ -207,28 +402,60 @@ fn main() {
         server.wait();
     }
 
-    let samples = samples.lock().unwrap();
-    let mut all: Vec<u64> = samples.iter().map(|&(_, us, _)| us).collect();
-    let mut hits: Vec<u64> = samples
-        .iter()
-        .filter(|&&(_, _, h)| h)
-        .map(|&(_, us, _)| us)
-        .collect();
-    let mut misses: Vec<u64> = samples
-        .iter()
-        .filter(|&&(_, _, h)| !h)
-        .map(|&(_, us, _)| us)
-        .collect();
+    let outcomes = outcomes.lock().unwrap();
+    let mut all = Vec::new();
+    let mut hits = Vec::new();
+    let mut misses = Vec::new();
+    let mut errors_by_status: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut aborted = 0u64;
+    for (_, outcome) in outcomes.iter() {
+        match outcome {
+            Outcome::Solved {
+                latency_us,
+                cache_hit,
+            } => {
+                all.push(*latency_us);
+                if *cache_hit {
+                    hits.push(*latency_us);
+                } else {
+                    misses.push(*latency_us);
+                }
+            }
+            Outcome::TypedError { status } => *errors_by_status.entry(*status).or_default() += 1,
+            Outcome::Aborted => aborted += 1,
+        }
+    }
     all.sort_unstable();
     hits.sort_unstable();
     misses.sort_unstable();
+    let errors_total: u64 = errors_by_status.values().sum();
 
+    // The chaos acceptance signal: nothing is silently dropped. Every
+    // request the replay issued is accounted for as a solve, a typed
+    // error, or a deliberate client-side abort.
+    if all.len() as u64 + errors_total + aborted != opts.requests as u64 {
+        fail(format!(
+            "lost requests: {} solved + {errors_total} errors + {aborted} aborted != {}",
+            all.len(),
+            opts.requests
+        ));
+    }
+
+    let errors_value = serde_json::Value::Object(
+        errors_by_status
+            .iter()
+            .map(|(k, v)| (k.to_string(), serde_json::to_value(v)))
+            .collect(),
+    );
     let report = serde_json::json!({
-        "requests": samples.len(),
+        "requests": opts.requests,
         "clients": opts.clients,
         "structures": opts.structures,
         "wall_ms": wall.as_secs_f64() * 1e3,
-        "throughput_rps": samples.len() as f64 / wall.as_secs_f64().max(1e-9),
+        "throughput_rps": outcomes.len() as f64 / wall.as_secs_f64().max(1e-9),
+        "solved": all.len(),
+        "errors_by_status": errors_value,
+        "aborted": aborted,
         "p50_us": percentile(&all, 0.50),
         "p99_us": percentile(&all, 0.99),
         "cache_hits": hits.len(),
@@ -241,9 +468,10 @@ fn main() {
     });
     println!("{report}");
 
-    // The acceptance signal: repeated structures must be hits, and the hit
-    // path (weights-only reprogramming) must be at least as fast on median.
-    if samples.len() > opts.structures && hits.is_empty() {
+    // The cache acceptance signal (clean runs only — chaos can 500 the
+    // repeats): repeated structures must be hits, and the hit path
+    // (weights-only reprogramming) must be at least as fast on median.
+    if !chaos_active && outcomes.len() > opts.structures && hits.is_empty() {
         fail("no cache hits despite repeated structures");
     }
 }

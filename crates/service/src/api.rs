@@ -123,6 +123,37 @@ pub enum Reject {
         /// Pipeline error detail.
         detail: String,
     },
+    /// A worker panicked while solving the request. The panic was isolated
+    /// (`catch_unwind`): the rest of the batch is unaffected and, when the
+    /// panic escalates into a worker death, the supervisor respawns the
+    /// thread.
+    InternalError {
+        /// Panic payload (or a placeholder for non-string payloads).
+        detail: String,
+    },
+    /// Every candidate backend was skipped by an open circuit breaker (or
+    /// failed); the request should be retried after the cooling period.
+    BackendUnavailable {
+        /// Which breakers were open / which attempts failed.
+        detail: String,
+    },
+    /// The connection cap was reached; the request was shed at accept time
+    /// with a `Retry-After` hint.
+    Overloaded {
+        /// The configured connection cap that was hit.
+        max_connections: usize,
+    },
+    /// The whole-request wall-clock deadline expired while reading the
+    /// request (slowloris defense).
+    RequestTimeout {
+        /// The configured deadline, milliseconds.
+        deadline_ms: u64,
+    },
+    /// A request-line, header-size, or header-count cap was exceeded.
+    HeaderLimit {
+        /// Which limit was exceeded.
+        detail: String,
+    },
 }
 
 impl Reject {
@@ -134,6 +165,11 @@ impl Reject {
             Reject::DeadlineExceeded { .. } => 504,
             Reject::InvalidRequest { .. } => 400,
             Reject::Unsolvable { .. } => 422,
+            Reject::InternalError { .. } => 500,
+            Reject::BackendUnavailable { .. } => 503,
+            Reject::Overloaded { .. } => 503,
+            Reject::RequestTimeout { .. } => 408,
+            Reject::HeaderLimit { .. } => 431,
         }
     }
 }
@@ -148,6 +184,17 @@ impl std::fmt::Display for Reject {
             }
             Reject::InvalidRequest { detail } => write!(f, "invalid request: {detail}"),
             Reject::Unsolvable { detail } => write!(f, "unsolvable: {detail}"),
+            Reject::InternalError { detail } => write!(f, "internal error: {detail}"),
+            Reject::BackendUnavailable { detail } => {
+                write!(f, "no backend available: {detail}")
+            }
+            Reject::Overloaded { max_connections } => {
+                write!(f, "connection cap of {max_connections} reached")
+            }
+            Reject::RequestTimeout { deadline_ms } => {
+                write!(f, "request deadline of {deadline_ms} ms expired")
+            }
+            Reject::HeaderLimit { detail } => write!(f, "header limit: {detail}"),
         }
     }
 }
@@ -198,5 +245,44 @@ mod tests {
             Reject::DeadlineExceeded { deadline_ms: 5 }.http_status(),
             504
         );
+    }
+
+    #[test]
+    fn robustness_rejects_have_stable_tags_and_statuses() {
+        let cases: Vec<(Reject, u16, &str)> = vec![
+            (
+                Reject::InternalError {
+                    detail: "chaos".into(),
+                },
+                500,
+                "internal_error",
+            ),
+            (
+                Reject::BackendUnavailable {
+                    detail: "all breakers open".into(),
+                },
+                503,
+                "backend_unavailable",
+            ),
+            (Reject::Overloaded { max_connections: 8 }, 503, "overloaded"),
+            (
+                Reject::RequestTimeout { deadline_ms: 100 },
+                408,
+                "request_timeout",
+            ),
+            (
+                Reject::HeaderLimit {
+                    detail: "too many headers".into(),
+                },
+                431,
+                "header_limit",
+            ),
+        ];
+        for (reject, status, tag) in cases {
+            assert_eq!(reject.http_status(), status, "{reject}");
+            let json = serde_json::to_string(&reject).unwrap();
+            assert!(json.contains(&format!("\"reason\":\"{tag}\"")), "{json}");
+            assert_eq!(serde_json::from_str::<Reject>(&json).unwrap(), reject);
+        }
     }
 }

@@ -5,13 +5,20 @@
 //!           [--threads N] [--queue-depth N] [--workers N] [--batch N]
 //!           [--cache-capacity N] [--fault-rate F] [--derating F]
 //!           [--deadline-ms N] [--milp-max-queries N] [--budget-ms N]
+//!           [--max-connections N] [--request-deadline-ms N]
+//!           [--io-timeout-ms N] [--breaker-threshold N] [--breaker-open-ms N]
+//!           [--chaos-seed N] [--chaos-panic-rate F] [--chaos-kill-rate F]
+//!           [--chaos-backend-failure-rate F]
 //! ```
 //!
 //! Binds, prints `listening on <addr>` (scripts parse that line), then
 //! serves until `POST /shutdown` arrives; shutdown drains the queue before
-//! the process exits.
+//! the process exits. The `--chaos-*` flags inject deterministic faults
+//! (worker panics/deaths, backend failures) for resilience testing; all
+//! rates default to zero, which is bit-identical to a chaos-free build.
 
 use mqo_chimera::graph::ChimeraGraph;
+use mqo_service::chaos::ChaosConfig;
 use mqo_service::engine::EngineConfig;
 use mqo_service::queue::QueueConfig;
 use mqo_service::server::{Server, ServerConfig};
@@ -32,6 +39,12 @@ struct Options {
     deadline_ms: u64,
     milp_max_queries: usize,
     budget_ms: u64,
+    max_connections: usize,
+    request_deadline_ms: u64,
+    io_timeout_ms: u64,
+    breaker_threshold: u32,
+    breaker_open_ms: u64,
+    chaos: ChaosConfig,
 }
 
 impl Default for Options {
@@ -51,6 +64,12 @@ impl Default for Options {
             deadline_ms: 0,
             milp_max_queries: 14,
             budget_ms: 250,
+            max_connections: 256,
+            request_deadline_ms: 10_000,
+            io_timeout_ms: 10_000,
+            breaker_threshold: 5,
+            breaker_open_ms: 1_000,
+            chaos: ChaosConfig::NONE,
         }
     }
 }
@@ -79,6 +98,38 @@ fn parse_options() -> Result<Options, String> {
                 opts.milp_max_queries = parse(&value("--milp-max-queries")?, "--milp-max-queries")?
             }
             "--budget-ms" => opts.budget_ms = parse(&value("--budget-ms")?, "--budget-ms")?,
+            "--max-connections" => {
+                opts.max_connections = parse(&value("--max-connections")?, "--max-connections")?
+            }
+            "--request-deadline-ms" => {
+                opts.request_deadline_ms =
+                    parse(&value("--request-deadline-ms")?, "--request-deadline-ms")?
+            }
+            "--io-timeout-ms" => {
+                opts.io_timeout_ms = parse(&value("--io-timeout-ms")?, "--io-timeout-ms")?
+            }
+            "--breaker-threshold" => {
+                opts.breaker_threshold =
+                    parse(&value("--breaker-threshold")?, "--breaker-threshold")?
+            }
+            "--breaker-open-ms" => {
+                opts.breaker_open_ms = parse(&value("--breaker-open-ms")?, "--breaker-open-ms")?
+            }
+            "--chaos-seed" => opts.chaos.seed = parse(&value("--chaos-seed")?, "--chaos-seed")?,
+            "--chaos-panic-rate" => {
+                opts.chaos.worker_panic_rate =
+                    parse(&value("--chaos-panic-rate")?, "--chaos-panic-rate")?
+            }
+            "--chaos-kill-rate" => {
+                opts.chaos.worker_kill_rate =
+                    parse(&value("--chaos-kill-rate")?, "--chaos-kill-rate")?
+            }
+            "--chaos-backend-failure-rate" => {
+                opts.chaos.backend_failure_rate = parse(
+                    &value("--chaos-backend-failure-rate")?,
+                    "--chaos-backend-failure-rate",
+                )?
+            }
             "--help" | "-h" => {
                 println!(
                     "mqo_serve: batching MQO solve server\n\
@@ -95,7 +146,16 @@ fn parse_options() -> Result<Options, String> {
                      --derating F        capacity fraction withheld from routing (0)\n\
                      --deadline-ms N     default queue deadline, 0 = none (0)\n\
                      --milp-max-queries N  MILP routing bound (14)\n\
-                     --budget-ms N       classical backend wall budget (250)"
+                     --budget-ms N       classical backend wall budget (250)\n\
+                     --max-connections N   concurrent-connection cap (256)\n\
+                     --request-deadline-ms N  per-request read deadline, 0 = none (10000)\n\
+                     --io-timeout-ms N   socket read/write timeout (10000)\n\
+                     --breaker-threshold N  consecutive failures that open a breaker, 0 = off (5)\n\
+                     --breaker-open-ms N    breaker cooling period (1000)\n\
+                     --chaos-seed N      seed of the chaos streams (0)\n\
+                     --chaos-panic-rate F   per-request worker panic probability (0)\n\
+                     --chaos-kill-rate F    caught-panic worker death probability (0)\n\
+                     --chaos-backend-failure-rate F  per-attempt backend failure probability (0)"
                 );
                 std::process::exit(0);
             }
@@ -140,6 +200,13 @@ fn main() {
     };
     engine.router.milp_max_queries = opts.milp_max_queries;
     engine.classical_budget = Duration::from_millis(opts.budget_ms.max(1));
+    if let Err(e) = opts.chaos.validate() {
+        eprintln!("mqo_serve: {e}");
+        std::process::exit(2);
+    }
+    engine.chaos = opts.chaos;
+    engine.breaker.failure_threshold = opts.breaker_threshold;
+    engine.breaker.open_ms = opts.breaker_open_ms;
 
     let mut config = ServerConfig::new(engine);
     config.addr = opts.addr;
@@ -149,6 +216,9 @@ fn main() {
         batch_size: opts.batch.max(1),
         default_deadline_ms: opts.deadline_ms,
     };
+    config.max_connections = opts.max_connections.max(1);
+    config.request_deadline_ms = opts.request_deadline_ms;
+    config.io_timeout_ms = opts.io_timeout_ms.max(1);
 
     let server = match Server::start(config) {
         Ok(s) => s,

@@ -17,7 +17,8 @@
 use mqo_chimera::embedding::Embedding;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Cache key: problem structure × device topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -41,6 +42,9 @@ pub struct CacheStats {
     pub len: usize,
     /// The configured bound.
     pub capacity: usize,
+    /// Entries invalidated by poison recovery (the whole map is dropped
+    /// when a panicking holder may have broken the LRU bookkeeping).
+    pub poison_invalidations: u64,
 }
 
 #[derive(Debug, Default)]
@@ -51,16 +55,24 @@ struct CacheInner {
     recency: BTreeMap<u64, CacheKey>,
     /// Monotonic touch counter.
     tick: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
 }
 
 /// A bounded LRU cache of minor embeddings.
+///
+/// Counters are lock-free atomics (read by `/metrics` without touching the
+/// map lock); the map lock itself is poison-recovering: if a panicking
+/// holder poisons it, the next acquirer drops every entry (the `map` ↔
+/// `recency` lockstep cannot be trusted after an interrupted update) and
+/// carries on — an embedding cache may always be cold, it must never take
+/// the service down.
 #[derive(Debug)]
 pub struct EmbeddingCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    poison_invalidations: AtomicU64,
 }
 
 impl EmbeddingCache {
@@ -70,12 +82,34 @@ impl EmbeddingCache {
         EmbeddingCache {
             inner: Mutex::new(CacheInner::default()),
             capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            poison_invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquires the map lock; a poisoned guard is recovered by invalidating
+    /// the whole cache. The dropped entries are not LRU evictions (nothing
+    /// displaced them), so they land in their own counter.
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut inner = poisoned.into_inner();
+                self.poison_invalidations
+                    .fetch_add(inner.map.len() as u64, Ordering::Relaxed);
+                inner.map.clear();
+                inner.recency.clear();
+                self.inner.clear_poison();
+                inner
+            }
         }
     }
 
     /// Looks up an embedding, bumping its recency. Counts a hit or a miss.
     pub fn get(&self, key: CacheKey) -> Option<Arc<Embedding>> {
-        let mut inner = self.inner.lock().expect("cache mutex poisoned");
+        let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(&key) {
@@ -84,11 +118,13 @@ impl EmbeddingCache {
                 let embedding = Arc::clone(embedding);
                 inner.recency.remove(&old);
                 inner.recency.insert(tick, key);
-                inner.hits += 1;
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(embedding)
             }
             None => {
-                inner.misses += 1;
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -100,34 +136,41 @@ impl EmbeddingCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("cache mutex poisoned");
+        let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some((_, old)) = inner.map.insert(key, (embedding, tick)) {
             inner.recency.remove(&old);
         }
         inner.recency.insert(tick, key);
+        let mut evicted = 0u64;
         while inner.map.len() > self.capacity {
-            let (&oldest, &victim) = inner
-                .recency
-                .iter()
-                .next()
-                .expect("recency tracks every entry");
+            // `recency` tracks every entry; if the lockstep ever broke (it
+            // cannot after poison recovery — recovery clears both), stop
+            // evicting rather than looping forever.
+            let Some((&oldest, &victim)) = inner.recency.iter().next() else {
+                break;
+            };
             inner.recency.remove(&oldest);
             inner.map.remove(&victim);
-            inner.evictions += 1;
+            evicted += 1;
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache mutex poisoned");
+        let len = self.lock().map.len();
         CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            len: inner.map.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len,
             capacity: self.capacity,
+            poison_invalidations: self.poison_invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -222,6 +265,30 @@ mod tests {
                 graph: 2,
             })
             .is_none());
+    }
+
+    #[test]
+    fn poisoned_cache_recovers_by_invalidating_not_panicking() {
+        let cache = Arc::new(EmbeddingCache::new(4));
+        cache.insert(key(1), embedding(2));
+        cache.insert(key(2), embedding(2));
+        // Poison the map lock by panicking while holding it.
+        let c2 = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = c2.inner.lock().unwrap();
+            panic!("die holding the cache lock");
+        })
+        .join();
+        assert!(cache.inner.is_poisoned());
+        // Recovery: the lookup succeeds (a miss — entries were dropped) and
+        // the cache is fully usable again.
+        assert!(cache.get(key(1)).is_none());
+        let s = cache.stats();
+        assert_eq!(s.len, 0, "poisoned cache was invalidated");
+        assert_eq!(s.poison_invalidations, 2, "both entries dropped");
+        assert!(!cache.inner.is_poisoned(), "poison flag cleared");
+        cache.insert(key(3), embedding(2));
+        assert!(cache.get(key(3)).is_some(), "cache works after recovery");
     }
 
     #[test]

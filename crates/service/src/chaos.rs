@@ -1,0 +1,236 @@
+//! Deterministic chaos injection at the service boundary.
+//!
+//! PR 2 gave the *device* a seeded fault model ([`mqo_annealer::faults`]);
+//! this module applies the same discipline one layer up, to the serving
+//! stack itself: worker panics, fatal worker deaths, and per-backend
+//! failures are all rolled from SplitMix64 streams keyed on the **request
+//! content** (the request seed), never on scheduling order. That makes a
+//! chaos schedule a pure function of `(chaos seed, request stream)`:
+//!
+//! * bit-identical at any worker count, device thread count, or client
+//!   interleaving — the acceptance tests compare `/metrics` counters across
+//!   pool sizes;
+//! * completely absent when the configuration is inert — a zero-rate config
+//!   takes the exact clean code path (no RNG stream is even consulted).
+//!
+//! Injection sites:
+//!
+//! * **Worker panic** ([`ChaosConfig::worker_panics`]) — the engine panics
+//!   at `solve` entry. The batching worker catches it (`catch_unwind`),
+//!   answers a typed `500 internal_error`, and keeps draining the batch.
+//! * **Worker kill** ([`ChaosConfig::worker_dies`]) — a caught panic is
+//!   escalated after the request is answered: the worker re-queues the rest
+//!   of its batch and dies, exercising the supervisor's respawn path.
+//! * **Backend failure** ([`ChaosConfig::backend_fails`]) — one backend
+//!   attempt fails before running; the engine records it against that
+//!   backend's circuit breaker and falls through to the next candidate.
+//!
+//! Client-side chaos (aborted and slow connections) lives in the `loadgen`
+//! bench binary and shares the same stream constants via
+//! [`chaos_roll`], keyed on the request index of the replay.
+
+use crate::api::Backend;
+use mqo_annealer::faults::unit_uniform;
+use mqo_annealer::parallel::derive_seed;
+use serde::{Deserialize, Serialize};
+
+/// Stream tag for worker-panic rolls.
+pub const STREAM_CHAOS_PANIC: u64 = 0x4348_5041_4e49_0001;
+/// Stream tag for worker-kill escalation rolls.
+pub const STREAM_CHAOS_KILL: u64 = 0x4348_4b49_4c4c_0002;
+/// Stream tag for per-backend failure rolls.
+pub const STREAM_CHAOS_BACKEND: u64 = 0x4348_4241_434b_0003;
+/// Stream tag for client-side connection chaos (aborts/slow writes in
+/// `loadgen`).
+pub const STREAM_CHAOS_CONN: u64 = 0x4348_434f_4e4e_0004;
+
+/// One uniform sample in `[0, 1)` for slot `(a, b)` of `stream` under
+/// `chaos_seed` — the single primitive every chaos decision reduces to.
+#[must_use]
+pub fn chaos_roll(chaos_seed: u64, stream: u64, a: u64, b: u64) -> f64 {
+    unit_uniform(derive_seed(chaos_seed, stream, a, b))
+}
+
+/// Service-level chaos configuration. The default (all rates zero) injects
+/// nothing and leaves every code path identical to a chaos-free build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ChaosConfig {
+    /// Seed of every chaos stream; distinct from the request seeds.
+    pub seed: u64,
+    /// Per-request probability that the solve panics inside the engine.
+    pub worker_panic_rate: f64,
+    /// Probability that a *caught* panic escalates and kills the worker
+    /// thread after the request was answered (the supervisor respawns it).
+    pub worker_kill_rate: f64,
+    /// Per-(request, backend) probability that a backend attempt fails
+    /// before running, tripping that backend's circuit breaker.
+    pub backend_failure_rate: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig::NONE
+    }
+}
+
+impl ChaosConfig {
+    /// No chaos at all: the service takes the exact clean code path.
+    pub const NONE: ChaosConfig = ChaosConfig {
+        seed: 0,
+        worker_panic_rate: 0.0,
+        worker_kill_rate: 0.0,
+        backend_failure_rate: 0.0,
+    };
+
+    /// Whether this configuration can never inject anything.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.worker_panic_rate <= 0.0
+            && self.worker_kill_rate <= 0.0
+            && self.backend_failure_rate <= 0.0
+    }
+
+    /// Validates rates; the binaries surface violations before binding.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let rate_ok = |r: f64| (0.0..=1.0).contains(&r);
+        if !rate_ok(self.worker_panic_rate)
+            || !rate_ok(self.worker_kill_rate)
+            || !rate_ok(self.backend_failure_rate)
+        {
+            return Err("chaos rates must lie in [0, 1]");
+        }
+        Ok(())
+    }
+
+    /// Whether the request with base seed `req_seed` panics inside the
+    /// engine. Pure in `(self.seed, req_seed)`.
+    #[must_use]
+    pub fn worker_panics(&self, req_seed: u64) -> bool {
+        self.worker_panic_rate > 0.0
+            && chaos_roll(self.seed, STREAM_CHAOS_PANIC, req_seed, 0) < self.worker_panic_rate
+    }
+
+    /// Whether the caught panic of request `req_seed` escalates into a
+    /// worker death. Only consulted after [`ChaosConfig::worker_panics`]
+    /// fired, so the kill schedule is a deterministic subset of the panic
+    /// schedule.
+    #[must_use]
+    pub fn worker_dies(&self, req_seed: u64) -> bool {
+        self.worker_kill_rate > 0.0
+            && chaos_roll(self.seed, STREAM_CHAOS_KILL, req_seed, 0) < self.worker_kill_rate
+    }
+
+    /// Whether the attempt of `backend` for request `req_seed` is failed
+    /// before it runs.
+    #[must_use]
+    pub fn backend_fails(&self, req_seed: u64, backend: Backend) -> bool {
+        self.backend_failure_rate > 0.0
+            && chaos_roll(self.seed, STREAM_CHAOS_BACKEND, req_seed, backend as u64)
+                < self.backend_failure_rate
+    }
+}
+
+/// Panic payload message used by injected worker panics, so tests and
+/// operators can tell chaos from genuine bugs in `500` details.
+pub const CHAOS_PANIC_MESSAGE: &str = "chaos: injected worker panic";
+
+/// Extracts a human-readable message from a caught panic payload
+/// (`&str` and `String` payloads cover `panic!`; anything else gets a
+/// placeholder rather than a lossy `Debug` dump).
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_configs_are_detected_and_never_fire() {
+        assert!(ChaosConfig::NONE.is_inert());
+        assert!(ChaosConfig::default().is_inert());
+        let cfg = ChaosConfig {
+            seed: 99,
+            ..ChaosConfig::NONE
+        };
+        assert!(cfg.is_inert());
+        for req_seed in 0..1_000 {
+            assert!(!cfg.worker_panics(req_seed));
+            assert!(!cfg.worker_dies(req_seed));
+            assert!(!cfg.backend_fails(req_seed, Backend::Annealer));
+        }
+        assert!(!ChaosConfig {
+            worker_panic_rate: 0.1,
+            ..ChaosConfig::NONE
+        }
+        .is_inert());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_rates() {
+        assert!(ChaosConfig::NONE.validate().is_ok());
+        for bad in [-0.1, 1.5, f64::NAN] {
+            assert!(ChaosConfig {
+                worker_panic_rate: bad,
+                ..ChaosConfig::NONE
+            }
+            .validate()
+            .is_err());
+            assert!(ChaosConfig {
+                backend_failure_rate: bad,
+                ..ChaosConfig::NONE
+            }
+            .validate()
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn rolls_are_deterministic_and_content_keyed() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            worker_panic_rate: 0.3,
+            worker_kill_rate: 0.5,
+            backend_failure_rate: 0.3,
+        };
+        let schedule: Vec<bool> = (0..200).map(|s| cfg.worker_panics(s)).collect();
+        let again: Vec<bool> = (0..200).map(|s| cfg.worker_panics(s)).collect();
+        assert_eq!(schedule, again, "same seed, same schedule");
+        let fired = schedule.iter().filter(|&&p| p).count();
+        assert!(
+            (20..=100).contains(&fired),
+            "30% of 200 requests should land near 60, got {fired}"
+        );
+        let other = ChaosConfig { seed: 8, ..cfg };
+        let other_schedule: Vec<bool> = (0..200).map(|s| other.worker_panics(s)).collect();
+        assert_ne!(schedule, other_schedule, "different chaos seeds differ");
+    }
+
+    #[test]
+    fn streams_are_independent_per_backend_and_site() {
+        let cfg = ChaosConfig {
+            seed: 3,
+            worker_panic_rate: 0.5,
+            worker_kill_rate: 0.5,
+            backend_failure_rate: 0.5,
+        };
+        let panics: Vec<bool> = (0..400).map(|s| cfg.worker_panics(s)).collect();
+        let kills: Vec<bool> = (0..400).map(|s| cfg.worker_dies(s)).collect();
+        assert_ne!(panics, kills, "kill rolls use their own stream");
+        let annealer: Vec<bool> = (0..400)
+            .map(|s| cfg.backend_fails(s, Backend::Annealer))
+            .collect();
+        let milp: Vec<bool> = (0..400)
+            .map(|s| cfg.backend_fails(s, Backend::Milp))
+            .collect();
+        assert_ne!(annealer, milp, "backend rolls are per-backend");
+    }
+}

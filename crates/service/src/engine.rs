@@ -1,9 +1,19 @@
-//! The solve engine: routing, the embedding cache, and the three backends
-//! behind one synchronous `solve` call. Workers of the batching queue share
-//! one engine; everything inside is `Sync`.
+//! The solve engine: routing, the embedding cache, circuit breakers, and
+//! the three backends behind one synchronous `solve` call. Workers of the
+//! batching queue share one engine; everything inside is `Sync`.
+//!
+//! Robustness model (DESIGN.md §9): every backend attempt runs inside its
+//! own `catch_unwind`, failures (real, panicked, or chaos-injected) are
+//! recorded against that backend's [`CircuitBreaker`], and the request
+//! falls through an ordered candidate chain — annealer → MILP → hill
+//! climbing — until a healthy backend answers. Only when every candidate is
+//! breaker-open or failing does the request resolve to a typed
+//! `503 backend_unavailable`.
 
 use crate::api::{Backend, Reject, SolveRequest, SolveResponse};
+use crate::breaker::{BreakerConfig, BreakerSnapshot, CircuitBreaker};
 use crate::cache::{CacheKey, CacheStats, EmbeddingCache};
+use crate::chaos::{ChaosConfig, CHAOS_PANIC_MESSAGE};
 use crate::metrics::Metrics;
 use crate::router::{route, RouteDecision, RouterConfig};
 use mqo::pipeline::{PipelineError, QuantumMqoSolver, ResilienceConfig};
@@ -17,6 +27,7 @@ use mqo_heuristics::HillClimbing;
 use mqo_milp::bb_mqo::{self, MqoBbConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,6 +53,10 @@ pub struct EngineConfig {
     pub classical_budget: Duration,
     /// Hard cap on per-request annealing reads.
     pub max_reads: usize,
+    /// Per-backend circuit-breaker policy.
+    pub breaker: BreakerConfig,
+    /// Deterministic chaos injection (inert by default).
+    pub chaos: ChaosConfig,
 }
 
 impl EngineConfig {
@@ -61,6 +76,8 @@ impl EngineConfig {
             embed_tries: 16,
             classical_budget: Duration::from_millis(250),
             max_reads: 10_000,
+            breaker: BreakerConfig::default(),
+            chaos: ChaosConfig::NONE,
         }
     }
 }
@@ -72,6 +89,8 @@ pub struct SolveEngine {
     graph_fingerprint: u64,
     cache: EmbeddingCache,
     metrics: Arc<Metrics>,
+    /// One breaker per backend, indexed by `Backend as usize`.
+    breakers: [CircuitBreaker; 3],
 }
 
 impl SolveEngine {
@@ -79,11 +98,31 @@ impl SolveEngine {
     pub fn new(config: EngineConfig, metrics: Arc<Metrics>) -> Self {
         let graph_fingerprint = config.graph.fingerprint();
         let cache = EmbeddingCache::new(config.cache_capacity);
+        let breakers = [
+            CircuitBreaker::new(config.breaker),
+            CircuitBreaker::new(config.breaker),
+            CircuitBreaker::new(config.breaker),
+        ];
         SolveEngine {
             config,
             graph_fingerprint,
             cache,
             metrics,
+            breakers,
+        }
+    }
+
+    /// The circuit breaker guarding `backend`.
+    pub fn breaker(&self, backend: Backend) -> &CircuitBreaker {
+        &self.breakers[backend as usize]
+    }
+
+    /// Breaker snapshots of all three backends, for `/metrics`.
+    pub fn breaker_panel(&self) -> BreakerPanel {
+        BreakerPanel {
+            annealer: self.breaker(Backend::Annealer).snapshot(),
+            milp: self.breaker(Backend::Milp).snapshot(),
+            hill_climbing: self.breaker(Backend::HillClimbing).snapshot(),
         }
     }
 
@@ -102,10 +141,16 @@ impl SolveEngine {
         &self.config
     }
 
-    /// Solves one admitted request synchronously. Never panics on
-    /// well-formed input: every failure path is a typed [`Reject`].
+    /// Solves one admitted request synchronously. Every failure path is a
+    /// typed [`Reject`]; the only panic that can escape is the
+    /// chaos-injected worker panic (by design — the batching worker's
+    /// `catch_unwind` isolates it into a `500 internal_error`).
     pub fn solve(&self, req: &SolveRequest) -> Result<SolveResponse, Reject> {
         let start = Instant::now();
+        if self.config.chaos.worker_panics(req.seed) {
+            Metrics::inc(&self.metrics.chaos_panics_injected);
+            panic!("{CHAOS_PANIC_MESSAGE} (request seed {})", req.seed);
+        }
         let decision = match req.backend {
             Some(backend) => RouteDecision {
                 backend,
@@ -113,30 +158,102 @@ impl SolveEngine {
             },
             None => route(&req.problem, &self.config.graph, &self.config.router),
         };
-
-        let mut response = match decision.backend {
-            Backend::Annealer => match self.solve_annealer(req) {
-                Ok(r) => r,
-                // Structure the router admitted but the embedder could not
-                // place (e.g. a dense savings graph on a degraded chip):
-                // degrade to the classical path instead of failing the
-                // request.
-                Err(AnnealerFailure::Embedding(e)) => {
-                    let mut r = self.solve_climbing(req);
-                    r.route_reason = format!("embedding failed ({e}); degraded to hill climbing");
-                    r
+        // The fall-through chain behind the routed first choice. A pinned
+        // request gets exactly its backend: pinning is a debugging/bench
+        // contract ("this answer came from X"), so degrading it silently
+        // would lie to the client.
+        let candidates: Vec<Backend> = match (req.backend, decision.backend) {
+            (Some(b), _) => vec![b],
+            (None, Backend::Annealer) => {
+                let mut chain = vec![Backend::Annealer];
+                if req.problem.num_queries() <= self.config.router.milp_max_queries {
+                    chain.push(Backend::Milp);
                 }
-                Err(AnnealerFailure::Fatal(detail)) => {
-                    Metrics::inc(&self.metrics.rejected_unsolvable);
-                    return Err(Reject::Unsolvable { detail });
-                }
-            },
-            Backend::Milp => self.solve_milp(req),
-            Backend::HillClimbing => self.solve_climbing(req),
+                chain.push(Backend::HillClimbing);
+                chain
+            }
+            (None, Backend::Milp) => vec![Backend::Milp, Backend::HillClimbing],
+            (None, Backend::HillClimbing) => vec![Backend::HillClimbing, Backend::Milp],
         };
-        if response.route_reason.is_empty() {
-            response.route_reason = decision.reason;
+
+        let mut notes: Vec<String> = Vec::new();
+        let mut any_unavailable = false;
+        for (rank, &backend) in candidates.iter().enumerate() {
+            if !self.breaker(backend).admit() {
+                if rank == 0 {
+                    Metrics::inc(&self.metrics.breaker_skips);
+                }
+                notes.push(format!("{backend}: breaker open"));
+                any_unavailable = true;
+                continue;
+            }
+            match self.attempt(backend, req) {
+                Ok(mut response) => {
+                    self.breaker(backend).record_success();
+                    response.route_reason = if notes.is_empty() {
+                        decision.reason
+                    } else {
+                        format!("{} [degraded: {}]", decision.reason, notes.join("; "))
+                    };
+                    self.finish(&mut response, start);
+                    return Ok(response);
+                }
+                Err(AttemptFailure::Embedding(e)) => {
+                    // The embedder could not place this instance (e.g. a
+                    // dense savings graph on a degraded chip). That is a
+                    // property of the instance, not of backend health, so
+                    // it does not trip the breaker.
+                    notes.push(format!("{backend}: embedding failed ({e})"));
+                }
+                Err(failure) => {
+                    self.breaker(backend).record_failure();
+                    Metrics::inc(&self.metrics.backend_attempt_failures);
+                    any_unavailable = true;
+                    notes.push(format!("{backend}: {failure}"));
+                }
+            }
         }
+
+        let detail = notes.join("; ");
+        if any_unavailable {
+            Metrics::inc(&self.metrics.rejected_unavailable);
+            Err(Reject::BackendUnavailable { detail })
+        } else {
+            Metrics::inc(&self.metrics.rejected_unsolvable);
+            Err(Reject::Unsolvable { detail })
+        }
+    }
+
+    /// One attempt of one backend: chaos roll, then the solver inside its
+    /// own `catch_unwind` so a panicking backend is a breaker failure, not
+    /// a dead worker.
+    fn attempt(
+        &self,
+        backend: Backend,
+        req: &SolveRequest,
+    ) -> Result<SolveResponse, AttemptFailure> {
+        if self.config.chaos.backend_fails(req.seed, backend) {
+            Metrics::inc(&self.metrics.chaos_backend_failures_injected);
+            return Err(AttemptFailure::Injected);
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match backend {
+            Backend::Annealer => self.solve_annealer(req),
+            Backend::Milp => Ok(self.solve_milp(req)),
+            Backend::HillClimbing => Ok(self.solve_climbing(req)),
+        }));
+        match outcome {
+            Ok(Ok(response)) => Ok(response),
+            Ok(Err(AnnealerFailure::Embedding(e))) => Err(AttemptFailure::Embedding(e)),
+            Ok(Err(AnnealerFailure::Fatal(detail))) => Err(AttemptFailure::Fatal(detail)),
+            Err(payload) => Err(AttemptFailure::Panicked(crate::chaos::panic_message(
+                payload.as_ref(),
+            ))),
+        }
+    }
+
+    /// Success bookkeeping shared by every backend: per-backend counters,
+    /// cache-counter mirroring, and the wall clock.
+    fn finish(&self, response: &mut SolveResponse, start: Instant) {
         match response.backend {
             Backend::Annealer => Metrics::inc(&self.metrics.backend_annealer),
             Backend::Milp => Metrics::inc(&self.metrics.backend_milp),
@@ -156,7 +273,6 @@ impl SolveEngine {
             .store(cs.evictions, std::sync::atomic::Ordering::Relaxed);
         Metrics::inc(&self.metrics.solved_total);
         response.wall_us = start.elapsed().as_micros() as u64;
-        Ok(response)
     }
 
     fn solve_annealer(&self, req: &SolveRequest) -> Result<SolveResponse, AnnealerFailure> {
@@ -314,6 +430,41 @@ enum AnnealerFailure {
     Fatal(String),
 }
 
+/// Why one backend attempt did not produce an answer.
+enum AttemptFailure {
+    /// The embedder could not place the instance (does not trip breakers).
+    Embedding(EmbeddingError),
+    /// The backend ran and failed fatally.
+    Fatal(String),
+    /// A chaos roll failed the attempt before it ran.
+    Injected,
+    /// The backend panicked; caught by the per-attempt `catch_unwind`.
+    Panicked(String),
+}
+
+impl std::fmt::Display for AttemptFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttemptFailure::Embedding(e) => write!(f, "embedding failed ({e})"),
+            AttemptFailure::Fatal(detail) => write!(f, "failed ({detail})"),
+            AttemptFailure::Injected => write!(f, "failed (chaos: injected backend failure)"),
+            AttemptFailure::Panicked(msg) => write!(f, "panicked ({msg})"),
+        }
+    }
+}
+
+/// Breaker snapshots of all three backends, serialised under
+/// `"breakers"` in the `/metrics` payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerPanel {
+    /// The annealer backend's breaker.
+    pub annealer: BreakerSnapshot,
+    /// The MILP backend's breaker.
+    pub milp: BreakerSnapshot,
+    /// The hill-climbing backend's breaker.
+    pub hill_climbing: BreakerSnapshot,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,5 +575,121 @@ mod tests {
         req.reads = Some(1_000_000);
         let r = e.solve(&req).unwrap();
         assert_eq!(r.reads, 60, "server cap applies");
+    }
+
+    #[test]
+    fn open_breaker_falls_through_to_the_next_backend() {
+        let e = engine();
+        // Trip the annealer breaker by hand.
+        for _ in 0..e.config().breaker.failure_threshold {
+            e.breaker(Backend::Annealer).record_failure();
+        }
+        assert_eq!(
+            e.breaker(Backend::Annealer).state(),
+            crate::breaker::BreakerState::Open
+        );
+        let r = e.solve(&SolveRequest::new(paper_example(), 5)).unwrap();
+        assert_ne!(r.backend, Backend::Annealer, "open backend is skipped");
+        assert!(
+            r.route_reason.contains("degraded") && r.route_reason.contains("breaker open"),
+            "degradation is visible to the client: {}",
+            r.route_reason
+        );
+        assert_eq!(r.cost, 2.0, "the fallback still solves the instance");
+        let panel = e.breaker_panel();
+        assert_eq!(panel.annealer.rejected_total, 1);
+    }
+
+    #[test]
+    fn injected_backend_failures_trip_the_breaker_and_fall_through() {
+        let mut cfg = EngineConfig::new(ChimeraGraph::new(2, 2));
+        cfg.device.num_reads = 50;
+        cfg.device.num_gauges = 5;
+        cfg.chaos = ChaosConfig {
+            seed: 41,
+            backend_failure_rate: 1.0,
+            ..ChaosConfig::NONE
+        };
+        // Rate 1.0 fails every backend attempt: after `failure_threshold`
+        // requests every breaker is open and requests get a typed 503.
+        let e = SolveEngine::new(cfg, Arc::new(Metrics::default()));
+        let mut last = None;
+        for seed in 0..10 {
+            last = Some(e.solve(&SolveRequest::new(paper_example(), seed)));
+        }
+        let err = last.unwrap().unwrap_err();
+        assert!(
+            matches!(err, Reject::BackendUnavailable { .. }),
+            "all-failing backends resolve to 503, got {err}"
+        );
+        assert_eq!(err.http_status(), 503);
+        let panel = e.breaker_panel();
+        assert_eq!(
+            panel.annealer.state,
+            crate::breaker::BreakerState::Open,
+            "chaos failures opened the annealer breaker"
+        );
+        let m = e.metrics().snapshot();
+        assert!(m.chaos_backend_failures_injected > 0);
+        assert!(m.backend_attempt_failures > 0);
+        assert_eq!(m.solved_total, 0);
+    }
+
+    #[test]
+    fn pinned_requests_never_degrade_to_another_backend() {
+        let mut cfg = EngineConfig::new(ChimeraGraph::new(2, 2));
+        cfg.chaos = ChaosConfig {
+            seed: 1,
+            backend_failure_rate: 1.0,
+            ..ChaosConfig::NONE
+        };
+        let e = SolveEngine::new(cfg, Arc::new(Metrics::default()));
+        let mut req = SolveRequest::new(paper_example(), 2);
+        req.backend = Some(Backend::Milp);
+        let err = e.solve(&req).unwrap_err();
+        // The pinned backend failed, so the request fails — it is never
+        // silently answered by a different backend.
+        assert!(matches!(err, Reject::BackendUnavailable { .. }), "{err}");
+    }
+
+    #[test]
+    fn chaos_worker_panic_escapes_solve_with_the_marker_message() {
+        let mut cfg = EngineConfig::new(ChimeraGraph::new(2, 2));
+        cfg.chaos = ChaosConfig {
+            seed: 123,
+            worker_panic_rate: 1.0,
+            ..ChaosConfig::NONE
+        };
+        let e = SolveEngine::new(cfg, Arc::new(Metrics::default()));
+        let req = SolveRequest::new(paper_example(), 9);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| e.solve(&req)));
+        let msg = crate::chaos::panic_message(caught.unwrap_err().as_ref());
+        assert!(msg.contains(crate::chaos::CHAOS_PANIC_MESSAGE), "{msg}");
+        assert_eq!(e.metrics().snapshot().chaos_panics_injected, 1);
+    }
+
+    #[test]
+    fn inert_chaos_answers_are_identical_to_a_clean_engine() {
+        let clean = engine();
+        let mut cfg = EngineConfig::new(ChimeraGraph::new(2, 2));
+        cfg.device.num_reads = 50;
+        cfg.device.num_gauges = 5;
+        cfg.chaos = ChaosConfig {
+            seed: 777,
+            ..ChaosConfig::NONE
+        };
+        let inert = SolveEngine::new(cfg, Arc::new(Metrics::default()));
+        for seed in 0..5 {
+            let a = clean
+                .solve(&SolveRequest::new(paper_example(), seed))
+                .unwrap();
+            let b = inert
+                .solve(&SolveRequest::new(paper_example(), seed))
+                .unwrap();
+            assert_eq!(a.selection, b.selection);
+            assert_eq!(a.cost, b.cost);
+            assert_eq!(a.reads, b.reads);
+            assert_eq!(a.backend, b.backend);
+        }
     }
 }

@@ -1,9 +1,23 @@
 //! A deliberately small HTTP/1.1 subset over `std::net` — just enough for a
 //! JSON API (request line, headers, `Content-Length` bodies, one request per
 //! connection). No external dependencies: the build environment is offline.
+//!
+//! Hardening (DESIGN.md §9): every read is bounded three ways —
+//!
+//! * **bytes** — the request line and each header line have byte caps, the
+//!   header count is capped, and `Content-Length` is capped, so a hostile
+//!   client can never make the server buffer without bound;
+//! * **time** — an optional whole-request deadline ([`HttpLimits::deadline`])
+//!   re-arms the socket read timeout before every line, so a slowloris
+//!   client trickling one byte per second is cut off with a typed 408;
+//! * **totality** — [`read_request`] is generic over any [`RequestSource`]
+//!   (a live socket or an in-memory byte slice), and the property tests
+//!   feed it arbitrary byte streams: it must always return `Ok` or a typed
+//!   [`HttpError`], never panic.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,25 +30,84 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
-/// Errors while reading a request; each maps to a 4xx.
+/// Byte, count, and time bounds applied while reading one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpLimits {
+    /// Cap on the declared `Content-Length`, bytes.
+    pub max_body: usize,
+    /// Cap on the request line and on each header line, bytes (including
+    /// the terminating `\r\n`).
+    pub max_line_bytes: usize,
+    /// Cap on the number of header lines.
+    pub max_header_count: usize,
+    /// Whole-request wall-clock deadline; reads past it fail with
+    /// [`HttpError::Timeout`]. `None` disables the deadline (in-memory
+    /// parsing, tests).
+    pub deadline: Option<Instant>,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_body: 1 << 20,
+            max_line_bytes: 8 << 10,
+            max_header_count: 64,
+            deadline: None,
+        }
+    }
+}
+
+/// Errors while reading a request; each maps to a status via
+/// [`HttpError::http_status`].
 #[derive(Debug)]
 pub enum HttpError {
-    /// Malformed request line or headers.
+    /// Malformed request line or headers (400).
     BadRequest(&'static str),
-    /// Body larger than the configured cap.
+    /// Body larger than the configured cap (413).
     BodyTooLarge {
         /// Declared `Content-Length`.
         declared: usize,
         /// Configured maximum.
         limit: usize,
     },
-    /// Socket-level failure.
+    /// The whole-request deadline expired mid-read (408).
+    Timeout,
+    /// A request or header line exceeded the byte cap (431).
+    LineTooLong {
+        /// Configured cap, bytes.
+        limit: usize,
+    },
+    /// More header lines than the configured cap (431).
+    TooManyHeaders {
+        /// Configured cap.
+        limit: usize,
+    },
+    /// Socket-level failure (no response is possible).
     Io(io::Error),
 }
 
 impl From<io::Error> for HttpError {
     fn from(e: io::Error) -> Self {
-        HttpError::Io(e)
+        // Armed read timeouts surface as WouldBlock or TimedOut depending
+        // on the platform; both mean the deadline struck.
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+impl HttpError {
+    /// The HTTP status this error is answered with.
+    #[must_use]
+    pub fn http_status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::BodyTooLarge { .. } => 413,
+            HttpError::Timeout => 408,
+            HttpError::LineTooLong { .. } | HttpError::TooManyHeaders { .. } => 431,
+            HttpError::Io(_) => 400,
+        }
     }
 }
 
@@ -45,17 +118,87 @@ impl std::fmt::Display for HttpError {
             HttpError::BodyTooLarge { declared, limit } => {
                 write!(f, "body of {declared} bytes exceeds the {limit}-byte cap")
             }
+            HttpError::Timeout => write!(f, "request deadline expired mid-read"),
+            HttpError::LineTooLong { limit } => {
+                write!(f, "request/header line exceeds the {limit}-byte cap")
+            }
+            HttpError::TooManyHeaders { limit } => {
+                write!(f, "more than {limit} header lines")
+            }
             HttpError::Io(e) => write!(f, "io error: {e}"),
         }
     }
 }
 
-/// Reads one request from the stream. `max_body` caps `Content-Length` so a
-/// hostile client cannot make the server allocate without bound.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
+/// Anything a request can be read from: a live socket (which can arm
+/// per-read timeouts toward the deadline) or an in-memory byte slice (the
+/// property tests' fuzzing surface, where arming is a no-op).
+pub trait RequestSource: Read {
+    /// Arms an I/O timeout of `remaining` for the next read.
+    fn arm_timeout(&mut self, remaining: Duration) -> io::Result<()> {
+        let _ = remaining;
+        Ok(())
+    }
+}
+
+impl RequestSource for TcpStream {
+    fn arm_timeout(&mut self, remaining: Duration) -> io::Result<()> {
+        // Zero would mean "no timeout"; clamp up so an already-struck
+        // deadline still produces a fast WouldBlock/TimedOut.
+        self.set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+    }
+}
+
+impl RequestSource for &[u8] {}
+
+impl<S: RequestSource + ?Sized> RequestSource for &mut S {
+    fn arm_timeout(&mut self, remaining: Duration) -> io::Result<()> {
+        (**self).arm_timeout(remaining)
+    }
+}
+
+/// Reads one `\n`-terminated line, enforcing the byte cap and the deadline.
+/// Returns `None` at a clean EOF before any byte of the line.
+fn read_line_bounded<S: RequestSource>(
+    reader: &mut BufReader<S>,
+    limits: &HttpLimits,
+) -> Result<Option<String>, HttpError> {
+    if let Some(deadline) = limits.deadline {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(HttpError::Timeout);
+        }
+        reader.get_mut().arm_timeout(deadline - now)?;
+    }
+    let mut buf = Vec::new();
+    let cap = limits.max_line_bytes;
+    let n = reader
+        .by_ref()
+        .take(cap as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.len() > cap || (buf.len() == cap && buf.last() != Some(&b'\n')) {
+        return Err(HttpError::LineTooLong { limit: cap });
+    }
+    // Headers are ASCII in practice; anything else is malformed input, not
+    // a reason to panic.
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| HttpError::BadRequest("non-UTF-8 bytes in request line or headers"))
+}
+
+/// Reads one request from the source under `limits`. Total: every input —
+/// including adversarial byte streams and stalled sockets — produces `Ok`
+/// or a typed [`HttpError`], never a panic or an unbounded buffer.
+pub fn read_request<S: RequestSource>(
+    source: &mut S,
+    limits: &HttpLimits,
+) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(source);
+    let line = read_line_bounded(&mut reader, limits)?
+        .ok_or(HttpError::BadRequest("empty request line"))?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -67,14 +210,19 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     let path = target.split('?').next().unwrap_or(target).to_string();
 
     let mut content_length = 0usize;
+    let mut header_count = 0usize;
     loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Err(HttpError::BadRequest("connection closed mid-headers"));
-        }
+        let header = read_line_bounded(&mut reader, limits)?
+            .ok_or(HttpError::BadRequest("connection closed mid-headers"))?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
+        }
+        header_count += 1;
+        if header_count > limits.max_header_count {
+            return Err(HttpError::TooManyHeaders {
+                limit: limits.max_header_count,
+            });
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -85,11 +233,18 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
             }
         }
     }
-    if content_length > max_body {
+    if content_length > limits.max_body {
         return Err(HttpError::BodyTooLarge {
             declared: content_length,
-            limit: max_body,
+            limit: limits.max_body,
         });
+    }
+    if let Some(deadline) = limits.deadline {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(HttpError::Timeout);
+        }
+        reader.get_mut().arm_timeout(deadline - now)?;
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
@@ -98,13 +253,32 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
 
 /// Writes a response with a JSON body and closes the exchange
 /// (`Connection: close`).
-pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+pub fn write_json_response<W: Write>(stream: &mut W, status: u16, body: &str) -> io::Result<()> {
+    write_json_response_with(stream, status, body, &[])
+}
+
+/// [`write_json_response`] with extra response headers (e.g. `Retry-After`
+/// on load-shedding 503s). Header names and values must be pre-sanitised
+/// static strings — no client data goes through here.
+pub fn write_json_response_with<W: Write>(
+    stream: &mut W,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
     let reason = reason_phrase(status);
-    let head = format!(
+    let mut head = format!(
         "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\nconnection: close\r\n\r\n",
+         content-length: {}\r\nconnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -116,9 +290,12 @@ fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
@@ -184,7 +361,11 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn(move || {
             let (mut stream, _) = listener.accept().unwrap();
-            let req = read_request(&mut stream, 1024).unwrap();
+            let limits = HttpLimits {
+                max_body: 1024,
+                ..HttpLimits::default()
+            };
+            let req = read_request(&mut stream, &limits).unwrap();
             assert_eq!(req.method, "POST");
             assert_eq!(req.path, "/solve");
             assert_eq!(req.body, b"{\"x\":1}");
@@ -202,7 +383,11 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn(move || {
             let (mut stream, _) = listener.accept().unwrap();
-            match read_request(&mut stream, 16) {
+            let limits = HttpLimits {
+                max_body: 16,
+                ..HttpLimits::default()
+            };
+            match read_request(&mut stream, &limits) {
                 Err(HttpError::BodyTooLarge { declared, limit }) => {
                     assert_eq!(declared, 1000);
                     assert_eq!(limit, 16);
@@ -215,5 +400,127 @@ mod tests {
             .write_all(b"POST /solve HTTP/1.1\r\ncontent-length: 1000\r\n\r\n")
             .unwrap();
         server.join().unwrap();
+    }
+
+    #[test]
+    fn in_memory_sources_parse_without_a_socket() {
+        let mut raw: &[u8] = b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n";
+        let req = read_request(&mut raw, &HttpLimits::default()).unwrap();
+        assert_eq!(
+            (req.method.as_str(), req.path.as_str()),
+            ("GET", "/healthz")
+        );
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn long_request_lines_answer_431_not_unbounded_buffering() {
+        let limits = HttpLimits {
+            max_line_bytes: 64,
+            ..HttpLimits::default()
+        };
+        let mut raw: Vec<u8> = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 10_000));
+        match read_request(&mut raw.as_slice(), &limits) {
+            Err(HttpError::LineTooLong { limit }) => assert_eq!(limit, 64),
+            other => panic!("expected LineTooLong, got {other:?}"),
+        }
+        // A long *header* line trips the same cap.
+        let mut raw: Vec<u8> = b"GET / HTTP/1.1\r\nx-junk: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'b', 10_000));
+        match read_request(&mut raw.as_slice(), &limits) {
+            Err(HttpError::LineTooLong { limit }) => assert_eq!(limit, 64),
+            other => panic!("expected LineTooLong, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_count_cap_is_enforced() {
+        let limits = HttpLimits {
+            max_header_count: 4,
+            ..HttpLimits::default()
+        };
+        let mut raw: Vec<u8> = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..10 {
+            raw.extend(format!("x-h{i}: v\r\n").into_bytes());
+        }
+        raw.extend(b"\r\n");
+        match read_request(&mut raw.as_slice(), &limits) {
+            Err(HttpError::TooManyHeaders { limit }) => assert_eq!(limit, 4),
+            other => panic!("expected TooManyHeaders, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadlines_fail_with_timeout_before_reading() {
+        let limits = HttpLimits {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..HttpLimits::default()
+        };
+        let mut raw: &[u8] = b"GET / HTTP/1.1\r\n\r\n";
+        match read_request(&mut raw, &limits) {
+            Err(HttpError::Timeout) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slowloris_clients_are_cut_off_by_the_wall_clock_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let limits = HttpLimits {
+                deadline: Some(Instant::now() + Duration::from_millis(50)),
+                ..HttpLimits::default()
+            };
+            let started = Instant::now();
+            let result = read_request(&mut stream, &limits);
+            assert!(
+                matches!(result, Err(HttpError::Timeout)),
+                "stalled client should time out, got {result:?}"
+            );
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "deadline cut the read off promptly"
+            );
+        });
+        // Send half a request line, then stall well past the deadline.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"POST /so").unwrap();
+        stream.flush().unwrap();
+        server.join().unwrap();
+        drop(stream);
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_in_the_response_head() {
+        let mut out = Vec::new();
+        write_json_response_with(&mut out, 503, "{}", &[("retry-after", "1")]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    #[test]
+    fn status_mapping_covers_every_error() {
+        assert_eq!(HttpError::BadRequest("x").http_status(), 400);
+        assert_eq!(
+            HttpError::BodyTooLarge {
+                declared: 2,
+                limit: 1
+            }
+            .http_status(),
+            413
+        );
+        assert_eq!(HttpError::Timeout.http_status(), 408);
+        assert_eq!(HttpError::LineTooLong { limit: 1 }.http_status(), 431);
+        assert_eq!(HttpError::TooManyHeaders { limit: 1 }.http_status(), 431);
+        let timeout: HttpError = io::Error::from(io::ErrorKind::TimedOut).into();
+        assert!(matches!(timeout, HttpError::Timeout));
     }
 }

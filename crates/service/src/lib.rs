@@ -27,12 +27,19 @@
 //!   the MILP or hill-climbing backends instead of the annealer.
 //! * [`server`] — hand-rolled HTTP/1.1 over `std::net` exposing
 //!   `POST /solve`, `GET /metrics`, `GET /healthz`, and `POST /shutdown`.
+//! * [`breaker`] — per-backend circuit breakers; a repeatedly failing
+//!   backend is skipped in favour of the next candidate (DESIGN.md §9).
+//! * [`chaos`] — deterministic fault injection for the serving stack:
+//!   seeded worker panics, worker deaths, and backend failures keyed on
+//!   request content, inert by default.
 //!
 //! The `mqo_serve` binary wires the layers together; the `loadgen` bench bin
 //! (in `mqo-bench`) replays paper-workload request streams against it.
 
 pub mod api;
+pub mod breaker;
 pub mod cache;
+pub mod chaos;
 pub mod engine;
 pub mod http;
 pub mod metrics;
@@ -41,8 +48,10 @@ pub mod router;
 pub mod server;
 
 pub use api::{Backend, Reject, SolveRequest, SolveResponse};
+pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker};
 pub use cache::{CacheKey, CacheStats, EmbeddingCache};
-pub use engine::{EngineConfig, SolveEngine};
+pub use chaos::ChaosConfig;
+pub use engine::{BreakerPanel, EngineConfig, SolveEngine};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use queue::{QueueConfig, SolveQueue};
 pub use router::{route, RouteDecision, RouterConfig};

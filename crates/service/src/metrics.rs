@@ -7,6 +7,38 @@
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Acquires `mutex`, recovering the guard (and counting the recovery in
+/// `recoveries`) if a panicking thread poisoned it. Callers are responsible
+/// for restoring any invariant the interrupted critical section might have
+/// broken — every client-visible lock in this crate goes through here, so a
+/// single panic can never cascade into a total outage via poison
+/// propagation.
+pub fn lock_recover<'a, T>(mutex: &'a Mutex<T>, recoveries: &AtomicU64) -> MutexGuard<'a, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// [`lock_recover`] for the poisoned result of a [`std::sync::Condvar`]
+/// wait, which hands the guard back through the same poison envelope.
+pub fn wait_recover<'a, T>(
+    result: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+    recoveries: &AtomicU64,
+) -> MutexGuard<'a, T> {
+    match result {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        }
+    }
+}
 
 /// Number of power-of-two latency buckets: bucket `i` covers
 /// `[2^i, 2^(i+1))` µs, the last bucket is open-ended (~2.3 min and up).
@@ -100,6 +132,36 @@ pub struct Metrics {
     pub rejected_invalid: AtomicU64,
     /// Typed rejections: admitted but no backend could answer.
     pub rejected_unsolvable: AtomicU64,
+    /// Typed rejections: worker panic isolated into a `500 internal_error`.
+    pub rejected_internal: AtomicU64,
+    /// Typed rejections: every candidate backend breaker-open or failed.
+    pub rejected_unavailable: AtomicU64,
+    /// Typed rejections: whole-request deadline expired mid-read (408).
+    pub rejected_request_timeout: AtomicU64,
+    /// Typed rejections: request-line/header caps exceeded (431).
+    pub rejected_header_limit: AtomicU64,
+    /// Connections shed at accept time by the connection cap (503).
+    pub connections_shed: AtomicU64,
+    /// Connections currently being served (gauge).
+    pub connections_active: AtomicU64,
+    /// Worker panics caught and isolated by `catch_unwind`.
+    pub worker_panics_caught: AtomicU64,
+    /// Dead worker threads respawned by the supervisor.
+    pub worker_respawns: AtomicU64,
+    /// Connection-handler panics caught at the HTTP front-end.
+    pub conn_panics_caught: AtomicU64,
+    /// Chaos: worker panics injected by the chaos layer.
+    pub chaos_panics_injected: AtomicU64,
+    /// Chaos: caught panics escalated into worker deaths.
+    pub chaos_kills_injected: AtomicU64,
+    /// Chaos: backend attempts failed by the chaos layer.
+    pub chaos_backend_failures_injected: AtomicU64,
+    /// Backend attempts that failed (real and injected), across backends.
+    pub backend_attempt_failures: AtomicU64,
+    /// Requests whose first-choice backend was skipped by an open breaker.
+    pub breaker_skips: AtomicU64,
+    /// Poisoned locks recovered instead of propagating the poison.
+    pub lock_poison_recoveries: AtomicU64,
     /// Embedding-cache hits (embedding reused, weights rewritten).
     pub cache_hits: AtomicU64,
     /// Embedding-cache misses (full placement performed).
@@ -139,6 +201,21 @@ impl Metrics {
             rejected_deadline: load(&self.rejected_deadline),
             rejected_invalid: load(&self.rejected_invalid),
             rejected_unsolvable: load(&self.rejected_unsolvable),
+            rejected_internal: load(&self.rejected_internal),
+            rejected_unavailable: load(&self.rejected_unavailable),
+            rejected_request_timeout: load(&self.rejected_request_timeout),
+            rejected_header_limit: load(&self.rejected_header_limit),
+            connections_shed: load(&self.connections_shed),
+            connections_active: load(&self.connections_active),
+            worker_panics_caught: load(&self.worker_panics_caught),
+            worker_respawns: load(&self.worker_respawns),
+            conn_panics_caught: load(&self.conn_panics_caught),
+            chaos_panics_injected: load(&self.chaos_panics_injected),
+            chaos_kills_injected: load(&self.chaos_kills_injected),
+            chaos_backend_failures_injected: load(&self.chaos_backend_failures_injected),
+            backend_attempt_failures: load(&self.backend_attempt_failures),
+            breaker_skips: load(&self.breaker_skips),
+            lock_poison_recoveries: load(&self.lock_poison_recoveries),
             cache_hits: load(&self.cache_hits),
             cache_misses: load(&self.cache_misses),
             cache_evictions: load(&self.cache_evictions),
@@ -170,6 +247,36 @@ pub struct MetricsSnapshot {
     pub rejected_invalid: u64,
     /// Rejections: no backend could answer.
     pub rejected_unsolvable: u64,
+    /// Rejections: isolated worker panics (500).
+    pub rejected_internal: u64,
+    /// Rejections: all backends breaker-open or failed (503).
+    pub rejected_unavailable: u64,
+    /// Rejections: whole-request deadline expired (408).
+    pub rejected_request_timeout: u64,
+    /// Rejections: request-line/header caps (431).
+    pub rejected_header_limit: u64,
+    /// Connections shed by the accept-loop cap (503).
+    pub connections_shed: u64,
+    /// Connections being served right now (gauge).
+    pub connections_active: u64,
+    /// Worker panics caught and isolated.
+    pub worker_panics_caught: u64,
+    /// Worker threads respawned by the supervisor.
+    pub worker_respawns: u64,
+    /// Connection-handler panics caught.
+    pub conn_panics_caught: u64,
+    /// Chaos-injected worker panics.
+    pub chaos_panics_injected: u64,
+    /// Chaos-injected worker deaths.
+    pub chaos_kills_injected: u64,
+    /// Chaos-injected backend failures.
+    pub chaos_backend_failures_injected: u64,
+    /// Failed backend attempts (real + injected).
+    pub backend_attempt_failures: u64,
+    /// First-choice backends skipped by an open breaker.
+    pub breaker_skips: u64,
+    /// Poisoned locks recovered.
+    pub lock_poison_recoveries: u64,
     /// Embedding-cache hits.
     pub cache_hits: u64,
     /// Embedding-cache misses.
@@ -222,6 +329,23 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 1);
         assert_eq!(s.buckets[0], 1);
+    }
+
+    #[test]
+    fn lock_recover_survives_a_poisoning_panic() {
+        use std::sync::Arc;
+        let mutex = Arc::new(Mutex::new(41));
+        let recoveries = AtomicU64::new(0);
+        let m2 = Arc::clone(&mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(mutex.is_poisoned());
+        *lock_recover(&mutex, &recoveries) += 1;
+        assert_eq!(*lock_recover(&mutex, &recoveries), 42);
+        assert_eq!(recoveries.load(Ordering::Relaxed), 2);
     }
 
     #[test]

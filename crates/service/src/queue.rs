@@ -1,4 +1,4 @@
-//! Bounded admission queue + batching worker pool.
+//! Bounded admission queue + batching worker pool + supervisor.
 //!
 //! The front-end enqueues; a small worker pool drains the queue in batches
 //! (grouping structurally similar requests so embedding-cache hits cluster)
@@ -6,15 +6,32 @@
 //! [`Reject::QueueFull`] at admission time — the queue never grows without
 //! bound and never panics under pressure — and shutdown stops admissions
 //! while the workers drain everything already accepted.
+//!
+//! Robustness model (DESIGN.md §9):
+//!
+//! * every solve runs inside `catch_unwind`: a panicking request is answered
+//!   with a typed `500 internal_error` and the worker keeps draining its
+//!   batch — one poisoned request cannot take its batchmates down;
+//! * a caught panic may escalate into a *worker death* (chaos injection or a
+//!   genuinely unrecoverable worker). The dying worker first pushes the rest
+//!   of its batch back onto the queue, so no admitted request is lost;
+//! * a supervisor thread joins panic-exited workers and respawns them,
+//!   counting respawns in `/metrics` (`worker_respawns`);
+//! * every lock acquisition recovers from poisoning via
+//!   [`crate::metrics::lock_recover`] — the queue state is a `VecDeque` of
+//!   independent jobs with no cross-field invariant, so a poisoned guard is
+//!   safe to adopt as-is.
 
 use crate::api::{Reject, SolveRequest, SolveResponse};
+use crate::chaos::panic_message;
 use crate::engine::SolveEngine;
-use crate::metrics::Metrics;
+use crate::metrics::{lock_recover, wait_recover, Metrics};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Queue/scheduler knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,13 +71,16 @@ struct QueueState {
     accepting: bool,
 }
 
-/// The admission queue and its worker pool.
+/// The admission queue, its worker pool, and the supervisor.
 pub struct SolveQueue {
     state: Mutex<QueueState>,
     wakeup: Condvar,
     config: QueueConfig,
     engine: Arc<SolveEngine>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// One slot per worker. `Some` while the worker (original or respawned)
+    /// is running; `None` after a normal drain exit.
+    workers: Mutex<Vec<Option<JoinHandle<()>>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for SolveQueue {
@@ -84,6 +104,7 @@ impl SolveQueue {
             config,
             engine,
             workers: Mutex::new(Vec::new()),
+            supervisor: Mutex::new(None),
         })
     }
 
@@ -94,19 +115,69 @@ impl SolveQueue {
         queue
     }
 
-    /// Spawns the worker pool (idempotent only in the sense that calling it
-    /// twice doubles the pool; call once).
+    /// Spawns the worker pool and its supervisor (idempotent only in the
+    /// sense that calling it twice doubles the pool; call once).
     pub fn spawn_workers(self: &Arc<Self>) {
         let n = self.config.workers.max(1);
-        let mut workers = self.workers.lock().expect("worker registry poisoned");
-        for i in 0..n {
+        let recoveries = &self.engine.metrics().lock_poison_recoveries;
+        {
+            let mut workers = lock_recover(&self.workers, recoveries);
+            let base = workers.len();
+            for i in 0..n {
+                workers.push(Some(Self::spawn_worker(self, base + i)));
+            }
+        }
+        let mut supervisor = lock_recover(&self.supervisor, recoveries);
+        if supervisor.is_none() {
             let queue = Arc::clone(self);
-            workers.push(
+            *supervisor = Some(
                 std::thread::Builder::new()
-                    .name(format!("mqo-worker-{i}"))
-                    .spawn(move || queue.worker_loop())
-                    .expect("spawning a worker thread"),
+                    .name("mqo-supervisor".to_string())
+                    .spawn(move || queue.supervisor_loop())
+                    .expect("spawning the supervisor thread"),
             );
+        }
+    }
+
+    fn spawn_worker(queue: &Arc<Self>, slot: usize) -> JoinHandle<()> {
+        let queue = Arc::clone(queue);
+        std::thread::Builder::new()
+            .name(format!("mqo-worker-{slot}"))
+            .spawn(move || queue.worker_loop())
+            .expect("spawning a worker thread")
+    }
+
+    /// Scans the worker pool, joining finished threads and respawning the
+    /// ones that exited by panic. Normal exits (drain complete) leave their
+    /// slot empty; the supervisor itself exits once the queue is draining
+    /// and every slot is empty.
+    fn supervisor_loop(self: &Arc<Self>) {
+        let metrics = Arc::clone(self.engine.metrics());
+        loop {
+            std::thread::sleep(Duration::from_millis(2));
+            let draining = !lock_recover(&self.state, &metrics.lock_poison_recoveries).accepting;
+            let mut workers = lock_recover(&self.workers, &metrics.lock_poison_recoveries);
+            let mut alive = 0usize;
+            for slot in 0..workers.len() {
+                match &workers[slot] {
+                    Some(handle) if handle.is_finished() => {
+                        let handle = workers[slot].take().expect("slot checked Some");
+                        if handle.join().is_err() {
+                            // Panic exit: the worker died mid-batch (its
+                            // remaining jobs are already back on the queue).
+                            Metrics::inc(&metrics.worker_respawns);
+                            workers[slot] = Some(Self::spawn_worker(self, slot));
+                            alive += 1;
+                        }
+                    }
+                    Some(_) => alive += 1,
+                    None => {}
+                }
+            }
+            drop(workers);
+            if draining && alive == 0 {
+                return;
+            }
         }
     }
 
@@ -117,7 +188,7 @@ impl SolveQueue {
         req: SolveRequest,
     ) -> Result<mpsc::Receiver<Result<SolveResponse, Reject>>, Reject> {
         let metrics = self.engine.metrics();
-        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let mut state = lock_recover(&self.state, &metrics.lock_poison_recoveries);
         if !state.accepting {
             Metrics::inc(&metrics.rejected_shutdown);
             return Err(Reject::ShuttingDown);
@@ -149,28 +220,57 @@ impl SolveQueue {
 
     /// Requests currently queued.
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("queue mutex poisoned").jobs.len()
+        lock_recover(&self.state, &self.engine.metrics().lock_poison_recoveries)
+            .jobs
+            .len()
     }
 
     /// Stops admissions, lets the workers drain every queued job, and joins
-    /// them. Every admitted request receives an answer before this returns.
+    /// them (via the supervisor, which keeps respawning panic-exited workers
+    /// until the drain completes). Every admitted request receives an answer
+    /// before this returns.
     pub fn shutdown(&self) {
+        let recoveries = &self.engine.metrics().lock_poison_recoveries;
         {
-            let mut state = self.state.lock().expect("queue mutex poisoned");
+            let mut state = lock_recover(&self.state, recoveries);
             state.accepting = false;
         }
         self.wakeup.notify_all();
-        let mut workers = self.workers.lock().expect("worker registry poisoned");
-        for handle in workers.drain(..) {
+        let supervisor = lock_recover(&self.supervisor, recoveries).take();
+        if let Some(handle) = supervisor {
             let _ = handle.join();
         }
+        // No supervisor (a queue built with `new` and never started, or a
+        // second shutdown): join whatever workers remain directly.
+        let handles: Vec<JoinHandle<()>> = lock_recover(&self.workers, recoveries)
+            .iter_mut()
+            .filter_map(Option::take)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Pushes the unprocessed remainder of a dying worker's batch back to
+    /// the queue front (preserving order) so surviving workers pick it up.
+    fn requeue(&self, batch: VecDeque<Job>) {
+        let metrics = self.engine.metrics();
+        let mut state = lock_recover(&self.state, &metrics.lock_poison_recoveries);
+        for job in batch.into_iter().rev() {
+            state.jobs.push_front(job);
+        }
+        metrics
+            .queue_depth
+            .store(state.jobs.len() as u64, Ordering::Relaxed);
+        drop(state);
+        self.wakeup.notify_all();
     }
 
     fn worker_loop(&self) {
         let metrics = Arc::clone(self.engine.metrics());
         loop {
             let mut batch = {
-                let mut state = self.state.lock().expect("queue mutex poisoned");
+                let mut state = lock_recover(&self.state, &metrics.lock_poison_recoveries);
                 loop {
                     if !state.jobs.is_empty() {
                         break;
@@ -178,7 +278,7 @@ impl SolveQueue {
                     if !state.accepting {
                         return;
                     }
-                    state = self.wakeup.wait(state).expect("queue mutex poisoned");
+                    state = wait_recover(self.wakeup.wait(state), &metrics.lock_poison_recoveries);
                 }
                 let n = self.config.batch_size.max(1).min(state.jobs.len());
                 let batch: Vec<Job> = state.jobs.drain(..n).collect();
@@ -191,7 +291,8 @@ impl SolveQueue {
             // Group structurally identical instances adjacently so the
             // second one of a pair hits the embedding the first just cached.
             batch.sort_by_key(|job| (job.req.problem.num_queries(), job.req.problem.num_plans()));
-            for job in batch {
+            let mut batch: VecDeque<Job> = batch.into();
+            while let Some(job) = batch.pop_front() {
                 if job
                     .deadline
                     .is_some_and(|deadline| Instant::now() >= deadline)
@@ -205,15 +306,40 @@ impl SolveQueue {
                 let wait_us = job.enqueued.elapsed().as_micros() as u64;
                 metrics.queue_wait.record(wait_us);
                 let started = Instant::now();
-                let result = self.engine.solve(&job.req).map(|mut response| {
-                    response.queue_wait_us = wait_us;
-                    response
-                });
+                // The engine is a shared reference either way; the unwind
+                // boundary only isolates the panic, it does not hand the
+                // closure anything another thread could observe half-updated
+                // (all engine state is itself poison-recovering).
+                let outcome = catch_unwind(AssertUnwindSafe(|| self.engine.solve(&job.req)));
                 metrics
                     .solve_latency
                     .record(started.elapsed().as_micros() as u64);
-                // A receiver that hung up is not an error for the worker.
-                let _ = job.tx.send(result);
+                match outcome {
+                    Ok(result) => {
+                        let result = result.map(|mut response| {
+                            response.queue_wait_us = wait_us;
+                            response
+                        });
+                        // A receiver that hung up is not an error here.
+                        let _ = job.tx.send(result);
+                    }
+                    Err(payload) => {
+                        Metrics::inc(&metrics.worker_panics_caught);
+                        Metrics::inc(&metrics.rejected_internal);
+                        let detail = panic_message(payload.as_ref());
+                        let _ = job.tx.send(Err(Reject::InternalError { detail }));
+                        // Chaos may escalate the caught panic into a worker
+                        // death (keyed on request content, so the kill
+                        // schedule is deterministic). The batch remainder
+                        // goes back on the queue first: requests are never
+                        // lost, only delayed by the respawn.
+                        if self.engine.config().chaos.worker_dies(job.req.seed) {
+                            Metrics::inc(&metrics.chaos_kills_injected);
+                            self.requeue(batch);
+                            resume_unwind(payload);
+                        }
+                    }
+                }
             }
         }
     }
@@ -349,5 +475,121 @@ mod tests {
         );
         assert_eq!(m.solved_total, 8);
         assert_eq!(m.queue_wait.count, 8);
+    }
+
+    fn chaos_engine(chaos: crate::chaos::ChaosConfig) -> Arc<SolveEngine> {
+        let mut cfg = EngineConfig::new(ChimeraGraph::new(2, 2));
+        cfg.device.num_reads = 20;
+        cfg.device.num_gauges = 2;
+        cfg.chaos = chaos;
+        Arc::new(SolveEngine::new(cfg, Arc::new(Metrics::default())))
+    }
+
+    /// Keeps caught-panic backtraces out of the test output; restores the
+    /// default hook on drop so other tests are unaffected.
+    fn silence_panics() -> impl Drop {
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let _ = std::panic::take_hook();
+            }
+        }
+        std::panic::set_hook(Box::new(|_| {}));
+        Restore
+    }
+
+    #[test]
+    fn panicking_requests_answer_500_and_spare_their_batchmates() {
+        let _quiet = silence_panics();
+        // Panic rate 0.5: a deterministic subset of seeds 0..16 panics, the
+        // rest solve normally — all inside the same worker.
+        let chaos = crate::chaos::ChaosConfig {
+            seed: 5,
+            worker_panic_rate: 0.5,
+            ..crate::chaos::ChaosConfig::NONE
+        };
+        let queue = SolveQueue::new(
+            chaos_engine(chaos),
+            QueueConfig {
+                workers: 1,
+                batch_size: 8,
+                ..QueueConfig::default()
+            },
+        );
+        let receivers: Vec<_> = (0..16)
+            .map(|i| {
+                let mut req = SolveRequest::new(tiny_problem(), i);
+                req.backend = Some(Backend::HillClimbing);
+                (i, queue.submit(req).unwrap())
+            })
+            .collect();
+        queue.spawn_workers();
+        queue.shutdown();
+        let mut panicked = 0;
+        for (seed, rx) in receivers {
+            match rx.recv().expect("every admitted request is answered") {
+                Ok(r) => {
+                    assert!(!chaos.worker_panics(seed), "seed {seed} should panic");
+                    assert_eq!(r.cost, 2.0);
+                }
+                Err(Reject::InternalError { detail }) => {
+                    assert!(chaos.worker_panics(seed), "seed {seed} shouldn't panic");
+                    assert!(
+                        detail.contains(crate::chaos::CHAOS_PANIC_MESSAGE),
+                        "{detail}"
+                    );
+                    panicked += 1;
+                }
+                Err(other) => panic!("unexpected rejection {other}"),
+            }
+        }
+        let expected: u64 = (0..16).filter(|&s| chaos.worker_panics(s)).count() as u64;
+        assert!(expected > 0 && expected < 16, "0.5 rate splits 16 seeds");
+        assert_eq!(panicked, expected);
+        let m = queue.engine.metrics().snapshot();
+        assert_eq!(m.worker_panics_caught, expected);
+        assert_eq!(m.rejected_internal, expected);
+        assert_eq!(m.solved_total, 16 - expected);
+        assert_eq!(m.worker_respawns, 0, "no kills: the worker never died");
+    }
+
+    #[test]
+    fn killed_workers_requeue_their_batch_and_are_respawned() {
+        let _quiet = silence_panics();
+        // Every request panics AND escalates into a worker death: the
+        // supervisor must respawn once per request for the drain to finish.
+        let chaos = crate::chaos::ChaosConfig {
+            seed: 9,
+            worker_panic_rate: 1.0,
+            worker_kill_rate: 1.0,
+            ..crate::chaos::ChaosConfig::NONE
+        };
+        let queue = SolveQueue::new(
+            chaos_engine(chaos),
+            QueueConfig {
+                workers: 1,
+                batch_size: 4,
+                ..QueueConfig::default()
+            },
+        );
+        let receivers: Vec<_> = (0..6)
+            .map(|i| queue.submit(SolveRequest::new(tiny_problem(), i)).unwrap())
+            .collect();
+        queue.spawn_workers();
+        queue.shutdown();
+        for rx in receivers {
+            match rx.recv().expect("killed workers never lose requests") {
+                Err(Reject::InternalError { .. }) => {}
+                other => panic!("expected InternalError, got {other:?}"),
+            }
+        }
+        let m = queue.engine.metrics().snapshot();
+        assert_eq!(m.worker_panics_caught, 6);
+        assert_eq!(m.chaos_kills_injected, 6);
+        assert_eq!(
+            m.worker_respawns, 6,
+            "each worker death is matched by a respawn"
+        );
+        assert_eq!(m.solved_total, 0);
     }
 }

@@ -6,34 +6,55 @@
 //!
 //! * `POST /solve` — body is a JSON [`crate::api::SolveRequest`]; answers a
 //!   [`crate::api::SolveResponse`] or a typed [`Reject`] with its status.
-//! * `GET /metrics` — JSON counters, latency histograms, cache statistics.
+//! * `GET /metrics` — JSON counters, latency histograms, cache statistics,
+//!   per-backend circuit-breaker state.
 //! * `GET /healthz` — liveness probe.
 //! * `POST /shutdown` — graceful drain: stop admissions, answer everything
 //!   already queued, then exit [`Server::wait`].
+//!
+//! Connection hardening (DESIGN.md §9): sockets carry read *and* write
+//! timeouts, every request is read under byte/count caps and a whole-request
+//! wall-clock deadline ([`crate::http::HttpLimits`]), the accept loop sheds
+//! connections beyond [`ServerConfig::max_connections`] with a `503` +
+//! `Retry-After`, and each connection thread runs inside `catch_unwind` so a
+//! handler panic never kills the process.
 
 use crate::api::{Reject, SolveRequest};
 use crate::engine::{EngineConfig, SolveEngine};
-use crate::http::{read_request, write_json_response, HttpError, Request};
-use crate::metrics::Metrics;
+use crate::http::{
+    read_request, write_json_response, write_json_response_with, HttpError, HttpLimits, Request,
+};
+use crate::metrics::{lock_recover, Metrics};
 use crate::queue::{QueueConfig, SolveQueue};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Full server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks a free port).
     pub addr: String,
-    /// Engine (device, cache, router) configuration.
+    /// Engine (device, cache, router, breakers, chaos) configuration.
     pub engine: EngineConfig,
     /// Admission queue configuration.
     pub queue: QueueConfig,
-    /// Cap on request body size, bytes.
-    pub max_body: usize,
+    /// Byte/count caps applied while reading each request. The `deadline`
+    /// field is ignored here; the per-request deadline comes from
+    /// [`ServerConfig::request_deadline_ms`].
+    pub http: HttpLimits,
+    /// Whole-request wall-clock deadline, milliseconds (0 disables): the
+    /// budget for reading one request off the socket, slowloris defense.
+    pub request_deadline_ms: u64,
+    /// Socket read/write timeout, milliseconds: no single I/O operation —
+    /// including writing the response to a stalled client — blocks longer.
+    pub io_timeout_ms: u64,
+    /// Concurrent-connection cap; accepts beyond it are shed with a typed
+    /// `503` and `Retry-After` instead of spawning a thread.
+    pub max_connections: usize,
 }
 
 impl ServerConfig {
@@ -43,7 +64,10 @@ impl ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             engine,
             queue: QueueConfig::default(),
-            max_body: 1 << 20,
+            http: HttpLimits::default(),
+            request_deadline_ms: 10_000,
+            io_timeout_ms: 10_000,
+            max_connections: 256,
         }
     }
 }
@@ -81,7 +105,10 @@ impl Server {
             let engine = Arc::clone(&engine);
             let metrics = Arc::clone(&metrics);
             let shutdown = Arc::clone(&shutdown);
-            let max_body = config.max_body;
+            let http = config.http;
+            let request_deadline_ms = config.request_deadline_ms;
+            let io_timeout_ms = config.io_timeout_ms;
+            let max_connections = config.max_connections.max(1);
             std::thread::Builder::new()
                 .name("mqo-accept".to_string())
                 .spawn(move || loop {
@@ -90,19 +117,45 @@ impl Server {
                     }
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            // Shed beyond the cap before spawning anything:
+                            // the guard below is what bounds thread count.
+                            if metrics.connections_active.load(Ordering::Relaxed)
+                                >= max_connections as u64
+                            {
+                                Metrics::inc(&metrics.connections_shed);
+                                shed_connection(stream, max_connections, io_timeout_ms);
+                                continue;
+                            }
+                            let guard = ConnGuard::admit(Arc::clone(&metrics));
                             let queue = Arc::clone(&queue);
                             let engine = Arc::clone(&engine);
                             let metrics = Arc::clone(&metrics);
                             let shutdown = Arc::clone(&shutdown);
                             // One thread per connection: connections are
                             // short-lived (Connection: close) and the real
-                            // concurrency limit is the bounded queue behind.
+                            // concurrency limit is the cap above plus the
+                            // bounded queue behind.
                             let _ = std::thread::Builder::new()
                                 .name("mqo-conn".to_string())
                                 .spawn(move || {
-                                    handle_connection(
-                                        stream, &queue, &engine, &metrics, &shutdown, max_body,
+                                    let _guard = guard;
+                                    let caught = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            handle_connection(
+                                                stream,
+                                                &queue,
+                                                &engine,
+                                                &metrics,
+                                                &shutdown,
+                                                &http,
+                                                request_deadline_ms,
+                                                io_timeout_ms,
+                                            );
+                                        }),
                                     );
+                                    if caught.is_err() {
+                                        Metrics::inc(&metrics.conn_panics_caught);
+                                    }
                                 });
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -151,11 +204,8 @@ impl Server {
         while !self.shutdown.load(Ordering::SeqCst) {
             std::thread::sleep(Duration::from_millis(10));
         }
-        if let Some(handle) = self
-            .accept_handle
-            .lock()
-            .expect("accept handle poisoned")
-            .take()
+        if let Some(handle) =
+            lock_recover(&self.accept_handle, &self.metrics.lock_poison_recoveries).take()
         {
             let _ = handle.join();
         }
@@ -172,30 +222,90 @@ impl Server {
     }
 }
 
+/// RAII admission token of one connection: increments the
+/// `connections_active` gauge on admit, decrements it on drop — including
+/// the unwind path of a panicking handler, so the cap cannot leak shut.
+struct ConnGuard {
+    metrics: Arc<Metrics>,
+}
+
+impl ConnGuard {
+    fn admit(metrics: Arc<Metrics>) -> ConnGuard {
+        metrics.connections_active.fetch_add(1, Ordering::Relaxed);
+        ConnGuard { metrics }
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.metrics
+            .connections_active
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Answers a connection shed by the cap: typed `503 overloaded` with a
+/// `Retry-After` hint, under a short write timeout so a slow client cannot
+/// stall the accept loop's helper thread.
+fn shed_connection(mut stream: TcpStream, max_connections: usize, io_timeout_ms: u64) {
+    let _ = std::thread::Builder::new()
+        .name("mqo-shed".to_string())
+        .spawn(move || {
+            let _ = stream.set_nonblocking(false);
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(io_timeout_ms.max(1))));
+            let body = reject_body(&Reject::Overloaded { max_connections });
+            let _ = write_json_response_with(&mut stream, 503, &body, &[("retry-after", "1")]);
+        });
+}
+
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     mut stream: TcpStream,
     queue: &SolveQueue,
     engine: &SolveEngine,
     metrics: &Metrics,
     shutdown: &AtomicBool,
-    max_body: usize,
+    http: &HttpLimits,
+    request_deadline_ms: u64,
+    io_timeout_ms: u64,
 ) {
     // Accepted sockets may inherit the listener's nonblocking mode on some
-    // platforms; request handling is plain blocking I/O with a cap.
+    // platforms; request handling is plain blocking I/O with caps. Both
+    // directions are bounded: reads by the per-read timeout (re-armed
+    // against the request deadline), writes by the write timeout — a client
+    // that accepts its answer one byte a minute cannot pin this thread.
     let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let io_timeout = Duration::from_millis(io_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
 
-    let request = match read_request(&mut stream, max_body) {
+    let limits = HttpLimits {
+        deadline: (request_deadline_ms > 0)
+            .then(|| Instant::now() + Duration::from_millis(request_deadline_ms)),
+        ..*http
+    };
+    let request = match read_request(&mut stream, &limits) {
         Ok(r) => r,
+        Err(HttpError::Io(_)) => return, // dead socket: nothing to answer
         Err(e) => {
-            let status = match e {
-                HttpError::BodyTooLarge { .. } => 413,
-                _ => 400,
+            let reject = match &e {
+                HttpError::Timeout => {
+                    Metrics::inc(&metrics.rejected_request_timeout);
+                    Reject::RequestTimeout {
+                        deadline_ms: request_deadline_ms,
+                    }
+                }
+                HttpError::LineTooLong { .. } | HttpError::TooManyHeaders { .. } => {
+                    Metrics::inc(&metrics.rejected_header_limit);
+                    Reject::HeaderLimit {
+                        detail: e.to_string(),
+                    }
+                }
+                _ => Reject::InvalidRequest {
+                    detail: e.to_string(),
+                },
             };
-            let body = reject_body(&Reject::InvalidRequest {
-                detail: e.to_string(),
-            });
-            let _ = write_json_response(&mut stream, status, &body);
+            let _ = write_json_response(&mut stream, e.http_status(), &reject_body(&reject));
             return;
         }
     };
@@ -208,6 +318,7 @@ fn handle_connection(
             let payload = serde_json::json!({
                 "service": metrics.snapshot(),
                 "cache": engine.cache_stats(),
+                "breakers": engine.breaker_panel(),
             });
             let _ = write_json_response(&mut stream, 200, &payload.to_string());
         }
@@ -353,5 +464,116 @@ mod tests {
         assert_eq!(body, br#"{"status":"draining"}"#);
         server.wait();
         assert!(server.shutdown_requested());
+    }
+
+    #[test]
+    fn metrics_report_breaker_state_per_backend() {
+        let server = small_server();
+        let addr = server.local_addr();
+        let (status, body) = roundtrip(addr, "GET", "/metrics", b"").unwrap();
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        for backend in ["annealer", "milp", "hill_climbing"] {
+            assert_eq!(v["breakers"][backend]["state"], "closed", "{backend}");
+            assert_eq!(v["breakers"][backend]["opened_total"], 0);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_clients_get_a_typed_408_within_the_deadline() {
+        use std::io::{BufRead, BufReader, Write};
+        let mut engine = EngineConfig::new(ChimeraGraph::new(2, 2));
+        engine.device.num_reads = 20;
+        engine.device.num_gauges = 2;
+        let mut config = ServerConfig::new(engine);
+        config.request_deadline_ms = 100;
+        let server = Server::start(config).unwrap();
+        let addr = server.local_addr();
+
+        // Half a request line, then stall: the server must answer 408, not
+        // hold the connection open forever.
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(b"POST /solve HT").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(&stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        assert!(status_line.starts_with("HTTP/1.1 408"), "{status_line}");
+        assert_eq!(server.metrics().snapshot().rejected_request_timeout, 1);
+        drop(reader);
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_lines_get_a_typed_431() {
+        let mut engine = EngineConfig::new(ChimeraGraph::new(2, 2));
+        engine.device.num_reads = 20;
+        engine.device.num_gauges = 2;
+        let mut config = ServerConfig::new(engine);
+        config.http.max_line_bytes = 128;
+        let server = Server::start(config).unwrap();
+        let addr = server.local_addr();
+        let long_path = format!("/{}", "a".repeat(4096));
+        let (status, body) = roundtrip(addr, "GET", &long_path, b"").unwrap();
+        assert_eq!(status, 431, "{}", String::from_utf8_lossy(&body));
+        let v: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        assert_eq!(v["reason"], "header_limit");
+        assert_eq!(server.metrics().snapshot().rejected_header_limit, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connections_beyond_the_cap_are_shed_with_retry_after() {
+        use std::io::{BufRead, BufReader, Write};
+        let mut engine = EngineConfig::new(ChimeraGraph::new(2, 2));
+        engine.device.num_reads = 20;
+        engine.device.num_gauges = 2;
+        let mut config = ServerConfig::new(engine);
+        config.max_connections = 1;
+        config.request_deadline_ms = 2_000;
+        let server = Server::start(config).unwrap();
+        let addr = server.local_addr();
+
+        // Occupy the single slot with a connection that never finishes its
+        // request, then connect again: the second must be shed.
+        let mut holder = std::net::TcpStream::connect(addr).unwrap();
+        holder.write_all(b"POST /solve HT").unwrap();
+        holder.flush().unwrap();
+        // Give the accept loop a beat to admit the holder.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while server.metrics().snapshot().connections_active < 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "holder never admitted"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        let shed = std::net::TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(&shed);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        assert!(status_line.starts_with("HTTP/1.1 503"), "{status_line}");
+        let mut saw_retry_after = false;
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header).unwrap() == 0 {
+                break;
+            }
+            if header.trim_end().is_empty() {
+                break;
+            }
+            if header.to_ascii_lowercase().starts_with("retry-after:") {
+                saw_retry_after = true;
+            }
+        }
+        assert!(saw_retry_after, "shed response advertises Retry-After");
+        assert_eq!(server.metrics().snapshot().connections_shed, 1);
+        drop(reader);
+        drop(shed);
+        drop(holder);
+        server.shutdown();
     }
 }

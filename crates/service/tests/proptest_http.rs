@@ -1,0 +1,154 @@
+//! Property-based fuzzing of the HTTP request reader (ISSUE-5, satellite c).
+//!
+//! `http::read_request` is the service's unauthenticated network-facing
+//! parsing surface: whatever bytes a client throws at the socket flow
+//! through it first. These properties feed it arbitrary byte streams —
+//! pure noise, truncated/corrupted valid requests, and adversarial
+//! header shapes — through the in-memory [`RequestSource`] impl and
+//! assert the total-function contract: the reader never panics and every
+//! outcome is either a parsed [`Request`] or a typed [`HttpError`] whose
+//! `http_status()` is an expected client-error code.
+
+use mqo_service::http::{read_request, HttpError, HttpLimits};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Tight limits so the generated inputs can actually trip every cap.
+fn small_limits() -> HttpLimits {
+    HttpLimits {
+        max_body: 256,
+        max_line_bytes: 128,
+        max_header_count: 8,
+        deadline: None,
+    }
+}
+
+/// Runs the reader over an in-memory byte stream, translating a panic —
+/// which must never happen — into a test failure, and checking that any
+/// error carries a legal response status.
+fn parse_never_panics(bytes: &[u8], limits: &HttpLimits) -> Result<(), TestCaseError> {
+    let limits = *limits;
+    let owned = bytes.to_vec();
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        let mut source: &[u8] = &owned;
+        read_request(&mut source, &limits)
+    }));
+    let result = match outcome {
+        Ok(r) => r,
+        Err(_) => {
+            return Err(TestCaseError::fail(format!(
+                "read_request panicked on {} bytes: {:?}",
+                bytes.len(),
+                &bytes[..bytes.len().min(64)]
+            )))
+        }
+    };
+    match result {
+        Ok(req) => {
+            // A parse that succeeds must respect the configured caps.
+            prop_assert!(req.body.len() <= limits.max_body);
+            prop_assert!(!req.method.is_empty());
+        }
+        Err(e) => {
+            let status = e.http_status();
+            prop_assert!(
+                matches!(status, 400 | 408 | 413 | 431),
+                "unexpected status {status} for {e}"
+            );
+            // In-memory sources cannot time out: the deadline is None.
+            prop_assert!(!matches!(e, HttpError::Timeout));
+        }
+    }
+    Ok(())
+}
+
+/// A syntactically valid request the corruption strategies start from.
+fn valid_request(body_len: usize) -> Vec<u8> {
+    let body: Vec<u8> = (0..body_len).map(|i| b'a' + (i % 26) as u8).collect();
+    let mut raw = format!(
+        "POST /solve HTTP/1.1\r\nhost: test\r\ncontent-type: application/json\r\n\
+         content-length: {body_len}\r\nconnection: close\r\n\r\n"
+    )
+    .into_bytes();
+    raw.extend_from_slice(&body);
+    raw
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pure noise: arbitrary bytes of arbitrary length.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(0u8..=255, 0..512)) {
+        parse_never_panics(&bytes, &small_limits())?;
+        parse_never_panics(&bytes, &HttpLimits::default())?;
+    }
+
+    /// Structured noise: a valid request truncated at an arbitrary point
+    /// and with one arbitrary byte overwritten. This walks the parser
+    /// through every state (request line, headers, separator, body) with
+    /// a corruption at each.
+    #[test]
+    fn corrupted_valid_requests_never_panic(
+        body_len in 0usize..64,
+        cut in 0usize..256,
+        flip_at in 0usize..256,
+        flip_to in 0u8..=255,
+    ) {
+        let mut raw = valid_request(body_len);
+        if flip_at < raw.len() {
+            raw[flip_at] = flip_to;
+        }
+        raw.truncate(cut.min(raw.len()));
+        parse_never_panics(&raw, &small_limits())?;
+    }
+
+    /// Adversarial header shapes: arbitrary counts of arbitrary-length
+    /// header lines, colon or not, plus a declared content length that
+    /// need not match the actual trailing bytes.
+    #[test]
+    fn adversarial_headers_never_panic(
+        header_count in 0usize..16,
+        header_len in 0usize..200,
+        declared in 0usize..1024,
+        actual in 0usize..300,
+        with_colon in proptest::bool::ANY,
+    ) {
+        let mut raw = b"POST /solve HTTP/1.1\r\n".to_vec();
+        for i in 0..header_count {
+            let name = format!("x-h{i}");
+            let filler = "v".repeat(header_len);
+            if with_colon {
+                raw.extend_from_slice(format!("{name}: {filler}\r\n").as_bytes());
+            } else {
+                raw.extend_from_slice(format!("{name}{filler}\r\n").as_bytes());
+            }
+        }
+        raw.extend_from_slice(format!("content-length: {declared}\r\n\r\n").as_bytes());
+        raw.extend_from_slice(&vec![b'x'; actual]);
+        parse_never_panics(&raw, &small_limits())?;
+    }
+
+    /// Oversized declared bodies are rejected with the typed 413, never by
+    /// allocating first: the reader must refuse before reading the body.
+    #[test]
+    fn huge_content_length_is_typed_not_allocated(extra in 1usize..1_000_000) {
+        let limits = small_limits();
+        let declared = limits.max_body + extra;
+        let raw = format!(
+            "POST /solve HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n"
+        );
+        let mut source: &[u8] = raw.as_bytes();
+        match read_request(&mut source, &limits) {
+            Err(HttpError::BodyTooLarge { declared: d, limit }) => {
+                prop_assert_eq!(d, declared);
+                prop_assert_eq!(limit, limits.max_body);
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "expected BodyTooLarge, got {other:?}"
+            ))),
+        }
+    }
+}
