@@ -31,10 +31,11 @@
 //! back-ends.
 
 use crate::clusters::Units;
-use crate::sampler::{ProgrammedSampler, Sampler, SamplerHints};
+use crate::sampler::{metropolis_accept, ProgrammedSampler, ReadScratch, Sampler, SamplerHints};
 use mqo_core::ids::VarId;
 use mqo_core::ising::Ising;
 use rand::{Rng, RngCore};
+use rand_chacha::ChaCha8Rng;
 
 /// Configuration for [`BehavioralSampler`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,12 +156,14 @@ impl BehavioralSampler {
 }
 
 impl Sampler for BehavioralSampler {
+    type Programmed = ProgrammedBehavioral;
+
     fn program(
         &self,
         ising: Ising,
         hints: &SamplerHints<'_>,
         rng: &mut dyn RngCore,
-    ) -> Box<dyn ProgrammedSampler> {
+    ) -> ProgrammedBehavioral {
         let units = if hints.chains.is_empty() {
             Units::detect(&ising, self.config.cluster_threshold)
         } else {
@@ -181,13 +184,13 @@ impl Sampler for BehavioralSampler {
             self.run_oracle(&ising, &units, rng)
         };
         let beta = self.config.beta / ising.max_abs_weight().max(f64::MIN_POSITIVE);
-        Box::new(ProgrammedBehavioral {
+        ProgrammedBehavioral {
             config: self.config,
             beta,
             oracle,
             units,
             ising,
-        })
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -199,11 +202,11 @@ impl Sampler for BehavioralSampler {
 /// been computed and every read equilibrates around it independently.
 #[derive(Debug, Clone)]
 pub struct ProgrammedBehavioral {
-    config: BehavioralConfig,
-    beta: f64,
-    oracle: Vec<i8>,
-    units: Units,
-    ising: Ising,
+    pub(crate) config: BehavioralConfig,
+    pub(crate) beta: f64,
+    pub(crate) oracle: Vec<i8>,
+    pub(crate) units: Units,
+    pub(crate) ising: Ising,
 }
 
 impl ProgrammedBehavioral {
@@ -211,14 +214,16 @@ impl ProgrammedBehavioral {
     pub fn oracle(&self) -> &[i8] {
         &self.oracle
     }
-}
 
-impl ProgrammedSampler for ProgrammedBehavioral {
-    fn num_spins(&self) -> usize {
-        self.ising.num_spins()
-    }
-
-    fn sample_into(&self, rng: &mut dyn RngCore, out: &mut [i8]) {
+    /// The read-phase equilibration kernel, generic over the RNG
+    /// (monomorphized over [`ChaCha8Rng`] on the device hot path).
+    ///
+    /// Per-spin local fields are maintained incrementally: single-spin
+    /// proposals read the cached field, and accepted flips — single-spin
+    /// or whole-unit — patch the affected neighbourhoods in `O(deg)`.
+    /// Unit-flip deltas are still evaluated by [`Units::flip_delta`] so
+    /// the arithmetic matches the reference kernel exactly.
+    fn equilibrate<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [i8], fields: &mut Vec<f64>) {
         let ising = &self.ising;
         let units = &self.units;
         let n = ising.num_spins();
@@ -230,11 +235,19 @@ impl ProgrammedSampler for ProgrammedBehavioral {
         // Read phase: short thermal equilibration around the oracle state.
         out.copy_from_slice(&self.oracle);
         let beta = self.beta;
+        ising.local_fields_into(out, fields);
+        let (offsets, idx, w) = ising.adjacency();
         for _ in 0..self.config.read_sweeps {
             for i in 0..n {
-                let delta = ising.flip_delta(out, VarId::new(i));
-                if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
-                    out[i] = -out[i];
+                let delta = -2.0 * f64::from(out[i]) * fields[i];
+                if metropolis_accept(rng, beta, delta) {
+                    let flipped = -out[i];
+                    out[i] = flipped;
+                    let step = f64::from(flipped);
+                    let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+                    for k in lo..hi {
+                        fields[idx[k] as usize] += 2.0 * w[k] * step;
+                    }
                 }
             }
             for u in 0..units.len() {
@@ -242,11 +255,32 @@ impl ProgrammedSampler for ProgrammedBehavioral {
                     continue;
                 }
                 let delta = units.flip_delta(ising, out, u);
-                if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
+                if metropolis_accept(rng, beta, delta) {
                     units.apply_flip(out, u);
+                    for &i in &units.members[u] {
+                        let step = f64::from(out[i]);
+                        let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+                        for k in lo..hi {
+                            fields[idx[k] as usize] += 2.0 * w[k] * step;
+                        }
+                    }
                 }
             }
         }
+    }
+}
+
+impl ProgrammedSampler for ProgrammedBehavioral {
+    fn num_spins(&self) -> usize {
+        self.ising.num_spins()
+    }
+
+    fn sample_into(&self, rng: &mut dyn RngCore, out: &mut [i8]) {
+        self.equilibrate(rng, out, &mut Vec::new());
+    }
+
+    fn sample_into_fast(&self, rng: &mut ChaCha8Rng, out: &mut [i8], scratch: &mut ReadScratch) {
+        self.equilibrate(rng, out, &mut scratch.fields);
     }
 }
 

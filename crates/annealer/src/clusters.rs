@@ -154,7 +154,7 @@ impl Units {
         for &i in &self.members[unit] {
             let si = f64::from(s[i]);
             let mut ext = ising.fields()[i];
-            for &(j, w) in ising.neighbours(VarId::new(i)) {
+            for (j, w) in ising.neighbours(VarId::new(i)) {
                 if self.unit_of[j.index()] != id {
                     ext += w * f64::from(s[j.index()]);
                 }
@@ -172,7 +172,7 @@ impl Units {
         let mut delta = self.flip_delta(ising, s, a) + self.flip_delta(ising, s, b);
         let idb = b as u32;
         for &i in &self.members[a] {
-            for &(j, w) in ising.neighbours(VarId::new(i)) {
+            for (j, w) in ising.neighbours(VarId::new(i)) {
                 if self.unit_of[j.index()] == idb {
                     // Both endpoints flip: the product term is invariant,
                     // but each individual delta assumed the other was fixed.
@@ -208,7 +208,7 @@ impl Units {
             }
             let si = f64::from(s[i]);
             let mut ext = ising.fields()[i];
-            for &(j, w) in ising.neighbours(VarId::new(i)) {
+            for (j, w) in ising.neighbours(VarId::new(i)) {
                 let j = j.index();
                 // External unless j is another member that also flips.
                 let flips_too = self.unit_of[j] == unit as u32
@@ -241,7 +241,7 @@ fn relative_signs(ising: &Ising, group: &[usize]) -> Vec<i8> {
     signs[0] = 1;
     let mut queue = std::collections::VecDeque::from([0usize]);
     while let Some(k) = queue.pop_front() {
-        for &(j, w) in ising.neighbours(VarId::new(group[k])) {
+        for (j, w) in ising.neighbours(VarId::new(group[k])) {
             if let Some(kj) = pos(j.index()) {
                 if signs[kj] == 0 {
                     signs[kj] = if w < 0.0 { signs[k] } else { -signs[k] };

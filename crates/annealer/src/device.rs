@@ -31,7 +31,7 @@ use crate::faults::{FaultConfig, FaultEvents, FaultPlan, STREAM_FAULT_READ};
 use crate::gauge::Gauge;
 use crate::noise::ControlErrorModel;
 use crate::parallel::{derive_seed, parallel_map_with, resolve_threads, STREAM_GAUGE, STREAM_READ};
-use crate::sampler::{ProgrammedSampler, Read, SampleSet, Sampler, SamplerHints};
+use crate::sampler::{ProgrammedSampler, Read, ReadScratch, SampleSet, Sampler, SamplerHints};
 use mqo_chimera::graph::ChimeraGraph;
 use mqo_chimera::physical::PhysicalMapping;
 use mqo_core::ising::{spins_to_bits, Ising};
@@ -131,6 +131,20 @@ impl std::fmt::Display for DeviceError {
 
 impl std::error::Error for DeviceError {}
 
+/// Host wall-clock spent in each phase of one device run (distinct from the
+/// *simulated* device time on the reads): programming the gauge batches,
+/// executing the reads, and reassembling the chronological sample set.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct PhaseTimings {
+    /// Seconds spent programming all gauge batches (gauge draw, noise
+    /// perturbation, `Sampler::program`).
+    pub program_s: f64,
+    /// Seconds spent executing all annealing reads.
+    pub read_s: f64,
+    /// Seconds spent reassembling reads and fault events into the set.
+    pub assemble_s: f64,
+}
+
 /// The simulated annealer device.
 #[derive(Debug, Clone)]
 pub struct QuantumAnnealer<S> {
@@ -207,6 +221,19 @@ impl<S: Sampler> QuantumAnnealer<S> {
         hints: &SamplerHints<'_>,
         seed: u64,
     ) -> Result<SampleSet, DeviceError> {
+        self.run_ising_timed(true_ising, true_qubo, hints, seed)
+            .map(|(set, _)| set)
+    }
+
+    /// [`QuantumAnnealer::run_ising_hinted`] with a host wall-clock
+    /// breakdown per protocol phase (used by the throughput benchmarks).
+    pub fn run_ising_timed(
+        &self,
+        true_ising: &Ising,
+        true_qubo: &mqo_core::qubo::Qubo,
+        hints: &SamplerHints<'_>,
+        seed: u64,
+    ) -> Result<(SampleSet, PhaseTimings), DeviceError> {
         if self.config.num_reads == 0 {
             return Err(DeviceError::InvalidConfig("num_reads must be positive"));
         }
@@ -244,8 +271,11 @@ impl<S: Sampler> QuantumAnnealer<S> {
 
         // Phase A — one programming per gauge batch, each from its own
         // derived RNG stream. Hardware re-programs (and therefore re-draws
-        // analog error) once per gauge batch.
-        let programmed: Vec<(Gauge, Box<dyn ProgrammedSampler>)> = parallel_map_with(
+        // analog error) once per gauge batch. Programmings are stored
+        // unboxed (`S::Programmed`), so the read loop below dispatches
+        // statically.
+        let t0 = std::time::Instant::now();
+        let programmed: Vec<(Gauge, S::Programmed)> = parallel_map_with(
             self.config.num_gauges,
             threads,
             || (),
@@ -260,6 +290,7 @@ impl<S: Sampler> QuantumAnnealer<S> {
                 (gauge, prog)
             },
         );
+        let t1 = std::time::Instant::now();
 
         // Phase B — every read runs independently on its own derived
         // stream; timestamps come from the read's chronological index, so
@@ -280,8 +311,11 @@ impl<S: Sampler> QuantumAnnealer<S> {
         let executed = parallel_map_with(
             self.config.num_reads,
             threads,
-            || vec![0i8; n],
-            |spins: &mut Vec<i8>, idx| {
+            // One spin buffer and one scratch per worker, reused across that
+            // worker's whole chunk of reads — the read loop allocates only
+            // the outgoing assignment.
+            || (vec![0i8; n], ReadScratch::default()),
+            |(spins, scratch): &mut (Vec<i8>, ReadScratch), idx| {
                 let (gauge_idx, read_in_gauge) = locate(idx);
                 let (gauge, prog) = &programmed[gauge_idx];
                 let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(
@@ -295,7 +329,7 @@ impl<S: Sampler> QuantumAnnealer<S> {
                 let mut delay_us = 0.0;
                 match fault_plan.as_ref() {
                     None => {
-                        prog.sample_into(&mut rng, spins);
+                        prog.sample_into_fast(&mut rng, spins, scratch);
                         gauge.transform_spins_in_place(spins);
                     }
                     Some(plan) => {
@@ -317,7 +351,7 @@ impl<S: Sampler> QuantumAnnealer<S> {
                                 *s = if frng.gen::<bool>() { 1 } else { -1 };
                             }
                         } else {
-                            prog.sample_into(&mut rng, spins);
+                            prog.sample_into_fast(&mut rng, spins, scratch);
                             gauge.transform_spins_in_place(spins);
                             for (s, &is_dead) in spins.iter_mut().zip(plan.dead_mask(gauge_idx)) {
                                 if is_dead {
@@ -347,6 +381,8 @@ impl<S: Sampler> QuantumAnnealer<S> {
             },
         );
 
+        let t2 = std::time::Instant::now();
+
         let mut events = match fault_plan.as_ref() {
             Some(plan) => FaultEvents {
                 dropped_qubits: plan.dropped_qubits(),
@@ -364,7 +400,13 @@ impl<S: Sampler> QuantumAnnealer<S> {
             }
             reads.push(read);
         }
-        Ok(SampleSet::with_faults(reads, events))
+        let set = SampleSet::with_faults(reads, events);
+        let timings = PhaseTimings {
+            program_s: (t1 - t0).as_secs_f64(),
+            read_s: (t2 - t1).as_secs_f64(),
+            assemble_s: t2.elapsed().as_secs_f64(),
+        };
+        Ok((set, timings))
     }
 }
 

@@ -10,12 +10,14 @@ use rand::RngCore;
 pub struct ExactSampler;
 
 impl Sampler for ExactSampler {
+    type Programmed = ProgrammedExact;
+
     fn program(
         &self,
         ising: Ising,
         _hints: &SamplerHints<'_>,
         _rng: &mut dyn RngCore,
-    ) -> Box<dyn ProgrammedSampler> {
+    ) -> ProgrammedExact {
         // The enumeration runs once per programming; reads replay it.
         let n = ising.num_spins();
         assert!(n <= 24, "exact sampling is limited to 24 spins");
@@ -32,7 +34,7 @@ impl Sampler for ExactSampler {
                 best.clone_from(&s);
             }
         }
-        Box::new(ProgrammedExact { ground: best })
+        ProgrammedExact { ground: best }
     }
 
     fn name(&self) -> &'static str {

@@ -56,12 +56,13 @@ pub mod gauge;
 pub mod metrics;
 pub mod noise;
 pub mod parallel;
+pub mod reference;
 pub mod sa;
 pub mod sampler;
 pub mod sqa;
 
 pub use behavioral::{BehavioralConfig, BehavioralSampler};
-pub use device::{DeviceConfig, DeviceError, QuantumAnnealer};
+pub use device::{DeviceConfig, DeviceError, PhaseTimings, QuantumAnnealer};
 pub use exact::ExactSampler;
 pub use faults::{FaultConfig, FaultEvents, FaultPlan};
 pub use gauge::Gauge;
@@ -69,5 +70,8 @@ pub use metrics::{success_probability, time_to_solution, time_to_target};
 pub use noise::ControlErrorModel;
 pub use parallel::{derive_seed, parallel_map_with, resolve_threads};
 pub use sa::{SaConfig, SimulatedAnnealingSampler};
-pub use sampler::{ChainBreakStats, ProgrammedSampler, Read, SampleSet, Sampler};
+pub use sampler::{
+    metropolis_accept, ChainBreakStats, ProgrammedSampler, Read, ReadScratch, SampleSet, Sampler,
+    METROPOLIS_EXP_CUTOFF,
+};
 pub use sqa::{PathIntegralQmcSampler, SqaConfig};

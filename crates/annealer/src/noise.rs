@@ -52,7 +52,9 @@ impl ControlErrorModel {
             .iter()
             .map(|&(i, j, w)| (i, j, w + sigma * standard_normal(rng)))
             .collect();
-        Ising::new(h, couplings, ising.offset())
+        // Couplings come straight from an existing problem, so they are
+        // already canonical — skip `Ising::new`'s map-merge pass.
+        Ising::from_canonical(h, couplings, ising.offset())
     }
 }
 

@@ -9,10 +9,10 @@
 //! hardware runs — near-optimal samples from the very first read with a
 //! small spread across reads.
 
-use crate::sampler::{ProgrammedSampler, Sampler, SamplerHints};
-use mqo_core::ids::VarId;
+use crate::sampler::{metropolis_accept, ProgrammedSampler, ReadScratch, Sampler, SamplerHints};
 use mqo_core::ising::Ising;
 use rand::{Rng, RngCore};
+use rand_chacha::ChaCha8Rng;
 
 /// Configuration for [`SimulatedAnnealingSampler`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,22 +64,27 @@ impl SimulatedAnnealingSampler {
 }
 
 impl Sampler for SimulatedAnnealingSampler {
+    type Programmed = ProgrammedSa;
+
     fn program(
         &self,
         ising: Ising,
         _hints: &SamplerHints<'_>,
         _rng: &mut dyn RngCore,
-    ) -> Box<dyn ProgrammedSampler> {
-        // Pre-resolve the temperature schedule once per programming.
+    ) -> ProgrammedSa {
+        // Pre-resolve the full temperature schedule once per programming;
+        // the per-sweep `powf` would otherwise cost as much as several
+        // spin updates in every read.
         let scale = ising.max_abs_weight().max(f64::MIN_POSITIVE);
         let beta0 = self.config.beta_init / scale;
         let ratio = (self.config.beta_final / scale) / beta0;
-        Box::new(ProgrammedSa {
-            config: self.config,
-            beta0,
-            ratio,
-            ising,
-        })
+        let betas = (0..self.config.sweeps)
+            .map(|sweep| {
+                let t = sweep as f64 / (self.config.sweeps - 1).max(1) as f64;
+                beta0 * ratio.powf(t)
+            })
+            .collect();
+        ProgrammedSa { betas, ising }
     }
 
     fn name(&self) -> &'static str {
@@ -87,13 +92,191 @@ impl Sampler for SimulatedAnnealingSampler {
     }
 }
 
-/// [`SimulatedAnnealingSampler`] programmed with one problem.
+/// [`SimulatedAnnealingSampler`] programmed with one problem: the full beta
+/// schedule is resolved once and shared by every read.
 #[derive(Debug, Clone)]
 pub struct ProgrammedSa {
-    config: SaConfig,
-    beta0: f64,
-    ratio: f64,
-    ising: Ising,
+    pub(crate) betas: Vec<f64>,
+    pub(crate) ising: Ising,
+}
+
+impl ProgrammedSa {
+    /// The annealing kernel, generic over the RNG so the device's hot path
+    /// monomorphizes over [`ChaCha8Rng`] while the trait-object path reuses
+    /// the same code through `dyn RngCore` — identical draws either way.
+    ///
+    /// Each spin's local field is maintained incrementally: a proposal
+    /// costs `O(1)` (one load of the cached field) and only an *accepted*
+    /// flip pays `O(deg)` to update the neighbours' fields.
+    ///
+    /// Sweeps run in two regimes. While no spin is frozen (the hot phase —
+    /// typically the first half of the schedule) a sweep is a plain linear
+    /// scan over `0..n`: no bitmask reads, no bit-scanning chain, perfectly
+    /// predicted loop control. Once freezing begins, sweeps iterate the
+    /// *active-spin bitmask* instead. A spin whose proposal hits the
+    /// [`metropolis_accept`] cutoff (`−β·delta` below the point where the
+    /// 32-bit draw can no longer accept) is frozen: its field is unchanged
+    /// until a neighbour flips, and betas are non-decreasing, so every
+    /// later sweep would reject it deterministically without consuming
+    /// randomness — dropping it from the scan is a pure time saving with
+    /// bit-identical output. Accepted flips reactivate their neighbours.
+    /// Once the mask drains empty the kernel exits: all remaining sweeps
+    /// are draw-free no-ops.
+    ///
+    /// The regime split is stream-exact: freezes only ever happen at the
+    /// scan position, so during a sweep that *starts* with nothing frozen,
+    /// every not-yet-visited spin is still active and the linear scan
+    /// visits exactly the spins a full-mask scan would.
+    ///
+    /// Spins are kept as `±1.0` doubles (`sf`) for the duration of the
+    /// anneal so the proposal's critical path — load spin, load field,
+    /// two multiplies, compare — contains no `i8 → f64` conversion; `out`
+    /// is materialized once at the end. `sf[i]` always equals
+    /// `f64::from(out[i])` of the i8 formulation exactly, so every product
+    /// matches the reference kernel bit for bit.
+    ///
+    /// The hot loop uses unchecked indexing. Safety rests on invariants
+    /// [`Ising`] asserts at construction: every CSR neighbour index is
+    /// `< n`, `offsets` is monotone with `offsets[n] == idx.len() ==
+    /// w.len()`, and `out`/`fields`/`mask` are sized to `n` spins (and
+    /// `n.div_ceil(64)` words) right here.
+    fn anneal<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut [i8],
+        fields: &mut Vec<f64>,
+        mask: &mut Vec<u64>,
+        sf: &mut Vec<f64>,
+    ) {
+        let n = self.ising.num_spins();
+        assert_eq!(out.len(), n);
+        sf.clear();
+        sf.extend((0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }));
+        if n == 0 {
+            return;
+        }
+        let (offsets, idx, w) = self.ising.adjacency();
+        let h = self.ising.fields();
+        // Same expression and accumulation order as `Ising::local_field`,
+        // with `sf[j]` standing in for `f64::from(s[j])`.
+        fields.clear();
+        fields.extend((0..n).map(|i| {
+            let mut f = h[i];
+            for k in offsets[i] as usize..offsets[i + 1] as usize {
+                f += w[k] * sf[idx[k] as usize];
+            }
+            f
+        }));
+        let words = n.div_ceil(64);
+        mask.clear();
+        mask.resize(words, !0u64);
+        if !n.is_multiple_of(64) {
+            mask[words - 1] = !0u64 >> (64 - n % 64);
+        }
+        let mut frozen = 0usize;
+        'schedule: for &beta in &self.betas {
+            if frozen == 0 {
+                // Hot regime: linear sweep. Freezes that happen mid-sweep
+                // are always behind the scan position, so no skipping logic
+                // is needed within the sweep itself.
+                for i in 0..n {
+                    // SAFETY: `i < n` and all buffers hold `n` elements.
+                    let delta = unsafe { -2.0 * *sf.get_unchecked(i) * fields.get_unchecked(i) };
+                    if delta > 0.0 && -beta * delta < crate::sampler::METROPOLIS_EXP_CUTOFF {
+                        mask[i / 64] &= !(1u64 << (i % 64)); // frozen without a draw
+                        frozen += 1;
+                        continue;
+                    }
+                    if metropolis_accept(rng, beta, delta) {
+                        // SAFETY: `i < n`; `offsets[i] <= offsets[i + 1] <=
+                        // idx.len() == w.len()`; every `idx[k] < n`.
+                        unsafe {
+                            let step = -*sf.get_unchecked(i);
+                            *sf.get_unchecked_mut(i) = step;
+                            let lo = *offsets.get_unchecked(i) as usize;
+                            let hi = *offsets.get_unchecked(i + 1) as usize;
+                            if frozen == 0 {
+                                for k in lo..hi {
+                                    let j = *idx.get_unchecked(k) as usize;
+                                    *fields.get_unchecked_mut(j) += 2.0 * w.get_unchecked(k) * step;
+                                }
+                            } else {
+                                // A spin froze earlier in this same sweep;
+                                // flips from here on must reactivate.
+                                for k in lo..hi {
+                                    let j = *idx.get_unchecked(k) as usize;
+                                    *fields.get_unchecked_mut(j) += 2.0 * w.get_unchecked(k) * step;
+                                    let (wj, bj) = (j / 64, (j % 64) as u32);
+                                    let word = *mask.get_unchecked(wj);
+                                    let set = word | 1u64 << bj;
+                                    frozen -= usize::from(word != set);
+                                    *mask.get_unchecked_mut(wj) = set;
+                                }
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            // Cold regime: bitmask sweep over the remaining active spins.
+            let mut active = false;
+            for wi in 0..words {
+                // Snapshot the word's bits: freezes only clear the bit
+                // being visited, so the snapshot stays valid until an
+                // accepted flip reactivates a not-yet-visited neighbour in
+                // this same word — only then is it re-synced from `mask`.
+                let mut pending = mask[wi];
+                while pending != 0 {
+                    let bit = pending.trailing_zeros();
+                    pending &= pending - 1;
+                    let i = wi * 64 + bit as usize;
+                    // SAFETY: `i < n` because the tail word's bits beyond
+                    // `n` were cleared at mask init and are never set
+                    // (reactivation only sets bits of real neighbours).
+                    let delta = unsafe { -2.0 * *sf.get_unchecked(i) * fields.get_unchecked(i) };
+                    if delta > 0.0 && -beta * delta < crate::sampler::METROPOLIS_EXP_CUTOFF {
+                        mask[wi] &= !(1u64 << bit); // frozen without a draw
+                        frozen += 1;
+                        continue;
+                    }
+                    active = true;
+                    if metropolis_accept(rng, beta, delta) {
+                        // SAFETY: as in the hot regime.
+                        let mut resync = false;
+                        unsafe {
+                            let step = -*sf.get_unchecked(i);
+                            *sf.get_unchecked_mut(i) = step;
+                            let lo = *offsets.get_unchecked(i) as usize;
+                            let hi = *offsets.get_unchecked(i + 1) as usize;
+                            for k in lo..hi {
+                                let j = *idx.get_unchecked(k) as usize;
+                                *fields.get_unchecked_mut(j) += 2.0 * w.get_unchecked(k) * step;
+                                let (wj, bj) = (j / 64, (j % 64) as u32);
+                                let word = *mask.get_unchecked(wj);
+                                let set = word | 1u64 << bj;
+                                frozen -= usize::from(word != set);
+                                *mask.get_unchecked_mut(wj) = set;
+                                resync |= wj == wi && bj > bit;
+                            }
+                        }
+                        if resync {
+                            // A neighbour ahead of `i` in this word woke
+                            // up; this sweep must still visit it.
+                            pending = mask[wi] & (!0u64 << bit << 1);
+                        }
+                    }
+                }
+            }
+            if !active {
+                // Frozen: no draw was consumed and no spin moved, and betas
+                // are non-decreasing, so all remaining sweeps are no-ops.
+                break 'schedule;
+            }
+        }
+        for (o, &s) in out.iter_mut().zip(sf.iter()) {
+            *o = s as i8;
+        }
+    }
 }
 
 impl ProgrammedSampler for ProgrammedSa {
@@ -102,34 +285,27 @@ impl ProgrammedSampler for ProgrammedSa {
     }
 
     fn sample_into(&self, rng: &mut dyn RngCore, out: &mut [i8]) {
-        let n = self.ising.num_spins();
-        debug_assert_eq!(out.len(), n);
-        for s in out.iter_mut() {
-            *s = if rng.gen::<bool>() { 1 } else { -1 };
-        }
-        if n == 0 {
-            return;
-        }
-        for sweep in 0..self.config.sweeps {
-            let t = sweep as f64 / (self.config.sweeps - 1).max(1) as f64;
-            let beta = self.beta0 * self.ratio.powf(t);
-            for i in 0..n {
-                let delta = self.ising.flip_delta(out, VarId::new(i));
-                if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
-                    out[i] = -out[i];
-                }
-            }
-        }
+        self.anneal(rng, out, &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
+    }
+
+    fn sample_into_fast(&self, rng: &mut ChaCha8Rng, out: &mut [i8], scratch: &mut ReadScratch) {
+        self.anneal(
+            rng,
+            out,
+            &mut scratch.fields,
+            &mut scratch.mask,
+            &mut scratch.spinf,
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mqo_core::ids::VarId;
     use mqo_core::ising::spins_to_bits;
     use mqo_core::qubo::Qubo;
     use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     fn frustrated_qubo() -> Qubo {
         // 6 variables with competing couplings; ground state known by brute

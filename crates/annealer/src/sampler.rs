@@ -8,7 +8,66 @@
 
 use crate::faults::FaultEvents;
 use mqo_core::ising::Ising;
-use rand::RngCore;
+use rand::{Rng, RngCore};
+use rand_chacha::ChaCha8Rng;
+
+/// Below this Metropolis exponent the acceptance test is decided without
+/// drawing. The acceptance draw is a 32-bit uniform compared against
+/// `⌊exp(arg)·2³²⌋`, and that floor is `0` for every `arg < −32·ln 2 ≈
+/// −22.1807`: an uphill move this unlikely *cannot* be accepted at the
+/// draw's resolution, so it is rejected outright and the RNG stream is not
+/// advanced. (The constant sits a margin below `−32·ln 2` so the rounding
+/// of `exp` itself can never produce a non-zero floor past the cutoff.)
+/// Frozen-phase sweeps therefore cost no random draws and no `exp` calls —
+/// and a sweep that consumes no randomness and accepts nothing is invariant
+/// under any further cooling, which is what makes the early-freeze exit in
+/// the kernels exact rather than approximate.
+pub const METROPOLIS_EXP_CUTOFF: f64 = -22.181;
+
+/// The shared Metropolis acceptance rule of every annealing kernel.
+///
+/// Downhill and neutral moves (`delta <= 0`) are accepted without a draw;
+/// hopeless uphill moves (`−β·delta` below [`METROPOLIS_EXP_CUTOFF`]) are
+/// rejected without a draw; everything else draws one 32-bit uniform `u`
+/// and accepts iff `u < ⌊exp(−β·delta)·2³²⌋` (the saturating `as u32`
+/// cast *is* that floor for this argument range). A 32-bit acceptance
+/// draw quantizes probabilities to multiples of `2⁻³²` — far below
+/// anything an annealing schedule can resolve — and costs half the
+/// random bytes of a 53-bit uniform. Fast and reference kernels both
+/// call this helper, so their draw sequences and outputs are
+/// bit-identical by construction.
+#[inline]
+pub fn metropolis_accept<R: Rng + ?Sized>(rng: &mut R, beta: f64, delta: f64) -> bool {
+    if delta <= 0.0 {
+        return true;
+    }
+    let arg = -beta * delta;
+    if arg < METROPOLIS_EXP_CUTOFF {
+        return false;
+    }
+    rng.next_u32() < (arg.exp() * 4_294_967_296.0) as u32
+}
+
+/// Reusable per-worker buffers threaded through
+/// [`ProgrammedSampler::sample_into_fast`], so hot read loops allocate
+/// nothing per read. A device worker owns one `ReadScratch` for its whole
+/// chunk of reads; kernels resize the buffers they need and overwrite them
+/// completely, so stale contents never leak between reads.
+#[derive(Debug, Clone, Default)]
+pub struct ReadScratch {
+    /// Per-spin local fields (`num_spins`, or `slices · num_spins` for
+    /// replica kernels).
+    pub fields: Vec<f64>,
+    /// Spin configurations (replica kernels store all slices flattened).
+    pub spins: Vec<i8>,
+    /// Per-slice energies for replica read-out.
+    pub energies: Vec<f64>,
+    /// Active-spin bitmask words for kernels that skip frozen spins.
+    pub mask: Vec<u64>,
+    /// Spin configurations as `±1.0` doubles, for kernels whose hot loop
+    /// avoids `i8 ↔ f64` conversion entirely.
+    pub spinf: Vec<f64>,
+}
 
 /// Host-side structure hints the device may hand to a sampler.
 ///
@@ -34,6 +93,11 @@ pub struct SamplerHints<'a> {
 /// samplers must be shareable across threads — the device fans reads out over
 /// a worker pool.
 pub trait Sampler: Send + Sync {
+    /// The programmed form of this sampler. A concrete associated type
+    /// (instead of `Box<dyn ProgrammedSampler>`) lets the device store
+    /// per-gauge programmings unboxed and dispatch reads statically.
+    type Programmed: ProgrammedSampler;
+
     /// Programs the sampler with one (noise-perturbed, gauged) problem.
     ///
     /// Takes the Ising model by value so the programmed state is
@@ -45,7 +109,7 @@ pub trait Sampler: Send + Sync {
         ising: Ising,
         hints: &SamplerHints<'_>,
         rng: &mut dyn RngCore,
-    ) -> Box<dyn ProgrammedSampler>;
+    ) -> Self::Programmed;
 
     /// Human-readable sampler name for experiment logs.
     fn name(&self) -> &'static str;
@@ -85,6 +149,16 @@ pub trait ProgrammedSampler: Send + Sync {
     /// [`ProgrammedSampler::num_spins`]. Every element of `out` is
     /// overwritten; the previous contents are scratch.
     fn sample_into(&self, rng: &mut dyn RngCore, out: &mut [i8]);
+
+    /// Monomorphic hot path of [`ProgrammedSampler::sample_into`]: the RNG
+    /// is the concrete [`ChaCha8Rng`] every device stream uses (no virtual
+    /// call per draw) and `scratch` supplies reusable buffers (no per-read
+    /// allocation). Must produce bit-identical output to `sample_into` on
+    /// the same RNG state; the default implementation simply delegates.
+    fn sample_into_fast(&self, rng: &mut ChaCha8Rng, out: &mut [i8], scratch: &mut ReadScratch) {
+        let _ = scratch;
+        self.sample_into(rng, out);
+    }
 }
 
 /// A single annealed-and-read-out configuration with bookkeeping.

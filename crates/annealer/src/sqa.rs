@@ -18,10 +18,11 @@
 //! problem Hamiltonian (Section 2 of the paper). The read-out returns the
 //! slice with the lowest problem energy.
 
-use crate::sampler::{ProgrammedSampler, Sampler, SamplerHints};
+use crate::sampler::{metropolis_accept, ProgrammedSampler, ReadScratch, Sampler, SamplerHints};
 use mqo_core::ids::VarId;
 use mqo_core::ising::Ising;
 use rand::{Rng, RngCore};
+use rand_chacha::ChaCha8Rng;
 
 /// Configuration for [`PathIntegralQmcSampler`]. Field strengths are
 /// *relative* to the problem's maximum absolute weight, so one configuration
@@ -94,12 +95,14 @@ impl PathIntegralQmcSampler {
 }
 
 impl Sampler for PathIntegralQmcSampler {
+    type Programmed = ProgrammedSqa;
+
     fn program(
         &self,
         ising: Ising,
         _hints: &SamplerHints<'_>,
         _rng: &mut dyn RngCore,
-    ) -> Box<dyn ProgrammedSampler> {
+    ) -> ProgrammedSqa {
         let n = ising.num_spins();
         // Strong-bond clusters for collective moves, with an O(1)
         // membership map — computed once per programming, shared by all
@@ -116,14 +119,27 @@ impl Sampler for PathIntegralQmcSampler {
             }
         }
         let scale = ising.max_abs_weight().max(f64::MIN_POSITIVE);
-        Box::new(ProgrammedSqa {
+        let beta = self.config.beta / scale;
+        let p = self.config.slices;
+        // Per-sweep inter-slice coupling J⊥ (from the linear Γ ramp, the
+        // textbook SQA schedule; J⊥ diverges as Γ → 0), resolved once per
+        // programming instead of one tanh/ln pair per sweep per read.
+        let j_perp = (0..self.config.sweeps)
+            .map(|sweep| {
+                let t = sweep as f64 / (self.config.sweeps - 1).max(1) as f64;
+                let gamma =
+                    scale * (self.config.gamma_init * (1.0 - t) + self.config.gamma_final * t);
+                -0.5 / beta * (beta * gamma / p as f64).tanh().ln()
+            })
+            .collect();
+        ProgrammedSqa {
             config: self.config,
-            scale,
-            beta: self.config.beta / scale,
+            beta,
+            j_perp,
             clusters,
             cluster_of,
             ising,
-        })
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -132,24 +148,37 @@ impl Sampler for PathIntegralQmcSampler {
 }
 
 /// [`PathIntegralQmcSampler`] programmed with one problem: the cluster
-/// decomposition and temperature scale are resolved once and reused by
-/// every read.
+/// decomposition, temperature scale, and per-sweep inter-slice couplings
+/// are resolved once and reused by every read.
 #[derive(Debug, Clone)]
 pub struct ProgrammedSqa {
-    config: SqaConfig,
-    scale: f64,
-    beta: f64,
-    clusters: Vec<Vec<usize>>,
-    cluster_of: Vec<u32>,
-    ising: Ising,
+    pub(crate) config: SqaConfig,
+    pub(crate) beta: f64,
+    pub(crate) j_perp: Vec<f64>,
+    pub(crate) clusters: Vec<Vec<usize>>,
+    pub(crate) cluster_of: Vec<u32>,
+    pub(crate) ising: Ising,
 }
 
-impl ProgrammedSampler for ProgrammedSqa {
-    fn num_spins(&self) -> usize {
-        self.ising.num_spins()
-    }
-
-    fn sample_into(&self, rng: &mut dyn RngCore, out: &mut [i8]) {
+impl ProgrammedSqa {
+    /// The PIQMC kernel, generic over the RNG (monomorphized over
+    /// [`ChaCha8Rng`] on the device hot path, `dyn RngCore` otherwise).
+    ///
+    /// Replica configurations live in one flat `slices` buffer (`k·n + i`),
+    /// and each slice maintains its per-spin local fields incrementally: a
+    /// single-spin proposal reads the cached field instead of rescanning
+    /// the neighbourhood, and only accepted flips pay `O(deg)`. Cluster
+    /// moves evaluate their external field from scratch exactly as before
+    /// (both kernels share that arithmetic) and patch the fields of every
+    /// affected neighbourhood when accepted.
+    fn anneal<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut [i8],
+        slices: &mut Vec<i8>,
+        fields: &mut Vec<f64>,
+        energies: &mut Vec<f64>,
+    ) {
         let ising = &self.ising;
         let n = ising.num_spins();
         debug_assert_eq!(out.len(), n);
@@ -157,37 +186,41 @@ impl ProgrammedSampler for ProgrammedSqa {
             return;
         }
         let p = self.config.slices;
+        let p_f = p as f64;
         let beta = self.beta;
+        let (offsets, idx, w) = ising.adjacency();
 
-        // Replica-coupled configuration: slices[k][i].
-        let mut slices: Vec<Vec<i8>> = (0..p)
-            .map(|_| {
-                (0..n)
-                    .map(|_| if rng.gen::<bool>() { 1i8 } else { -1 })
-                    .collect()
-            })
-            .collect();
+        // Replica-coupled configuration, flattened: slices[k * n + i].
+        slices.clear();
+        slices.extend((0..p * n).map(|_| if rng.gen::<bool>() { 1i8 } else { -1 }));
+        // Per-slice local fields, same layout.
+        fields.clear();
+        fields.reserve(p * n);
+        for k in 0..p {
+            let slice = &slices[k * n..(k + 1) * n];
+            fields.extend((0..n).map(|i| ising.local_field(slice, VarId::new(i))));
+        }
 
-        for sweep in 0..self.config.sweeps {
-            let t = sweep as f64 / (self.config.sweeps - 1).max(1) as f64;
-            // Linear Γ ramp, the textbook SQA schedule.
-            let gamma =
-                self.scale * (self.config.gamma_init * (1.0 - t) + self.config.gamma_final * t);
-            // Inter-slice ferromagnetic coupling; diverges as Γ → 0.
-            let j_perp = -0.5 / beta * (beta * gamma / p as f64).tanh().ln();
-
+        for &j_perp in &self.j_perp {
             for k in 0..p {
                 let up = (k + p - 1) % p;
                 let down = (k + 1) % p;
+                let base = k * n;
                 for i in 0..n {
-                    let v = VarId::new(i);
-                    let classical = ising.flip_delta(&slices[k], v) / p as f64;
-                    let si = f64::from(slices[k][i]);
-                    let neighbours = f64::from(slices[up][i]) + f64::from(slices[down][i]);
+                    let si = f64::from(slices[base + i]);
+                    let classical = -2.0 * si * fields[base + i] / p_f;
+                    let neighbours =
+                        f64::from(slices[up * n + i]) + f64::from(slices[down * n + i]);
                     let quantum = 2.0 * j_perp * si * neighbours;
                     let delta = classical + quantum;
-                    if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
-                        slices[k][i] = -slices[k][i];
+                    if metropolis_accept(rng, beta, delta) {
+                        let flipped = -slices[base + i];
+                        slices[base + i] = flipped;
+                        let step = f64::from(flipped);
+                        let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+                        for e in lo..hi {
+                            fields[base + idx[e] as usize] += 2.0 * w[e] * step;
+                        }
                     }
                 }
 
@@ -197,32 +230,69 @@ impl ProgrammedSampler for ProgrammedSqa {
                 for (c, members) in self.clusters.iter().enumerate() {
                     let mut delta = 0.0;
                     for &i in members {
-                        let si = f64::from(slices[k][i]);
+                        let si = f64::from(slices[base + i]);
                         let mut ext_field = ising.fields()[i];
-                        for &(j, w) in ising.neighbours(VarId::new(i)) {
-                            if self.cluster_of[j.index()] != c as u32 {
-                                ext_field += w * f64::from(slices[k][j.index()]);
+                        let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+                        for e in lo..hi {
+                            let j = idx[e] as usize;
+                            if self.cluster_of[j] != c as u32 {
+                                ext_field += w[e] * f64::from(slices[base + j]);
                             }
                         }
-                        delta += -2.0 * si * ext_field / p as f64;
-                        let neighbours = f64::from(slices[up][i]) + f64::from(slices[down][i]);
+                        delta += -2.0 * si * ext_field / p_f;
+                        let neighbours =
+                            f64::from(slices[up * n + i]) + f64::from(slices[down * n + i]);
                         delta += 2.0 * j_perp * si * neighbours;
                     }
-                    if delta <= 0.0 || rng.gen::<f64>() < (-beta * delta).exp() {
+                    if metropolis_accept(rng, beta, delta) {
                         for &i in members {
-                            slices[k][i] = -slices[k][i];
+                            slices[base + i] = -slices[base + i];
+                        }
+                        for &i in members {
+                            let step = f64::from(slices[base + i]);
+                            let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+                            for e in lo..hi {
+                                fields[base + idx[e] as usize] += 2.0 * w[e] * step;
+                            }
                         }
                     }
                 }
             }
         }
 
-        // Read-out: the slice with the lowest problem energy.
-        let best = slices
-            .iter()
-            .min_by(|a, b| ising.energy(a).total_cmp(&ising.energy(b)))
-            .expect("at least two slices");
-        out.copy_from_slice(best);
+        // Read-out: the first slice attaining the lowest problem energy.
+        // Energies are evaluated once per slice (the previous min_by
+        // comparator re-evaluated them per comparison).
+        energies.clear();
+        energies.extend((0..p).map(|k| ising.energy(&slices[k * n..(k + 1) * n])));
+        let mut best = 0usize;
+        for k in 1..p {
+            if energies[k].total_cmp(&energies[best]) == std::cmp::Ordering::Less {
+                best = k;
+            }
+        }
+        out.copy_from_slice(&slices[best * n..(best + 1) * n]);
+    }
+}
+
+impl ProgrammedSampler for ProgrammedSqa {
+    fn num_spins(&self) -> usize {
+        self.ising.num_spins()
+    }
+
+    fn sample_into(&self, rng: &mut dyn RngCore, out: &mut [i8]) {
+        self.anneal(rng, out, &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
+    }
+
+    fn sample_into_fast(&self, rng: &mut ChaCha8Rng, out: &mut [i8], scratch: &mut ReadScratch) {
+        let ReadScratch {
+            fields,
+            spins,
+            energies,
+            mask: _,
+            spinf: _,
+        } = scratch;
+        self.anneal(rng, out, spins, fields, energies);
     }
 }
 

@@ -1,0 +1,203 @@
+//! Property-based bit-identity tests for the fast annealing kernels.
+//!
+//! The hot kernels (monomorphic RNG, SoA adjacency, incremental local
+//! fields, scratch reuse, SA's early-freeze exit) must produce **the exact
+//! same bytes** as two independent transcriptions of the algorithm: the
+//! trait-object path ([`ProgrammedSampler::sample_into`]) and the naive
+//! reference kernels in [`mqo_annealer::reference`]. These tests drive all
+//! three from identical RNG states over random problems and assert
+//! byte-for-byte equality — and additionally pin the device protocol's
+//! thread-count invariance for every back-end, which now rides on the
+//! persistent worker pool.
+
+use mqo_annealer::behavioral::BehavioralSampler;
+use mqo_annealer::device::{DeviceConfig, QuantumAnnealer};
+use mqo_annealer::sa::SimulatedAnnealingSampler;
+use mqo_annealer::sampler::{ProgrammedSampler, ReadScratch, Sampler, SamplerHints};
+use mqo_annealer::sqa::{PathIntegralQmcSampler, SqaConfig};
+use mqo_core::ids::VarId;
+use mqo_core::ising::Ising;
+use mqo_core::qubo::Qubo;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_ising() -> impl Strategy<Value = Ising> {
+    (2usize..=8).prop_flat_map(|n| {
+        let h = proptest::collection::vec(-5.0f64..5.0, n);
+        let j = proptest::collection::vec(((0..n, 0..n), -3.0f64..3.0), 0..=2 * n);
+        (h, j).prop_map(move |(h, j)| {
+            let couplings = j
+                .into_iter()
+                .filter(|((a, b), _)| a != b)
+                .map(|((a, b), w)| (VarId::new(a), VarId::new(b), w))
+                .collect();
+            Ising::new(h, couplings, 0.0)
+        })
+    })
+}
+
+/// Draws one sample through each of the three code paths from the same RNG
+/// state and asserts the outputs and final RNG positions agree exactly.
+/// `reference` runs the naive transcription for the concrete programmed
+/// type (inherent method, so it cannot be dispatched through the trait).
+fn assert_three_way_identity<P: ProgrammedSampler>(
+    programmed: &P,
+    reference: impl Fn(&mut ChaCha8Rng, &mut [i8]),
+    read_seed: u64,
+    reads: usize,
+) -> Result<(), TestCaseError> {
+    let n = programmed.num_spins();
+    let mut scratch = ReadScratch::default();
+    // One persistent RNG + scratch per path, reused across reads — exactly
+    // how a device worker consumes its chunk.
+    let mut rng_dyn = ChaCha8Rng::seed_from_u64(read_seed);
+    let mut rng_fast = ChaCha8Rng::seed_from_u64(read_seed);
+    let mut rng_ref = ChaCha8Rng::seed_from_u64(read_seed);
+    for read in 0..reads {
+        let mut a = vec![0i8; n];
+        let mut b = vec![0i8; n];
+        let mut c = vec![0i8; n];
+        programmed.sample_into(&mut rng_dyn, &mut a);
+        programmed.sample_into_fast(&mut rng_fast, &mut b, &mut scratch);
+        reference(&mut rng_ref, &mut c);
+        prop_assert_eq!(&a, &b, "dyn vs fast diverged at read {}", read);
+        prop_assert_eq!(&a, &c, "dyn vs reference diverged at read {}", read);
+        // The RNG stream positions must agree too, or later reads on a
+        // shared stream would silently diverge.
+        let probe_a = rng_dyn.clone().next_u64();
+        let probe_b = rng_fast.clone().next_u64();
+        let probe_c = rng_ref.clone().next_u64();
+        prop_assert_eq!(probe_a, probe_b, "rng position dyn vs fast, read {}", read);
+        prop_assert_eq!(probe_a, probe_c, "rng position dyn vs ref, read {}", read);
+    }
+    Ok(())
+}
+
+use rand::RngCore;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SA: fast, trait-object, and reference kernels are bit-identical,
+    /// including RNG stream positions (the early-freeze exit must consume
+    /// exactly the draws the reference consumes).
+    #[test]
+    fn sa_kernels_are_bit_identical(
+        ising in arb_ising(),
+        prog_seed in 0u64..1000,
+        read_seed in 0u64..1000,
+    ) {
+        let sampler = SimulatedAnnealingSampler::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(prog_seed);
+        let programmed = sampler.program(ising, &SamplerHints::default(), &mut rng);
+        assert_three_way_identity(
+            &programmed,
+            |rng, out| programmed.sample_into_reference(rng, out),
+            read_seed,
+            3,
+        )?;
+    }
+
+    /// PIQMC: fast, trait-object, and reference kernels are bit-identical
+    /// across the replica sweep, cluster moves, and read-out argmin.
+    #[test]
+    fn sqa_kernels_are_bit_identical(
+        ising in arb_ising(),
+        prog_seed in 0u64..1000,
+        read_seed in 0u64..1000,
+    ) {
+        // Few sweeps/slices keep the case fast; identity must hold anyway.
+        let sampler = PathIntegralQmcSampler::new(SqaConfig {
+            sweeps: 24,
+            slices: 4,
+            ..SqaConfig::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(prog_seed);
+        let programmed = sampler.program(ising, &SamplerHints::default(), &mut rng);
+        assert_three_way_identity(
+            &programmed,
+            |rng, out| programmed.sample_into_reference(rng, out),
+            read_seed,
+            2,
+        )?;
+    }
+
+    /// Behavioural back-end: fast, trait-object, and reference read kernels
+    /// are bit-identical around the shared oracle state.
+    #[test]
+    fn behavioral_kernels_are_bit_identical(
+        ising in arb_ising(),
+        prog_seed in 0u64..1000,
+        read_seed in 0u64..1000,
+    ) {
+        let sampler = BehavioralSampler::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(prog_seed);
+        let programmed = sampler.program(ising, &SamplerHints::default(), &mut rng);
+        assert_three_way_identity(
+            &programmed,
+            |rng, out| programmed.sample_into_reference(rng, out),
+            read_seed,
+            3,
+        )?;
+    }
+}
+
+/// Device-protocol thread invariance for one back-end: runs at 1, 2, 3, and
+/// 8 threads must be bit-identical (the persistent pool executes chunks,
+/// but chunking depends only on the requested thread count).
+fn assert_thread_invariant<S: Sampler + Clone>(sampler: S, seed: u64) {
+    let mut b = Qubo::builder(5);
+    b.add_linear(VarId(0), -1.0);
+    b.add_linear(VarId(4), 0.5);
+    b.add_quadratic(VarId(0), VarId(1), 1.0);
+    b.add_quadratic(VarId(1), VarId(2), -1.0);
+    b.add_quadratic(VarId(2), VarId(3), 0.75);
+    b.add_quadratic(VarId(3), VarId(4), -0.25);
+    let qubo = b.build();
+    let ising = Ising::from_qubo(&qubo);
+    let run_with = |threads: usize| {
+        QuantumAnnealer::new(
+            DeviceConfig {
+                num_reads: 22,
+                num_gauges: 4,
+                threads,
+                ..DeviceConfig::default()
+            },
+            sampler.clone(),
+        )
+        .run_ising(&ising, &qubo, seed)
+        .unwrap()
+    };
+    let serial = run_with(1);
+    for threads in [2, 3, 8] {
+        let parallel = run_with(threads);
+        assert_eq!(
+            serial.reads(),
+            parallel.reads(),
+            "thread count {threads} changed the run"
+        );
+    }
+}
+
+#[test]
+fn sa_device_runs_are_thread_invariant() {
+    assert_thread_invariant(SimulatedAnnealingSampler::default(), 17);
+}
+
+#[test]
+fn sqa_device_runs_are_thread_invariant() {
+    assert_thread_invariant(
+        PathIntegralQmcSampler::new(SqaConfig {
+            sweeps: 16,
+            slices: 4,
+            ..SqaConfig::default()
+        }),
+        18,
+    );
+}
+
+#[test]
+fn behavioral_device_runs_are_thread_invariant() {
+    assert_thread_invariant(BehavioralSampler::default(), 19);
+}

@@ -12,13 +12,19 @@ use crate::qubo::Qubo;
 use serde::{Deserialize, Serialize};
 
 /// A sparse Ising problem `Σ h_i s_i + Σ_{i<j} J_ij s_i s_j + offset`.
+///
+/// The adjacency is stored in structure-of-arrays CSR form
+/// (`adj_offsets`/`adj_idx`/`adj_w`) so annealing inner loops can stream
+/// neighbour indices and weights from separate dense slices instead of
+/// scanning `(VarId, f64)` tuples.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Ising {
     h: Vec<f64>,
     j: Vec<(VarId, VarId, f64)>,
     offset: f64,
     adj_offsets: Vec<u32>,
-    adj_entries: Vec<(VarId, f64)>,
+    adj_idx: Vec<u32>,
+    adj_w: Vec<f64>,
 }
 
 impl Ising {
@@ -40,9 +46,31 @@ impl Ising {
             .filter(|(_, w)| *w != 0.0)
             .map(|((a, b), w)| (a, b, w))
             .collect();
+        Self::from_canonical(h, j, offset)
+    }
 
+    /// Builds an Ising problem from an already-canonical coupling list:
+    /// unique upper-triangular pairs (`i < j`) sorted lexicographically, as
+    /// produced by [`Ising::couplings`] on any existing problem.
+    ///
+    /// This is the fast path for transformations that preserve the coupling
+    /// structure (gauges, control-error perturbation): it skips the merge
+    /// map of [`Ising::new`] and builds the adjacency with one counting
+    /// sort. Zero weights are *not* filtered; callers deriving from an
+    /// existing problem's canonical list keep its exact structure.
+    pub fn from_canonical(h: Vec<f64>, couplings: Vec<(VarId, VarId, f64)>, offset: f64) -> Self {
+        let n = h.len();
+        debug_assert!(
+            couplings
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            "couplings must be sorted and unique"
+        );
+        let j = couplings;
         let mut degree = vec![0u32; n];
         for &(a, b, _) in &j {
+            assert!(a.index() < n && b.index() < n, "coupling out of range");
+            assert!(a < b, "couplings must be upper-triangular");
             degree[a.index()] += 1;
             degree[b.index()] += 1;
         }
@@ -51,11 +79,17 @@ impl Ising {
             adj_offsets[i + 1] = adj_offsets[i] + degree[i];
         }
         let mut cursor: Vec<u32> = adj_offsets[..n].to_vec();
-        let mut adj_entries = vec![(VarId(0), 0.0); adj_offsets[n] as usize];
+        let entries = adj_offsets[n] as usize;
+        let mut adj_idx = vec![0u32; entries];
+        let mut adj_w = vec![0.0f64; entries];
         for &(a, b, w) in &j {
-            adj_entries[cursor[a.index()] as usize] = (b, w);
+            let ca = cursor[a.index()] as usize;
+            adj_idx[ca] = b.index() as u32;
+            adj_w[ca] = w;
             cursor[a.index()] += 1;
-            adj_entries[cursor[b.index()] as usize] = (a, w);
+            let cb = cursor[b.index()] as usize;
+            adj_idx[cb] = a.index() as u32;
+            adj_w[cb] = w;
             cursor[b.index()] += 1;
         }
 
@@ -64,7 +98,57 @@ impl Ising {
             j,
             offset,
             adj_offsets,
-            adj_entries,
+            adj_idx,
+            adj_w,
+        }
+    }
+
+    /// The gauge-transformed problem `h_i → g_i h_i`, `J_ij → g_i g_j J_ij`
+    /// for signs `g ∈ {−1, +1}^n`.
+    ///
+    /// Sign flips leave the adjacency structure untouched, so this reuses
+    /// the CSR offsets and neighbour indices and only maps the weights —
+    /// no merge map, no counting sort. The result is exactly equal (bit for
+    /// bit: sign flips are exact in IEEE arithmetic) to rebuilding via
+    /// [`Ising::new`] with transformed terms.
+    pub fn gauge_transformed(&self, signs: &[i8]) -> Ising {
+        assert_eq!(signs.len(), self.num_spins(), "gauge/problem size mismatch");
+        debug_assert!(signs.iter().all(|&g| g == 1 || g == -1));
+        let h = self
+            .h
+            .iter()
+            .zip(signs)
+            .map(|(&hi, &g)| f64::from(g) * hi)
+            .collect();
+        let j = self
+            .j
+            .iter()
+            .map(|&(a, b, w)| {
+                (
+                    a,
+                    b,
+                    f64::from(signs[a.index()]) * f64::from(signs[b.index()]) * w,
+                )
+            })
+            .collect();
+        let mut adj_w = self.adj_w.clone();
+        for i in 0..self.num_spins() {
+            let gi = f64::from(signs[i]);
+            let (lo, hi) = (
+                self.adj_offsets[i] as usize,
+                self.adj_offsets[i + 1] as usize,
+            );
+            for k in lo..hi {
+                adj_w[k] = f64::from(signs[self.adj_idx[k] as usize]) * gi * self.adj_w[k];
+            }
+        }
+        Ising {
+            h,
+            j,
+            offset: self.offset,
+            adj_offsets: self.adj_offsets.clone(),
+            adj_idx: self.adj_idx.clone(),
+            adj_w,
         }
     }
 
@@ -92,12 +176,41 @@ impl Ising {
         self.offset
     }
 
-    /// Coupled neighbours of spin `i`: pairs `(j, J_ij)`.
+    /// Coupled neighbours of spin `i`: pairs `(j, J_ij)` in CSR order.
     #[inline]
-    pub fn neighbours(&self, i: VarId) -> &[(VarId, f64)] {
+    pub fn neighbours(&self, i: VarId) -> impl Iterator<Item = (VarId, f64)> + '_ {
         let lo = self.adj_offsets[i.index()] as usize;
         let hi = self.adj_offsets[i.index() + 1] as usize;
-        &self.adj_entries[lo..hi]
+        self.adj_idx[lo..hi]
+            .iter()
+            .zip(&self.adj_w[lo..hi])
+            .map(|(&j, &w)| (VarId(j), w))
+    }
+
+    /// Neighbour indices of spin `i` (parallel to
+    /// [`Ising::neighbour_weights`]).
+    #[inline]
+    pub fn neighbour_indices(&self, i: VarId) -> &[u32] {
+        let lo = self.adj_offsets[i.index()] as usize;
+        let hi = self.adj_offsets[i.index() + 1] as usize;
+        &self.adj_idx[lo..hi]
+    }
+
+    /// Neighbour coupling weights of spin `i` (parallel to
+    /// [`Ising::neighbour_indices`]).
+    #[inline]
+    pub fn neighbour_weights(&self, i: VarId) -> &[f64] {
+        let lo = self.adj_offsets[i.index()] as usize;
+        let hi = self.adj_offsets[i.index() + 1] as usize;
+        &self.adj_w[lo..hi]
+    }
+
+    /// The raw CSR adjacency `(offsets, indices, weights)`: spin `i`'s
+    /// neighbours occupy `offsets[i]..offsets[i+1]` of the two flat arrays.
+    /// Annealing kernels stream these slices directly.
+    #[inline]
+    pub fn adjacency(&self) -> (&[u32], &[u32], &[f64]) {
+        (&self.adj_offsets, &self.adj_idx, &self.adj_w)
     }
 
     /// Evaluates the energy of a spin configuration (`s_i ∈ {−1, +1}`),
@@ -118,22 +231,32 @@ impl Ising {
     /// Energy change from flipping spin `i`, in `O(deg(i))`.
     #[inline]
     pub fn flip_delta(&self, s: &[i8], i: VarId) -> f64 {
-        let mut field = self.h[i.index()];
-        for &(j, w) in self.neighbours(i) {
-            field += w * f64::from(s[j.index()]);
-        }
-        -2.0 * f64::from(s[i.index()]) * field
+        -2.0 * f64::from(s[i.index()]) * self.local_field(s, i)
     }
 
     /// Local field at spin `i` (`h_i + Σ_j J_ij s_j`), used by annealing
-    /// sweeps that precompute fields.
+    /// sweeps that precompute fields. Accumulates in CSR order — the same
+    /// order incremental field maintenance in the annealing kernels uses,
+    /// so both paths produce identical floating-point values.
     #[inline]
     pub fn local_field(&self, s: &[i8], i: VarId) -> f64 {
+        let lo = self.adj_offsets[i.index()] as usize;
+        let hi = self.adj_offsets[i.index() + 1] as usize;
         let mut field = self.h[i.index()];
-        for &(j, w) in self.neighbours(i) {
-            field += w * f64::from(s[j.index()]);
+        for (&j, &w) in self.adj_idx[lo..hi].iter().zip(&self.adj_w[lo..hi]) {
+            field += w * f64::from(s[j as usize]);
         }
         field
+    }
+
+    /// Writes every spin's local field `h_i + Σ_j J_ij s_j` into `fields`
+    /// (resized to `num_spins`). Annealing kernels call this once per read
+    /// and then maintain the array incrementally across accepted flips.
+    pub fn local_fields_into(&self, s: &[i8], fields: &mut Vec<f64>) {
+        let n = self.num_spins();
+        debug_assert_eq!(s.len(), n);
+        fields.clear();
+        fields.extend((0..n).map(|i| self.local_field(s, VarId(i as u32))));
     }
 
     /// Largest absolute field/coupling magnitude; the annealer normalises by
@@ -306,5 +429,80 @@ mod tests {
     fn max_abs_weight_covers_fields_and_couplings() {
         let ising = Ising::new(vec![0.5, -3.0], vec![(VarId(0), VarId(1), 2.0)], 10.0);
         assert_eq!(ising.max_abs_weight(), 3.0);
+    }
+
+    #[test]
+    fn from_canonical_equals_new_on_canonical_input() {
+        let built = Ising::from_qubo(&small_qubo());
+        let rebuilt = Ising::from_canonical(
+            built.fields().to_vec(),
+            built.couplings().to_vec(),
+            built.offset(),
+        );
+        assert_eq!(built, rebuilt);
+    }
+
+    #[test]
+    fn gauge_transformed_equals_full_rebuild() {
+        let ising = Ising::from_qubo(&small_qubo());
+        for mask in 0u32..8 {
+            let signs: Vec<i8> = (0..3)
+                .map(|i| if mask & (1 << i) != 0 { 1 } else { -1 })
+                .collect();
+            let fast = ising.gauge_transformed(&signs);
+            let h = ising
+                .fields()
+                .iter()
+                .enumerate()
+                .map(|(i, &hi)| f64::from(signs[i]) * hi)
+                .collect();
+            let couplings = ising
+                .couplings()
+                .iter()
+                .map(|&(i, j, w)| {
+                    (
+                        i,
+                        j,
+                        f64::from(signs[i.index()]) * f64::from(signs[j.index()]) * w,
+                    )
+                })
+                .collect();
+            let slow = Ising::new(h, couplings, ising.offset());
+            assert_eq!(fast, slow, "gauge rebuild mismatch for signs {signs:?}");
+        }
+    }
+
+    #[test]
+    fn soa_accessors_agree_with_the_neighbour_iterator() {
+        let ising = Ising::from_qubo(&small_qubo());
+        let (offsets, idx, w) = ising.adjacency();
+        assert_eq!(offsets.len(), ising.num_spins() + 1);
+        assert_eq!(idx.len(), w.len());
+        for i in 0..ising.num_spins() {
+            let v = VarId::new(i);
+            let from_iter: Vec<(u32, f64)> = ising
+                .neighbours(v)
+                .map(|(j, w)| (j.index() as u32, w))
+                .collect();
+            let from_slices: Vec<(u32, f64)> = ising
+                .neighbour_indices(v)
+                .iter()
+                .copied()
+                .zip(ising.neighbour_weights(v).iter().copied())
+                .collect();
+            assert_eq!(from_iter, from_slices);
+        }
+    }
+
+    #[test]
+    fn local_fields_into_matches_per_spin_local_field() {
+        let ising = Ising::from_qubo(&small_qubo());
+        let s = vec![1i8, -1, 1];
+        let mut fields = Vec::new();
+        ising.local_fields_into(&s, &mut fields);
+        for (i, &f) in fields.iter().enumerate() {
+            assert_eq!(f, ising.local_field(&s, VarId::new(i)));
+        }
+        assert_eq!(fields.len(), 3);
     }
 }

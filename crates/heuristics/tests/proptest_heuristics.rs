@@ -77,4 +77,30 @@ proptest! {
         prop_assert_eq!(a.best.0, b.best.0);
         prop_assert_eq!(a.best.1, b.best.1);
     }
+
+    /// The memoized climb picks exactly the moves the full-rescan reference
+    /// picks: identical final selections and bit-identical costs from every
+    /// start, on any problem.
+    #[test]
+    fn memoized_climb_equals_the_reference_climb(
+        problem in arb_problem(),
+        start_seed in 0u64..1000,
+    ) {
+        use mqo_core::solution::Selection;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(start_seed);
+        let plans: Vec<PlanId> = problem
+            .queries()
+            .map(|q| {
+                let of_q: Vec<PlanId> = problem.plans_of(q).collect();
+                of_q[rng.gen_range(0..of_q.len())]
+            })
+            .collect();
+        let start = Selection::new(plans);
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let (fast_sel, fast_cost) = HillClimbing::climb(&problem, start.clone(), deadline);
+        let (ref_sel, ref_cost) = HillClimbing::climb_reference(&problem, start, deadline);
+        prop_assert_eq!(fast_sel, ref_sel);
+        prop_assert_eq!(fast_cost.to_bits(), ref_cost.to_bits());
+    }
 }

@@ -1,0 +1,605 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Functional property testing: strategies generate deterministic
+//! pseudo-random inputs (seeded per test case), assertions return
+//! `TestCaseError`, and a failing case panics with the case number and the
+//! generating seed. Shrinking is not implemented — a failure reports the
+//! original inputs via `Debug` instead of a minimized counterexample.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// Why a test case failed (or was rejected).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail<S: Into<String>>(msg: S) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject<S: Into<String>>(msg: S) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    /// Subset of proptest's runner configuration: the case count.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub use test_runner::{Config as ProptestConfig, TestCaseError};
+
+/// A generator of test inputs. Unlike real proptest there is no value
+/// tree — `generate` directly yields a value from the case RNG.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    fn prop_map<U: Debug, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            reason,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1000 candidates", self.reason);
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut ChaCha8Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies — the engine behind
+/// `prop_oneof!`.
+pub struct Union<T: Debug> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: Debug> Union<T> {
+    pub fn empty() -> Self {
+        Union {
+            options: Vec::new(),
+        }
+    }
+
+    pub fn or(mut self, s: impl Strategy<Value = T> + 'static) -> Self {
+        self.options.push(Box::new(s));
+        self
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> T {
+        assert!(!self.options.is_empty());
+        let pick = rng.gen_range(0..self.options.len());
+        self.options[pick].generate(rng)
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::empty()$(.or($strat))+
+    };
+}
+
+// ---- numeric range strategies ------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> f64 {
+        rng.gen_range(*self.start()..self.end().next_up())
+    }
+}
+
+// Signed ranges go through a width-shifted unsigned draw (the rand stub
+// deliberately omits signed `gen_range`).
+macro_rules! signed_range_strategy {
+    ($($ty:ty => $uty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $ty {
+                assert!(self.start < self.end);
+                let span = (self.end as $uty).wrapping_sub(self.start as $uty);
+                let off = rng.gen_range(0..span);
+                (self.start as $uty).wrapping_add(off) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi);
+                let span = (hi as $uty).wrapping_sub(lo as $uty);
+                let off = if span == <$uty>::MAX {
+                    rng.gen::<$uty>()
+                } else {
+                    rng.gen_range(0..=span)
+                };
+                (lo as $uty).wrapping_add(off) as $ty
+            }
+        }
+    )+};
+}
+signed_range_strategy!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+// ---- tuple strategies ---------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+// ---- collections --------------------------------------------------------
+
+pub mod collection {
+    use super::*;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Size specification: a fixed count or a (half-open / inclusive) range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut ChaCha8Rng) -> usize {
+            if self.lo == self.hi_inclusive {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..=self.hi_inclusive)
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, size)` — a vector of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `hash_set(element, size)` — like proptest, the target size is an
+    /// upper bound when the element domain is too small to honor it.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq + Debug,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut ChaCha8Rng) -> HashSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = HashSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 10 * target + 16 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod bool {
+    use super::*;
+
+    /// Strategy for `bool` (50/50).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut ChaCha8Rng) -> core::primitive::bool {
+            rng.gen::<core::primitive::bool>()
+        }
+    }
+}
+
+/// `any::<T>()` for the handful of types the workspace asks for.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub trait Arbitrary: Sized + Debug {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct StdArbitrary<T>(PhantomData<T>);
+
+macro_rules! arb_via_full_range {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            type Strategy = StdArbitrary<$ty>;
+            fn arbitrary() -> Self::Strategy {
+                StdArbitrary(PhantomData)
+            }
+        }
+        impl Strategy for StdArbitrary<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $ty {
+                rng.gen::<$ty>()
+            }
+        }
+    )+};
+}
+arb_via_full_range!(
+    u8,
+    u32,
+    u64,
+    usize,
+    i8,
+    i32,
+    i64,
+    f64,
+    core::primitive::bool
+);
+
+pub mod strategy {
+    pub use super::{Just, Strategy, Union};
+}
+
+pub mod prelude {
+    pub use super::collection::{hash_set, vec};
+    pub use super::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use super::{any, Arbitrary, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Derives the per-case RNG seed. Deterministic: same test name + case
+/// index ⇒ same inputs, across runs and thread counts.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ (u64::from(case) << 1)
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for __case in 0..config.cases {
+                    let __seed = $crate::case_seed(stringify!($name), __case);
+                    let mut __rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(__seed);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __debug_inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match __result {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {}/{} failed: {}\n  inputs: {}",
+                                __case + 1, config.cases, msg, __debug_inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} ({:?} vs {:?})",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_compose(n in 2usize..=8, x in -5.0f64..5.0, seed in 0u64..100) {
+            prop_assert!((2..=8).contains(&n));
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!(seed < 100);
+        }
+
+        #[test]
+        fn flat_map_and_vec(v in (1usize..=4).prop_flat_map(|n| vec(0u32..10, n))) {
+            prop_assert!(!v.is_empty() && v.len() <= 4);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_picks_from_all(v in prop_oneof![Just(1u32), Just(2u32), Just(3u32)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let s = (2usize..=8).prop_map(|n| n * 2);
+        let mut r1 = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(9);
+        let mut r2 = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(9);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -1,0 +1,96 @@
+//! The `Standard` distribution for the primitive types the workspace
+//! samples with `rng.gen::<T>()`, bit-exact with rand 0.8.5.
+
+use crate::RngCore;
+
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform over the "natural" domain of the type (`[0, 1)` for floats).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    /// 53-bit multiply: `(next_u64() >> 11) * 2^-53`.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        let value = rng.next_u64() >> 11;
+        scale * value as f64
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// 24-bit multiply: `(next_u32() >> 8) * 2^-24`.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        let value = rng.next_u32() >> 8;
+        scale * value as f32
+    }
+}
+
+impl Distribution<bool> for Standard {
+    /// Most significant bit of one `next_u32` draw.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl Distribution<u8> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl Distribution<u16> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl Distribution<u32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<i8> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i8 {
+        rng.next_u32() as i8
+    }
+}
+
+impl Distribution<i32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Distribution<i64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}

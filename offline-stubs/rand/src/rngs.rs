@@ -1,0 +1,31 @@
+//! `StdRng` — ChaCha12, matching rand 0.8's choice of standard RNG.
+
+use crate::chacha_impl::ChaChaAny;
+use crate::{RngCore, SeedableRng};
+
+/// The standard RNG: ChaCha with 12 rounds.
+#[derive(Debug, Clone)]
+pub struct StdRng(ChaChaAny<6>);
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        StdRng(ChaChaAny::from_seed_bytes(seed))
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}

@@ -1,0 +1,562 @@
+//! Offline stand-in for `serde` (+`serde_derive`).
+//!
+//! Instead of serde's visitor architecture, this stub runs everything
+//! through one JSON-shaped value tree ([`Value`]): `Serialize` renders a
+//! value into the tree and `Deserialize` reads one back out. `serde_json`
+//! (the sibling stub) adds the actual text parsing/printing on top. The
+//! trait *names* and derive ergonomics match real serde for the attribute
+//! surface this workspace uses: container/field `default`,
+//! `rename_all = "snake_case"`, internally tagged enums (`tag = "..."`),
+//! and `try_from`/`into` conversions.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped data tree shared by the serde and serde_json stubs.
+///
+/// `Object` deliberately holds a `Vec` of pairs (insertion order preserved,
+/// tuple-pattern `retain` works), which is what the workspace's tests rely
+/// on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) if *v <= i64::MAX as u64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn is_u64(&self) -> bool {
+        self.as_u64().is_some()
+    }
+
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::U64(_) | Value::I64(_) | Value::F64(_))
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// Missing keys and non-objects index to `Null`, like serde_json.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<&String> for Value {
+    type Output = Value;
+    fn index(&self, key: &String) -> &Value {
+        &self[key.as_str()]
+    }
+}
+
+// Literal comparisons used all over the workspace's tests
+// (`v["cost"] == 2.0`, `v["backend"] == "annealer"`, ...).
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_i64() == Some(i64::from(*other))
+    }
+}
+impl PartialEq<usize> for Value {
+    fn eq(&self, other: &usize) -> bool {
+        self.as_u64() == Some(*other as u64)
+    }
+}
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+/// Deserialization failure: a plain message, like `serde::de::Error`.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Renders `self` into the shared value tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Reads `Self` back out of the value tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($ty:ty),+) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| DeError(format!("expected unsigned integer, got {v:?}")))?;
+                <$ty>::try_from(raw)
+                    .map_err(|_| DeError(format!("{raw} out of range for {}", stringify!($ty))))
+            }
+        }
+    )+};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($ty:ty),+) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| DeError(format!("expected integer, got {v:?}")))?;
+                <$ty>::try_from(raw)
+                    .map_err(|_| DeError(format!("{raw} out of range for {}", stringify!($ty))))
+            }
+        }
+    )+};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError(format!("expected array, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == ser_tuple!(@count $($name)+) => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError(format!(
+                        "expected {}-tuple, got {v:?}",
+                        ser_tuple!(@count $($name)+)
+                    ))),
+                }
+            }
+        }
+    )+};
+    (@count $($name:ident)+) => { [$(ser_tuple!(@one $name)),+].len() };
+    (@one $name:ident) => { () };
+}
+ser_tuple!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Value::U64(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let secs = v
+            .get("secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| DeError("Duration missing `secs`".to_string()))?;
+        let nanos = v
+            .get("nanos")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| DeError("Duration missing `nanos`".to_string()))?;
+        let nanos =
+            u32::try_from(nanos).map_err(|_| DeError("Duration nanos overflow".to_string()))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_indexing_and_literal_comparisons() {
+        let v = Value::Object(vec![
+            ("cost".into(), Value::F64(2.0)),
+            ("hits".into(), Value::U64(1)),
+            ("backend".into(), Value::String("annealer".into())),
+            ("hit".into(), Value::Bool(false)),
+        ]);
+        assert_eq!(v["cost"], 2.0);
+        assert_eq!(v["hits"], 1);
+        assert_eq!(v["backend"], "annealer");
+        assert_eq!(v["hit"], false);
+        assert!(v["missing"].is_null());
+        assert!(v["hits"].is_u64());
+        assert!(v["cost"].is_number());
+    }
+
+    #[test]
+    fn option_and_tuple_round_trip() {
+        let x: (u32, f64) = (7, -1.5);
+        let v = x.to_value();
+        assert_eq!(<(u32, f64)>::from_value(&v).unwrap(), x);
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_value(&Value::U64(3)).unwrap(), Some(3));
+    }
+}
+
+/// JSON printing shared with the serde_json stub (which cannot implement
+/// `Display` for the foreign `Value` type itself).
+#[doc(hidden)]
+pub mod __print {
+    use super::Value;
+
+    // ---- printer ------------------------------------------------------------
+
+    pub fn write_escaped(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    pub fn write_f64(v: f64, out: &mut String) -> std::result::Result<(), String> {
+        if !v.is_finite() {
+            return Err(format!("cannot serialize non-finite float {v}"));
+        }
+        let s = format!("{v}");
+        out.push_str(&s);
+        // Rust prints integral floats without a fraction ("2"); keep the float
+        // type visible in the JSON like serde_json does ("2.0").
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+        Ok(())
+    }
+
+    pub fn write_value(
+        v: &Value,
+        out: &mut String,
+        indent: Option<usize>,
+        level: usize,
+    ) -> std::result::Result<(), String> {
+        let (nl, pad, pad_in, colon) = match indent {
+            Some(w) => (
+                "\n",
+                " ".repeat(w * level),
+                " ".repeat(w * (level + 1)),
+                ": ",
+            ),
+            None => ("", String::new(), String::new(), ":"),
+        };
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::F64(x) => write_f64(*x, out)?,
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return Ok(());
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_value(item, out, indent, level + 1)?;
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return Ok(());
+                }
+                out.push('{');
+                for (i, (k, val)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(k, out);
+                    out.push_str(colon);
+                    write_value(val, out, indent, level + 1)?;
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// Compact JSON, like `serde_json::Value`'s `Display`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        __print::write_value(self, &mut out, None, 0).map_err(|_| std::fmt::Error)?;
+        f.write_str(&out)
+    }
+}

@@ -1,0 +1,465 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stub. No syn/quote — the item is parsed directly from the
+//! proc-macro token trees, covering exactly the shapes this workspace uses:
+//!
+//! - named-field structs (container- and field-level `#[serde(default)]`)
+//! - newtype structs (`pub struct PlanId(pub u32);`) — transparent
+//! - unit enums, with optional `rename_all = "snake_case"`
+//! - internally tagged enums (`tag = "..."` + `rename_all`) with unit and
+//!   named-field variants
+//! - `try_from = "Proxy"`, `into = "Proxy"` conversions
+//!
+//! Unknown fields are ignored on deserialize (serde's default behavior).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Debug)]
+struct ContainerAttrs {
+    default: bool,
+    rename_all_snake: bool,
+    tag: Option<String>,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` ⇒ unit variant; `Some(fields)` ⇒ named-field variant.
+    fields: Option<Vec<Field>>,
+}
+
+#[derive(Debug)]
+enum Data {
+    NamedStruct(Vec<Field>),
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    attrs: ContainerAttrs,
+    data: Data,
+}
+
+// ---- parsing ------------------------------------------------------------
+
+/// Splits `key = "value"` / bare `key` pieces of a `#[serde(...)]` list.
+fn parse_serde_args(group: &str, attrs: &mut ContainerAttrs, field_default: &mut bool) {
+    for piece in group.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        let (key, value) = match piece.split_once('=') {
+            Some((k, v)) => (k.trim(), Some(v.trim().trim_matches('"').to_string())),
+            None => (piece, None),
+        };
+        match (key, value) {
+            ("default", None) => {
+                attrs.default = true;
+                *field_default = true;
+            }
+            ("rename_all", Some(v)) => {
+                assert_eq!(v, "snake_case", "only snake_case rename_all is supported");
+                attrs.rename_all_snake = true;
+            }
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("try_from", Some(v)) => attrs.try_from = Some(v),
+            ("into", Some(v)) => attrs.into = Some(v),
+            other => panic!("unsupported serde attribute: {other:?}"),
+        }
+    }
+}
+
+/// Consumes a leading run of `#[...]` attributes; returns whether a
+/// `#[serde(default)]` was present and merges container-level args.
+fn take_attrs(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> (ContainerAttrs, bool) {
+    let mut attrs = ContainerAttrs::default();
+    let mut field_default = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                let Some(TokenTree::Group(g)) = tokens.next() else {
+                    panic!("expected [...] after #");
+                };
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            parse_serde_args(
+                                &args.stream().to_string(),
+                                &mut attrs,
+                                &mut field_default,
+                            );
+                        }
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    (attrs, field_default)
+}
+
+/// Skips `pub`, `pub(crate)` etc.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named fields, tracking `<...>` depth so commas
+/// inside generic arguments do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            break;
+        }
+        let (_, field_default) = take_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            panic!("expected field name");
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            default: field_default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            break;
+        }
+        let _ = take_attrs(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("expected variant name, got {tt:?}");
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                Some(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("tuple enum variants are not supported by the serde stub");
+            }
+            _ => None,
+        };
+        // Trailing comma / discriminant are not expected beyond `,`.
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+    }
+    variants
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut tokens = input.into_iter().peekable();
+    let (attrs, _) = take_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let Some(TokenTree::Ident(kind)) = tokens.next() else {
+        panic!("expected struct/enum");
+    };
+    let kind = kind.to_string();
+    let Some(TokenTree::Ident(name)) = tokens.next() else {
+        panic!("expected type name");
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic types are not supported by the serde stub");
+    }
+    let data = match (kind.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Data::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = g
+                .stream()
+                .into_iter()
+                .filter(|tt| matches!(tt, TokenTree::Punct(p) if p.as_char() == ','))
+                .count()
+                + 1;
+            assert_eq!(n, 1, "only single-field tuple structs are supported");
+            Data::Newtype
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Data::Enum(parse_variants(g.stream()))
+        }
+        other => panic!("unsupported item shape: {kind} {other:?}"),
+    };
+    Container {
+        name: name.to_string(),
+        attrs,
+        data,
+    }
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn variant_key(attrs: &ContainerAttrs, name: &str) -> String {
+    if attrs.rename_all_snake {
+        snake_case(name)
+    } else {
+        name.to_string()
+    }
+}
+
+// ---- code generation ----------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    let name = &c.name;
+    let body = if let Some(proxy) = &c.attrs.into {
+        format!(
+            "let __proxy: {proxy} = std::convert::Into::into(std::clone::Clone::clone(self));\n\
+             serde::Serialize::to_value(&__proxy)"
+        )
+    } else {
+        match &c.data {
+            Data::Newtype => "serde::Serialize::to_value(&self.0)".to_string(),
+            Data::NamedStruct(fields) => {
+                let mut s =
+                    String::from("let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n");
+                for f in fields {
+                    s.push_str(&format!(
+                        "__fields.push((\"{0}\".to_string(), serde::Serialize::to_value(&self.{0})));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("serde::Value::Object(__fields)");
+                s
+            }
+            Data::Enum(variants) => {
+                let mut arms = String::new();
+                if let Some(tag) = &c.attrs.tag {
+                    for v in variants {
+                        let key = variant_key(&c.attrs, &v.name);
+                        match &v.fields {
+                            None => arms.push_str(&format!(
+                                "{name}::{vn} => serde::Value::Object(vec![(\"{tag}\".to_string(), \
+                                 serde::Value::String(\"{key}\".to_string()))]),\n",
+                                vn = v.name
+                            )),
+                            Some(fields) => {
+                                let pat: Vec<&str> =
+                                    fields.iter().map(|f| f.name.as_str()).collect();
+                                let mut pushes = String::new();
+                                for f in fields {
+                                    pushes.push_str(&format!(
+                                        "__fields.push((\"{0}\".to_string(), serde::Serialize::to_value({0})));\n",
+                                        f.name
+                                    ));
+                                }
+                                arms.push_str(&format!(
+                                    "{name}::{vn} {{ {pat} }} => {{\n\
+                                     let mut __fields: Vec<(String, serde::Value)> = \
+                                     vec![(\"{tag}\".to_string(), serde::Value::String(\"{key}\".to_string()))];\n\
+                                     {pushes}serde::Value::Object(__fields)\n}}\n",
+                                    vn = v.name,
+                                    pat = pat.join(", ")
+                                ));
+                            }
+                        }
+                    }
+                } else {
+                    for v in variants {
+                        assert!(
+                            v.fields.is_none(),
+                            "untagged non-unit enum variants are not supported"
+                        );
+                        let key = variant_key(&c.attrs, &v.name);
+                        arms.push_str(&format!(
+                            "{name}::{vn} => serde::Value::String(\"{key}\".to_string()),\n",
+                            vn = v.name
+                        ));
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    let name = &c.name;
+    let body = if let Some(proxy) = &c.attrs.try_from {
+        format!(
+            "let __proxy = <{proxy} as serde::Deserialize>::from_value(__v)?;\n\
+             std::convert::TryFrom::try_from(__proxy)\
+             .map_err(|e| serde::DeError(format!(\"{{e}}\")))"
+        )
+    } else {
+        match &c.data {
+            Data::Newtype => {
+                format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+            }
+            Data::NamedStruct(fields) => {
+                named_struct_de(name, fields, c.attrs.default, &format!("{name}"))
+            }
+            Data::Enum(variants) => {
+                if let Some(tag) = &c.attrs.tag {
+                    let mut arms = String::new();
+                    for v in variants {
+                        let key = variant_key(&c.attrs, &v.name);
+                        match &v.fields {
+                            None => arms.push_str(&format!(
+                                "\"{key}\" => Ok({name}::{vn}),\n",
+                                vn = v.name
+                            )),
+                            Some(fields) => {
+                                let ctor = format!("{name}::{vn}", vn = v.name);
+                                let inner = named_variant_de(fields, &ctor);
+                                arms.push_str(&format!("\"{key}\" => {{ {inner} }}\n"));
+                            }
+                        }
+                    }
+                    format!(
+                        "let __tag = __v.get(\"{tag}\").and_then(|t| t.as_str())\
+                         .ok_or_else(|| serde::DeError(format!(\"missing tag `{tag}`\")))?;\n\
+                         match __tag {{\n{arms}\
+                         other => Err(serde::DeError(format!(\"unknown {tag} `{{other}}`\"))),\n}}"
+                    )
+                } else {
+                    let mut arms = String::new();
+                    for v in variants {
+                        let key = variant_key(&c.attrs, &v.name);
+                        arms.push_str(&format!(
+                            "Some(\"{key}\") => Ok({name}::{vn}),\n",
+                            vn = v.name
+                        ));
+                    }
+                    format!(
+                        "match __v.as_str() {{\n{arms}\
+                         other => Err(serde::DeError(format!(\"unknown variant {{other:?}}\"))),\n}}"
+                    )
+                }
+            }
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Field extraction for a named struct, honoring container- and
+/// field-level defaults.
+fn named_struct_de(name: &str, fields: &[Field], container_default: bool, ctor: &str) -> String {
+    let mut s = String::from(
+        "let __fields = match __v {\n\
+         serde::Value::Object(f) => f,\n\
+         _ => return Err(serde::DeError(format!(\"expected object, got {__v:?}\"))),\n};\n",
+    );
+    if container_default {
+        s.push_str(&format!(
+            "let __defaults = <{name} as std::default::Default>::default();\n"
+        ));
+    }
+    let mut ctor_fields = String::new();
+    for f in fields {
+        let missing = if f.default {
+            "std::default::Default::default()".to_string()
+        } else if container_default {
+            format!("__defaults.{}", f.name)
+        } else {
+            format!(
+                "return Err(serde::DeError(format!(\"missing field `{}`\")))",
+                f.name
+            )
+        };
+        s.push_str(&format!(
+            "let __f_{0} = match __fields.iter().find(|(k, _)| k == \"{0}\") {{\n\
+             Some((_, val)) => serde::Deserialize::from_value(val)\
+             .map_err(|e| serde::DeError(format!(\"field `{0}`: {{e}}\")))?,\n\
+             None => {missing},\n}};\n",
+            f.name
+        ));
+        ctor_fields.push_str(&format!("{0}: __f_{0}, ", f.name));
+    }
+    s.push_str(&format!("Ok({ctor} {{ {ctor_fields} }})"));
+    s
+}
+
+/// Field extraction for a tagged enum's named-field variant (no defaults).
+fn named_variant_de(fields: &[Field], ctor: &str) -> String {
+    let mut s = String::new();
+    let mut ctor_fields = String::new();
+    for f in fields {
+        s.push_str(&format!(
+            "let __f_{0} = match __v.get(\"{0}\") {{\n\
+             Some(val) => serde::Deserialize::from_value(val)\
+             .map_err(|e| serde::DeError(format!(\"field `{0}`: {{e}}\")))?,\n\
+             None => return Err(serde::DeError(format!(\"missing field `{0}`\"))),\n}};\n",
+            f.name
+        ));
+        ctor_fields.push_str(&format!("{0}: __f_{0}, ", f.name));
+    }
+    s.push_str(&format!("Ok({ctor} {{ {ctor_fields} }})"));
+    s
+}
