@@ -48,6 +48,18 @@ pub struct ResilienceSummary {
     pub broken_chain_reads: usize,
     /// Reads whose decoded selection needed repair.
     pub repaired_reads: usize,
+    /// Reads whose decoded selection was feasible as sampled.
+    #[serde(default)]
+    pub verified_clean_reads: usize,
+    /// Greedy-descent moves spent polishing repaired reads.
+    #[serde(default)]
+    pub repair_descent_moves: usize,
+    /// Broken chains resolved by a strict majority vote (final run).
+    #[serde(default)]
+    pub chain_majority_repairs: usize,
+    /// Even-length chain ties resolved by the pinned rule (final run).
+    #[serde(default)]
+    pub chain_tie_breaks: usize,
     /// Mean per-read-per-chain break rate of the final run.
     pub chain_break_rate: f64,
     /// Break rate of the worst single chain in the final run.
@@ -75,6 +87,10 @@ impl ResilienceSummary {
             reads: out.reads,
             broken_chain_reads: out.broken_chain_reads,
             repaired_reads: out.repaired_reads,
+            verified_clean_reads: out.integrity.verified_clean,
+            repair_descent_moves: out.repair_descent_moves,
+            chain_majority_repairs: out.chain_breaks.majority_repairs,
+            chain_tie_breaks: out.chain_breaks.tie_breaks,
             chain_break_rate: out.chain_breaks.break_rate(),
             max_chain_break_rate: out.chain_breaks.max_chain_break_rate(),
             dropped_qubits: out.faults.dropped_qubits.len(),
@@ -315,6 +331,13 @@ mod tests {
         assert_eq!(summary.reads, cfg.qa_reads);
         assert_eq!(summary.dropped_qubits + summary.readout_flips, 0);
         assert!(!summary.fallback);
+        // Integrity accounting partitions the reads exactly.
+        assert_eq!(
+            summary.verified_clean_reads + summary.repaired_reads,
+            summary.reads
+        );
+        // A clean (fault-free) device run must not break chains.
+        assert_eq!(summary.chain_majority_repairs + summary.chain_tie_breaks, 0);
 
         let faulty = run_qa(
             &inst,

@@ -15,7 +15,9 @@
 
 use mqo_bench::algorithms::CompetitorConfig;
 use mqo_bench::cli::HarnessOptions;
-use mqo_bench::harness::{paper_machine, quantum_speedup, run_class, small_machine};
+use mqo_bench::harness::{
+    cross_check_class, paper_machine, quantum_speedup, run_class, small_machine,
+};
 use mqo_bench::report::{
     checkpoint_csv, checkpoint_table, checkpoints_up_to, fault_csv, fault_table, write_result_file,
 };
@@ -41,6 +43,11 @@ fn main() {
     };
     let checkpoints = checkpoints_up_to(opts.budget);
     let mut classes = Vec::new();
+    let mut audit_md = String::from(
+        "\n## Cross-check: recorded costs vs proven optima\n\n\
+         | class | audited | unproven | violations |\n|---|---|---|---|\n",
+    );
+    let mut audit_failures = 0usize;
 
     let mut md = String::from("# Figures 4 & 5: cost vs optimization time\n\n");
     let mut csv = String::new();
@@ -91,7 +98,26 @@ fn main() {
             if bounded > 0 { "≥ " } else { "" },
             class.instances.len()
         );
+        if opts.cross_check {
+            let audit = cross_check_class(&graph, &class, opts.budget);
+            for v in &audit.violations {
+                eprintln!("cross-check violation [{}]: {v}", class.label());
+            }
+            audit_failures += audit.violations.len();
+            let _ = writeln!(
+                audit_md,
+                "| {} | {} | {} | {} |",
+                class.label(),
+                audit.audited,
+                audit.skipped_unproven,
+                audit.violations.len()
+            );
+        }
         classes.push(class);
+    }
+    if opts.cross_check {
+        md.push_str(&audit_md);
+        println!("{audit_md}");
     }
     md.push_str(&fig6);
     println!("{fig6}");
@@ -111,5 +137,9 @@ fn main() {
     println!("{faults_md}");
     if let Some(p) = write_result_file(&opts.out_dir, "faults.csv", &fault_csv(&classes)) {
         eprintln!("wrote {}", p.display());
+    }
+    if audit_failures > 0 {
+        eprintln!("cross-check failed: {audit_failures} costs undercut a proven optimum");
+        std::process::exit(3);
     }
 }

@@ -5,8 +5,9 @@
 //! loadgen [--addr HOST:PORT] [--requests N] [--clients C] [--structures S]
 //!         [--plans P] [--reads N] [--seed S] [--small]
 //!         [--chaos-seed N] [--chaos-panic-rate F] [--chaos-kill-rate F]
-//!         [--chaos-backend-failure-rate F] [--chaos-conn-abort-rate F]
-//!         [--chaos-slow-rate F] [--breaker-threshold N] [--breaker-open-ms N]
+//!         [--chaos-backend-failure-rate F] [--chaos-corruption-rate F]
+//!         [--chaos-conn-abort-rate F] [--chaos-slow-rate F]
+//!         [--breaker-threshold N] [--breaker-open-ms N]
 //! ```
 //!
 //! Without `--addr` the harness self-hosts a server on a loopback port,
@@ -23,6 +24,13 @@
 //! `(--chaos-seed, --requests)` pair aborts exactly the same requests at
 //! any `--clients` count. Under chaos the run asserts a clean drain:
 //! every request ends as a solve, a typed error, or a deliberate abort.
+//!
+//! Integrity mode (ISSUE-7): `--chaos-corruption-rate` mangles a
+//! deterministic subset of successful answers at the server's API
+//! boundary. The report surfaces the integrity and chain-repair counters,
+//! and a self-hosted run asserts the books reconcile — every injected
+//! corruption was flagged and repaired or rejected; a fault-free run
+//! asserts those counters are exactly zero.
 
 use mqo_chimera::graph::ChimeraGraph;
 use mqo_service::chaos::{chaos_roll, ChaosConfig, STREAM_CHAOS_CONN};
@@ -123,6 +131,10 @@ fn parse_options() -> Options {
                     "--chaos-backend-failure-rate",
                 )
             }
+            "--chaos-corruption-rate" => {
+                opts.chaos.sample_corruption_rate =
+                    num(value("--chaos-corruption-rate"), "--chaos-corruption-rate")
+            }
             "--chaos-conn-abort-rate" => {
                 opts.conn_abort_rate =
                     num(value("--chaos-conn-abort-rate"), "--chaos-conn-abort-rate")
@@ -152,6 +164,7 @@ fn parse_options() -> Options {
                      --chaos-panic-rate F    server: worker panic probability (0, self-host)\n\
                      --chaos-kill-rate F     server: worker death probability (0, self-host)\n\
                      --chaos-backend-failure-rate F  server: backend failure probability (0)\n\
+                     --chaos-corruption-rate F  server: answer corruption probability (0)\n\
                      --chaos-conn-abort-rate F  client: abort connection mid-request (0)\n\
                      --chaos-slow-rate F        client: trickle the request slowly (0)\n\
                      --breaker-threshold N      self-host breaker threshold (5)\n\
@@ -464,9 +477,57 @@ fn main() {
         "hit_p50_us": percentile(&hits, 0.50),
         "miss_mean_us": mean(&misses),
         "miss_p50_us": percentile(&misses, 0.50),
+        "integrity": serde_json::json!({
+            "violations": metrics["service"]["integrity_violations"].clone(),
+            "repairs": metrics["service"]["integrity_repairs"].clone(),
+            "rejects": metrics["service"]["integrity_rejects"].clone(),
+            "corruptions_injected": metrics["service"]["chaos_corruptions_injected"].clone(),
+        }),
+        "chains": serde_json::json!({
+            "reads_broken": metrics["service"]["reads_broken_chains"].clone(),
+            "majority_repairs": metrics["service"]["chain_majority_repairs"].clone(),
+            "tie_breaks": metrics["service"]["chain_tie_breaks"].clone(),
+            "reads_verified_clean": metrics["service"]["reads_verified_clean"].clone(),
+            "reads_repaired": metrics["service"]["reads_repaired"].clone(),
+        }),
         "server_metrics": metrics,
     });
     println!("{report}");
+
+    // Integrity reconciliation (self-host only: against --addr the metrics
+    // may include traffic from other clients). Every injected corruption
+    // must end flagged — repaired or rejected, never served raw — and a
+    // fault-free run must show identically zero integrity and chain-repair
+    // activity.
+    if opts.addr.is_none() {
+        let svc = &metrics["service"];
+        let count = |key: &str| svc[key].as_u64().unwrap_or(0);
+        let injected = count("chaos_corruptions_injected");
+        let violations = count("integrity_violations");
+        let repairs = count("integrity_repairs");
+        let rejects = count("integrity_rejects");
+        if violations < injected {
+            fail(format!(
+                "unflagged corrupted answers: {injected} injected, only {violations} flagged"
+            ));
+        }
+        if repairs + rejects != violations {
+            fail(format!(
+                "integrity books do not reconcile: {repairs} repairs + {rejects} rejects != {violations} violations"
+            ));
+        }
+        if !chaos_active {
+            // Chain breaks are a physical reality of finite-temperature
+            // annealing reads — majority-vote repair flagging them is the
+            // mechanism working, not a fault — but the integrity ledger
+            // itself must be silent when no corruption was injected.
+            for key in ["integrity_violations", "chaos_corruptions_injected"] {
+                if count(key) != 0 {
+                    fail(format!("clean run must have zero {key}, got {}", count(key)));
+                }
+            }
+        }
+    }
 
     // The cache acceptance signal (clean runs only — chaos can 500 the
     // repeats): repeated structures must be hits, and the hit path

@@ -215,6 +215,8 @@ fn solve(args: &Args) {
                         reembeds: 0,
                         fallback: false,
                         chain_breaks: Default::default(),
+                        integrity: Default::default(),
+                        repair_descent_moves: 0,
                     })
                 }
             };

@@ -33,6 +33,9 @@ pub struct HarnessOptions {
     /// Device re-runs allowed after rejected programmings before the
     /// classical fallback takes over.
     pub fault_retries: usize,
+    /// Audit recorded results against proven optima (exhaustive enumeration
+    /// or branch-and-bound proofs) after each class.
+    pub cross_check: bool,
 }
 
 impl Default for HarnessOptions {
@@ -49,6 +52,7 @@ impl Default for HarnessOptions {
             threads: 0,
             fault_rate: 0.0,
             fault_retries: 2,
+            cross_check: false,
         }
     }
 }
@@ -85,6 +89,7 @@ impl HarnessOptions {
                     opts.fault_rate = rate;
                 }
                 "--fault-retries" => opts.fault_retries = next_value(&mut it, arg)?,
+                "--cross-check" => opts.cross_check = true,
                 "--plans" => opts.plans_filter = Some(next_value(&mut it, arg)?),
                 "--out" => {
                     opts.out_dir = PathBuf::from(
@@ -146,7 +151,7 @@ fn next_value<T: std::str::FromStr>(
 fn help(prefix: String) -> String {
     let usage = "usage: <harness> [--full] [--small] [--instances N] [--budget-ms MS] \
                  [--reads N] [--seed S] [--threads N] [--plans L] [--out DIR] \
-                 [--fault-rate R] [--fault-retries N]\n\
+                 [--fault-rate R] [--fault-retries N] [--cross-check]\n\
                  --full       paper protocol (20 instances, 100 s budgets)\n\
                  --small      4x4 toy machine instead of the 12x12 D-Wave 2X\n\
                  --threads N  worker threads for device reads and instance \
@@ -156,7 +161,9 @@ fn help(prefix: String) -> String {
                  rejected programmings, stuck reads) at uniform rate R in \
                  [0, 1]; 0 keeps runs bit-identical to the clean harness\n\
                  --fault-retries N device re-runs after rejected programmings \
-                 before the classical fallback answers";
+                 before the classical fallback answers\n\
+                 --cross-check     audit every class against proven optima; \
+                 any cost below a proven bound fails the run";
     if prefix.is_empty() {
         usage.to_string()
     } else {
@@ -228,6 +235,12 @@ mod tests {
         assert!(parse(&["--fault-rate", "-0.1"])
             .unwrap_err()
             .contains("must be in [0, 1]"));
+    }
+
+    #[test]
+    fn cross_check_is_opt_in() {
+        assert!(!parse(&[]).unwrap().cross_check);
+        assert!(parse(&["--cross-check"]).unwrap().cross_check);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use crate::algorithms::{run_all, AlgoRun, CompetitorConfig};
 use mqo_annealer::parallel::{parallel_map_with, resolve_threads};
 use mqo_chimera::graph::ChimeraGraph;
+use mqo_core::integrity::{self, DEFAULT_TOLERANCE};
+use mqo_milp::{bb_mqo, MqoBbConfig, StopReason};
 use mqo_workload::paper::{self, PaperWorkloadConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -109,6 +111,94 @@ pub fn run_class(
     }
 }
 
+/// Outcome of the opt-in `--cross-check` audit of one class.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CrossCheckSummary {
+    /// Instances audited against a proven optimum.
+    pub audited: usize,
+    /// Instances for which no optimality proof was affordable — reported,
+    /// never silently counted as passing.
+    pub skipped_unproven: usize,
+    /// Human-readable audit failures; empty on honest runs.
+    pub violations: Vec<String>,
+}
+
+/// Largest plan-combination count the audit will enumerate exhaustively.
+const BRUTE_FORCE_CAP: f64 = (1u64 << 21) as f64;
+
+/// Audits a class's recorded results against proven optima.
+///
+/// The proof obligation is discharged per instance, cheapest source first:
+/// the recorded `LIN-MQO` branch-and-bound run when it terminated with an
+/// optimality proof; else exhaustive enumeration when the plan-combination
+/// space is small enough; else a fresh branch-and-bound run under
+/// `proof_budget`. The latter two re-derive the problem from the recorded
+/// seed, exactly as `run_class` generated it. No competitor's best reported
+/// cost — nor the `best_known` normalisation anchor — may undercut the
+/// proven optimum ([`integrity::verify_against_bound`]): a cost below a
+/// proven bound is the canonical symptom of a corrupted ledger.
+pub fn cross_check_class(
+    graph: &ChimeraGraph,
+    class: &ClassResult,
+    proof_budget: Duration,
+) -> CrossCheckSummary {
+    let workload = PaperWorkloadConfig::paper_class(class.plans);
+    let mut summary = CrossCheckSummary::default();
+    for inst in &class.instances {
+        let recorded_proof = inst
+            .runs
+            .iter()
+            .find(|r| r.name == "LIN-MQO" && r.proved_optimal)
+            .and_then(|r| r.trace.best());
+        let bound = match recorded_proof {
+            Some(b) => b,
+            None => {
+                let mut rng = ChaCha8Rng::seed_from_u64(inst.seed);
+                let problem = paper::generate(graph, &workload, &mut rng)
+                    .expect("audit re-derives the machine's own instances")
+                    .problem;
+                let combinations = (class.plans as f64).powi(problem.num_queries() as i32);
+                if problem.num_queries() <= 24 && combinations <= BRUTE_FORCE_CAP {
+                    problem.brute_force_optimum().1
+                } else {
+                    let out = bb_mqo::solve(
+                        &problem,
+                        &MqoBbConfig {
+                            deadline: Some(proof_budget),
+                            lp_var_limit: 0,
+                            ..MqoBbConfig::default()
+                        },
+                    );
+                    match (out.stop, out.trace.best()) {
+                        (StopReason::Optimal, Some(b)) => b,
+                        _ => {
+                            summary.skipped_unproven += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+        };
+        summary.audited += 1;
+        if let Err(e) = integrity::verify_against_bound(inst.best_known, bound, DEFAULT_TOLERANCE) {
+            summary.violations.push(format!(
+                "instance {}: best_known anchor {}: {e}",
+                inst.seed, inst.best_known
+            ));
+        }
+        for run in &inst.runs {
+            let Some(best) = run.trace.best() else { continue };
+            if let Err(e) = integrity::verify_against_bound(best, bound, DEFAULT_TOLERANCE) {
+                summary.violations.push(format!(
+                    "instance {}: {} reported {best}: {e}",
+                    inst.seed, run.name
+                ));
+            }
+        }
+    }
+    summary
+}
+
 /// Mean normalised cost of a competitor at a checkpoint across a class's
 /// instances: `(cost − best_known) / best_known`, or `None` when the
 /// competitor had no solution yet on any instance.
@@ -145,6 +235,7 @@ pub fn quantum_speedup(inst: &InstanceResult, first_read: Duration) -> Option<f6
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mqo_core::trace::Trace;
 
     fn fast_cfg() -> CompetitorConfig {
         CompetitorConfig {
@@ -200,6 +291,37 @@ mod tests {
         if let Some(v) = s {
             assert!(v > 0.0);
         }
+    }
+
+    #[test]
+    fn cross_check_clears_an_honest_class() {
+        let g = ChimeraGraph::new(2, 2);
+        let res = run_class(&g, 2, 2, &fast_cfg());
+        let audit = cross_check_class(&g, &res, Duration::from_millis(200));
+        assert_eq!(audit.audited, 2, "toy instances must all be provable");
+        assert_eq!(audit.skipped_unproven, 0);
+        assert!(audit.violations.is_empty(), "{:?}", audit.violations);
+    }
+
+    #[test]
+    fn cross_check_flags_costs_below_the_proven_optimum() {
+        let g = ChimeraGraph::new(2, 2);
+        let mut res = run_class(&g, 2, 1, &fast_cfg());
+        let inst = &mut res.instances[0];
+        let mut forged = Trace::new();
+        forged.record(Duration::from_millis(1), inst.best_known - 10.0);
+        inst.runs.push(AlgoRun {
+            name: "FORGED".to_string(),
+            trace: forged,
+            proved_optimal: false,
+            resilience: None,
+        });
+        inst.best_known -= 10.0;
+        let audit = cross_check_class(&g, &res, Duration::from_millis(200));
+        assert_eq!(audit.audited, 1);
+        assert_eq!(audit.violations.len(), 2, "{:?}", audit.violations);
+        assert!(audit.violations[0].contains("best_known anchor"));
+        assert!(audit.violations[1].contains("FORGED"));
     }
 
     #[test]

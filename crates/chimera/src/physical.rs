@@ -282,7 +282,19 @@ impl PhysicalMapping {
     }
 
     /// Maps a physical sample back to logical variables by majority vote per
-    /// chain (ties resolve to `true`), reporting broken chains.
+    /// chain, reporting broken chains.
+    ///
+    /// **Tie-breaking contract** (pinned — answer reproducibility depends on
+    /// it): an even-length chain split exactly in half resolves to `true`
+    /// (`2·ones >= len`). The rule is a pure function of the chain's qubit
+    /// values — no RNG, no iteration-order dependence — so identical samples
+    /// unembed identically on every host, thread count, and run.
+    /// `true` (plan selected) is the deliberate direction: the decoder's
+    /// repair pass only ever *removes* over-selected plans cheaply via
+    /// min-delta settling, whereas a dropped `true` could silently lose the
+    /// sampler's intent for that plan. `SampleSet::chain_break_stats`
+    /// counts these ties separately (`tie_breaks` vs `majority_repairs`) so
+    /// an operator can see how often the rule actually decided an answer.
     pub fn unembed(&self, phys: &[bool]) -> UnembedResult {
         assert_eq!(phys.len(), self.num_physical_vars());
         let mut logical = Vec::with_capacity(self.embedding.num_vars());
@@ -408,6 +420,53 @@ mod tests {
         let un = pm.unembed(&phys);
         assert_eq!(un.broken_chains, 1);
         assert_eq!(un.logical, logical);
+    }
+
+    #[test]
+    fn even_chain_ties_resolve_to_true_deterministically() {
+        // Find a mapping with an even-length chain and split that chain
+        // exactly in half on top of the consistent all-false assignment.
+        let (pm, even) = (2..=8usize)
+            .find_map(|n| {
+                let (pm, _, _) = mapping(n);
+                let even = (0..n).map(VarId::new).find(|&v| {
+                    let len = pm.embedding().chain(v).len();
+                    len >= 2 && len % 2 == 0
+                })?;
+                Some((pm, even))
+            })
+            .expect("some triad embedding up to 8 vars has an even chain");
+        let n = pm.embedding().num_vars();
+        let chain = pm.embedding().chain(even).to_vec();
+        let mut phys = pm.extend(&vec![false; n]);
+        for &q in &chain[..chain.len() / 2] {
+            phys[pm.phys_of_qubit(q).unwrap()] = true;
+        }
+        let un = pm.unembed(&phys);
+        assert_eq!(un.broken_chains, 1, "a half-half chain is broken");
+        assert!(
+            un.logical[even.index()],
+            "the pinned rule resolves an exact tie to true"
+        );
+        // Same sample, same answer — and flipping the *other* half must
+        // give the same logical value: the rule depends only on the count.
+        assert_eq!(pm.unembed(&phys).logical, un.logical);
+        let mut other_half = pm.extend(&vec![false; n]);
+        for &q in &chain[chain.len() / 2..] {
+            other_half[pm.phys_of_qubit(q).unwrap()] = true;
+        }
+        let un2 = pm.unembed(&other_half);
+        assert!(un2.logical[even.index()]);
+        // One qubit past the tie in either direction follows the majority.
+        phys[pm.phys_of_qubit(chain[chain.len() / 2]).unwrap()] = true;
+        assert!(pm.unembed(&phys).logical[even.index()]);
+        for &q in &chain {
+            phys[pm.phys_of_qubit(q).unwrap()] = false;
+        }
+        phys[pm.phys_of_qubit(chain[0]).unwrap()] = true;
+        if chain.len() > 2 {
+            assert!(!pm.unembed(&phys).logical[even.index()]);
+        }
     }
 
     #[test]

@@ -32,6 +32,18 @@ pub enum CoreError {
         /// Variables the assignment supplied.
         actual: usize,
     },
+    /// A QUBO or Ising weight was NaN or infinite. Non-finite weights poison
+    /// every downstream energy (NaN propagates through sums and defeats all
+    /// `<` comparisons in the annealing kernels), so constructors reject them
+    /// up front.
+    NonFiniteWeight {
+        /// Which term carried the weight (e.g. `"linear"`, `"coupling"`).
+        term: &'static str,
+        /// Index of the (first) offending variable.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -61,6 +73,10 @@ impl std::fmt::Display for CoreError {
             CoreError::AssignmentLength { expected, actual } => write!(
                 f,
                 "assignment has {actual} variables but the problem has {expected}"
+            ),
+            CoreError::NonFiniteWeight { term, index, value } => write!(
+                f,
+                "{term} weight at variable {index} is non-finite ({value})"
             ),
         }
     }

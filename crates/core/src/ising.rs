@@ -7,6 +7,7 @@
 //! solutions. Samplers in `mqo-annealer` operate on [`Ising`] while the rest
 //! of the pipeline reasons in QUBO terms.
 
+use crate::error::CoreError;
 use crate::ids::VarId;
 use crate::qubo::Qubo;
 use serde::{Deserialize, Serialize};
@@ -34,6 +35,10 @@ impl Ising {
     /// (unordered) pairs accumulate.
     pub fn new(h: Vec<f64>, couplings: Vec<(VarId, VarId, f64)>, offset: f64) -> Self {
         let n = h.len();
+        debug_assert!(
+            h.iter().chain(couplings.iter().map(|(_, _, w)| w)).all(|w| w.is_finite()),
+            "non-finite Ising weight; untrusted inputs must go through Ising::try_new"
+        );
         let mut merged = std::collections::BTreeMap::new();
         for (i, j, w) in couplings {
             assert!(i.index() < n && j.index() < n, "coupling out of range");
@@ -47,6 +52,37 @@ impl Ising {
             .map(|((a, b), w)| (a, b, w))
             .collect();
         Self::from_canonical(h, j, offset)
+    }
+
+    /// Like [`Ising::new`], but rejects NaN/infinite fields and couplings
+    /// with a typed error. This is the constructor for untrusted input:
+    /// a non-finite weight would silently poison every downstream energy
+    /// (NaN defeats the `<` comparisons of the annealing kernels), so it
+    /// must never reach a programmed sampler.
+    pub fn try_new(
+        h: Vec<f64>,
+        couplings: Vec<(VarId, VarId, f64)>,
+        offset: f64,
+    ) -> Result<Self, CoreError> {
+        for (i, &hi) in h.iter().enumerate() {
+            if !hi.is_finite() {
+                return Err(CoreError::NonFiniteWeight {
+                    term: "field",
+                    index: i,
+                    value: hi,
+                });
+            }
+        }
+        for &(i, _, w) in &couplings {
+            if !w.is_finite() {
+                return Err(CoreError::NonFiniteWeight {
+                    term: "coupling",
+                    index: i.index(),
+                    value: w,
+                });
+            }
+        }
+        Ok(Ising::new(h, couplings, offset))
     }
 
     /// Builds an Ising problem from an already-canonical coupling list:
@@ -492,6 +528,25 @@ mod tests {
                 .collect();
             assert_eq!(from_iter, from_slices);
         }
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite_weights_with_typed_errors() {
+        assert!(matches!(
+            Ising::try_new(vec![f64::NAN, 0.0], vec![], 0.0).unwrap_err(),
+            CoreError::NonFiniteWeight { term: "field", index: 0, .. }
+        ));
+        assert!(matches!(
+            Ising::try_new(
+                vec![0.0, 0.0],
+                vec![(VarId(0), VarId(1), f64::NEG_INFINITY)],
+                0.0
+            )
+            .unwrap_err(),
+            CoreError::NonFiniteWeight { term: "coupling", .. }
+        ));
+        let ok = Ising::try_new(vec![0.5, -1.0], vec![(VarId(0), VarId(1), 2.0)], 0.25).unwrap();
+        assert_eq!(ok.couplings(), &[(VarId(0), VarId(1), 2.0)]);
     }
 
     #[test]

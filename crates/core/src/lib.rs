@@ -54,6 +54,7 @@
 
 pub mod error;
 pub mod ids;
+pub mod integrity;
 pub mod ising;
 pub mod logical;
 pub mod problem;
@@ -64,6 +65,7 @@ pub mod trace;
 
 pub use error::CoreError;
 pub use ids::{PlanId, QueryId, VarId};
+pub use integrity::{IntegrityError, RepairStats};
 pub use ising::Ising;
 pub use logical::LogicalMapping;
 pub use problem::{MqoProblem, ProblemBuilder};

@@ -6,6 +6,7 @@
 //! format the D-Wave annealer accepts (Section 3 of the paper) after the
 //! additional Ising rescaling handled by `mqo-annealer`.
 
+use crate::error::CoreError;
 use crate::ids::VarId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -203,6 +204,34 @@ impl QuboBuilder {
         self.n
     }
 
+    /// Like [`QuboBuilder::build`], but rejects NaN/infinite weights with a
+    /// typed error instead of letting them poison annealing energies
+    /// downstream. (`build` keeps its infallible signature for trusted
+    /// construction paths such as [`crate::logical::LogicalMapping`], whose
+    /// weights are finite by problem validation; untrusted inputs should go
+    /// through `try_build`.)
+    pub fn try_build(self) -> Result<Qubo, CoreError> {
+        for (i, &w) in self.linear.iter().enumerate() {
+            if !w.is_finite() {
+                return Err(CoreError::NonFiniteWeight {
+                    term: "linear",
+                    index: i,
+                    value: w,
+                });
+            }
+        }
+        for (&(i, _), &w) in &self.quad {
+            if !w.is_finite() {
+                return Err(CoreError::NonFiniteWeight {
+                    term: "quadratic",
+                    index: i.index(),
+                    value: w,
+                });
+            }
+        }
+        Ok(self.build())
+    }
+
     /// Freezes the problem, dropping exactly-zero quadratic entries.
     pub fn build(self) -> Qubo {
         let quad: Vec<(VarId, VarId, f64)> = self
@@ -373,5 +402,34 @@ mod tests {
     #[should_panic(expected = "assignment length mismatch")]
     fn wrong_assignment_length_panics() {
         small_qubo().energy(&[true]);
+    }
+
+    #[test]
+    fn try_build_rejects_non_finite_weights_with_typed_errors() {
+        let mut b = Qubo::builder(2);
+        b.add_linear(VarId(0), f64::NAN);
+        assert!(matches!(
+            b.try_build().unwrap_err(),
+            CoreError::NonFiniteWeight { term: "linear", index: 0, .. }
+        ));
+
+        let mut b = Qubo::builder(2);
+        b.add_quadratic(VarId(0), VarId(1), f64::INFINITY);
+        assert!(matches!(
+            b.try_build().unwrap_err(),
+            CoreError::NonFiniteWeight { term: "quadratic", .. }
+        ));
+
+        // NaN survives the `!= 0.0` zero-drop filter of `build`, which is
+        // exactly why the typed gate exists.
+        let mut b = Qubo::builder(2);
+        b.add_quadratic(VarId(0), VarId(1), f64::NAN);
+        assert_eq!(b.clone().build().num_quadratic(), 1);
+        assert!(b.try_build().is_err());
+
+        let mut b = Qubo::builder(2);
+        b.add_linear(VarId(1), -3.0);
+        b.add_quadratic(VarId(0), VarId(1), 2.0);
+        assert!(b.try_build().is_ok());
     }
 }

@@ -96,6 +96,49 @@ impl HillClimbing {
         (eval.selection().clone(), cost)
     }
 
+    /// Steepest-descent climb bounded by a *move count* instead of a
+    /// wall-clock deadline: applies at most `max_moves` improving moves and
+    /// stops early at a local optimum. Returns the selection, its cost, and
+    /// the number of moves applied.
+    ///
+    /// This is the descent phase of the integrity repair pipeline. A move
+    /// bound (unlike a deadline) makes the result a pure function of
+    /// `(problem, selection, max_moves)` — bit-identical across thread
+    /// counts and hosts — which the repair accounting relies on. The move
+    /// selection rule (same scan order, same strict `< −1e-12` threshold)
+    /// is identical to [`HillClimbing::climb`], so an unbounded call
+    /// (`max_moves = usize::MAX`) matches a deadline-free climb exactly.
+    pub fn descend_bounded(
+        problem: &MqoProblem,
+        selection: Selection,
+        max_moves: usize,
+    ) -> (Selection, f64, usize) {
+        let mut eval = CostEvaluator::new(problem, selection);
+        let mut moves = 0usize;
+        while moves < max_moves {
+            let mut best_move = None;
+            let mut best_delta = -1e-12;
+            for q in problem.queries() {
+                for p in problem.plans_of(q) {
+                    let delta = eval.delta(q, p);
+                    if delta < best_delta {
+                        best_delta = delta;
+                        best_move = Some((q, p));
+                    }
+                }
+            }
+            match best_move {
+                Some((q, p)) => {
+                    eval.apply(q, p);
+                    moves += 1;
+                }
+                None => break,
+            }
+        }
+        let cost = eval.cost();
+        (eval.selection().clone(), cost, moves)
+    }
+
     /// The straight-line transcription of the climb — every move delta
     /// re-evaluated on every scan. Kept as the oracle the memoized
     /// [`HillClimbing::climb`] is proptested against (identical selections
@@ -203,6 +246,31 @@ mod tests {
             }
         }
         assert!((eval.cost() - cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_descent_matches_the_deadline_climb_and_respects_its_bound() {
+        let p = sharing_problem();
+        // Not a local optimum: q1 switching to its sharing plan improves.
+        let start = Selection::new(vec![PlanId(1), PlanId(3), PlanId(4)]);
+        let far = Instant::now() + Duration::from_secs(5);
+        let (ref_sel, ref_cost) = HillClimbing::climb(&p, start.clone(), far);
+        let (sel, cost, moves) = HillClimbing::descend_bounded(&p, start.clone(), usize::MAX);
+        assert_eq!(sel, ref_sel);
+        assert_eq!(cost, ref_cost);
+        assert!(moves > 0);
+
+        // A zero bound is the identity; each extra move never worsens cost.
+        let (same, c0, m0) = HillClimbing::descend_bounded(&p, start.clone(), 0);
+        assert_eq!(same, start);
+        assert_eq!(m0, 0);
+        let mut prev = c0;
+        for bound in 1..=moves {
+            let (_, c, m) = HillClimbing::descend_bounded(&p, start.clone(), bound);
+            assert!(c <= prev + 1e-12);
+            assert_eq!(m, bound);
+            prev = c;
+        }
     }
 
     #[test]

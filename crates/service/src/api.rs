@@ -137,6 +137,15 @@ pub enum Reject {
         /// Which breakers were open / which attempts failed.
         detail: String,
     },
+    /// A backend produced an answer that failed the integrity gate
+    /// (infeasible selection or cost mismatch against a from-scratch
+    /// recomputation) and repair was disabled or impossible. The corrupt
+    /// answer is withheld — the client gets this typed 500 instead of a
+    /// wrong result.
+    IntegrityViolation {
+        /// The [`mqo_core::integrity::IntegrityError`] detail.
+        detail: String,
+    },
     /// The connection cap was reached; the request was shed at accept time
     /// with a `Retry-After` hint.
     Overloaded {
@@ -167,6 +176,7 @@ impl Reject {
             Reject::Unsolvable { .. } => 422,
             Reject::InternalError { .. } => 500,
             Reject::BackendUnavailable { .. } => 503,
+            Reject::IntegrityViolation { .. } => 500,
             Reject::Overloaded { .. } => 503,
             Reject::RequestTimeout { .. } => 408,
             Reject::HeaderLimit { .. } => 431,
@@ -187,6 +197,9 @@ impl std::fmt::Display for Reject {
             Reject::InternalError { detail } => write!(f, "internal error: {detail}"),
             Reject::BackendUnavailable { detail } => {
                 write!(f, "no backend available: {detail}")
+            }
+            Reject::IntegrityViolation { detail } => {
+                write!(f, "integrity violation: {detail}")
             }
             Reject::Overloaded { max_connections } => {
                 write!(f, "connection cap of {max_connections} reached")
@@ -234,6 +247,18 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_weights_are_rejected_at_the_request_boundary() {
+        // `1e999` overflows f64 — whether the parser rejects the literal or
+        // saturates to +∞, the request must fail (builder validation rejects
+        // non-finite costs and savings), never reach a worker as Inf/NaN.
+        let inf_cost = r#"{"problem": {"queries": [[2,1e999],[3,1]], "savings": []}}"#;
+        assert!(serde_json::from_str::<SolveRequest>(inf_cost).is_err());
+        let inf_saving =
+            r#"{"problem": {"queries": [[2,4],[3,1]], "savings": [[1,2,1e999]]}}"#;
+        assert!(serde_json::from_str::<SolveRequest>(inf_saving).is_err());
+    }
+
+    #[test]
     fn reject_statuses_and_tags() {
         let r = Reject::QueueFull { depth: 8 };
         assert_eq!(r.http_status(), 429);
@@ -263,6 +288,13 @@ mod tests {
                 },
                 503,
                 "backend_unavailable",
+            ),
+            (
+                Reject::IntegrityViolation {
+                    detail: "cost mismatch".into(),
+                },
+                500,
+                "integrity_violation",
             ),
             (Reject::Overloaded { max_connections: 8 }, 503, "overloaded"),
             (

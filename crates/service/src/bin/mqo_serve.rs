@@ -8,7 +8,8 @@
 //!           [--max-connections N] [--request-deadline-ms N]
 //!           [--io-timeout-ms N] [--breaker-threshold N] [--breaker-open-ms N]
 //!           [--chaos-seed N] [--chaos-panic-rate F] [--chaos-kill-rate F]
-//!           [--chaos-backend-failure-rate F]
+//!           [--chaos-backend-failure-rate F] [--chaos-corruption-rate F]
+//!           [--no-integrity-repair] [--no-verify-gate]
 //! ```
 //!
 //! Binds, prints `listening on <addr>` (scripts parse that line), then
@@ -45,6 +46,8 @@ struct Options {
     breaker_threshold: u32,
     breaker_open_ms: u64,
     chaos: ChaosConfig,
+    integrity_repair: bool,
+    verify_gate: bool,
 }
 
 impl Default for Options {
@@ -70,6 +73,8 @@ impl Default for Options {
             breaker_threshold: 5,
             breaker_open_ms: 1_000,
             chaos: ChaosConfig::NONE,
+            integrity_repair: true,
+            verify_gate: true,
         }
     }
 }
@@ -130,6 +135,14 @@ fn parse_options() -> Result<Options, String> {
                     "--chaos-backend-failure-rate",
                 )?
             }
+            "--chaos-corruption-rate" => {
+                opts.chaos.sample_corruption_rate = parse(
+                    &value("--chaos-corruption-rate")?,
+                    "--chaos-corruption-rate",
+                )?
+            }
+            "--no-integrity-repair" => opts.integrity_repair = false,
+            "--no-verify-gate" => opts.verify_gate = false,
             "--help" | "-h" => {
                 println!(
                     "mqo_serve: batching MQO solve server\n\
@@ -155,7 +168,10 @@ fn parse_options() -> Result<Options, String> {
                      --chaos-seed N      seed of the chaos streams (0)\n\
                      --chaos-panic-rate F   per-request worker panic probability (0)\n\
                      --chaos-kill-rate F    caught-panic worker death probability (0)\n\
-                     --chaos-backend-failure-rate F  per-attempt backend failure probability (0)"
+                     --chaos-backend-failure-rate F  per-attempt backend failure probability (0)\n\
+                     --chaos-corruption-rate F  per-request answer corruption probability (0)\n\
+                     --no-integrity-repair  reject gate failures with a typed 500 instead of repairing\n\
+                     --no-verify-gate    disable answer re-validation (bench escape hatch)"
                 );
                 std::process::exit(0);
             }
@@ -205,6 +221,8 @@ fn main() {
         std::process::exit(2);
     }
     engine.chaos = opts.chaos;
+    engine.integrity_repair = opts.integrity_repair;
+    engine.verify_gate = opts.verify_gate;
     engine.breaker.failure_threshold = opts.breaker_threshold;
     engine.breaker.open_ms = opts.breaker_open_ms;
 

@@ -43,6 +43,9 @@ pub const STREAM_CHAOS_BACKEND: u64 = 0x4348_4241_434b_0003;
 /// Stream tag for client-side connection chaos (aborts/slow writes in
 /// `loadgen`).
 pub const STREAM_CHAOS_CONN: u64 = 0x4348_434f_4e4e_0004;
+/// Stream tag for sample-corruption rolls (mangled backend answers at the
+/// API boundary, caught by the integrity gate).
+pub const STREAM_CHAOS_CORRUPT: u64 = 0x4348_434f_5252_0005;
 
 /// One uniform sample in `[0, 1)` for slot `(a, b)` of `stream` under
 /// `chaos_seed` — the single primitive every chaos decision reduces to.
@@ -66,6 +69,25 @@ pub struct ChaosConfig {
     /// Per-(request, backend) probability that a backend attempt fails
     /// before running, tripping that backend's circuit breaker.
     pub backend_failure_rate: f64,
+    /// Per-request probability that a *successful* backend answer is
+    /// corrupted at the API boundary (cross-query plan flip, NaN cost, or
+    /// +∞ cost) before the integrity gate sees it. Every corruption this
+    /// injects is detectable by [`mqo_core::integrity::verify_selection`],
+    /// so a drain with this rate on must end with
+    /// `chaos_corruptions_injected == integrity_repairs + integrity_rejects`.
+    pub sample_corruption_rate: f64,
+}
+
+/// Which mangling a fired corruption roll applies to the response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleCorruption {
+    /// One query's selection entry is replaced by a plan of the *next*
+    /// query — structurally infeasible, caught by selection validation.
+    CrossQueryPlan,
+    /// The reported cost becomes NaN.
+    NanCost,
+    /// The reported cost becomes +∞.
+    InfCost,
 }
 
 impl Default for ChaosConfig {
@@ -81,6 +103,7 @@ impl ChaosConfig {
         worker_panic_rate: 0.0,
         worker_kill_rate: 0.0,
         backend_failure_rate: 0.0,
+        sample_corruption_rate: 0.0,
     };
 
     /// Whether this configuration can never inject anything.
@@ -89,6 +112,7 @@ impl ChaosConfig {
         self.worker_panic_rate <= 0.0
             && self.worker_kill_rate <= 0.0
             && self.backend_failure_rate <= 0.0
+            && self.sample_corruption_rate <= 0.0
     }
 
     /// Validates rates; the binaries surface violations before binding.
@@ -97,6 +121,7 @@ impl ChaosConfig {
         if !rate_ok(self.worker_panic_rate)
             || !rate_ok(self.worker_kill_rate)
             || !rate_ok(self.backend_failure_rate)
+            || !rate_ok(self.sample_corruption_rate)
         {
             return Err("chaos rates must lie in [0, 1]");
         }
@@ -128,6 +153,28 @@ impl ChaosConfig {
         self.backend_failure_rate > 0.0
             && chaos_roll(self.seed, STREAM_CHAOS_BACKEND, req_seed, backend as u64)
                 < self.backend_failure_rate
+    }
+
+    /// Which corruption (if any) to apply to the successful answer of
+    /// request `req_seed`. Pure in `(self.seed, req_seed)`; the mode comes
+    /// from an independent slot of the same stream so rate and shape don't
+    /// alias.
+    #[must_use]
+    pub fn sample_corruption(&self, req_seed: u64) -> Option<SampleCorruption> {
+        if self.sample_corruption_rate <= 0.0
+            || chaos_roll(self.seed, STREAM_CHAOS_CORRUPT, req_seed, 0)
+                >= self.sample_corruption_rate
+        {
+            return None;
+        }
+        let mode = chaos_roll(self.seed, STREAM_CHAOS_CORRUPT, req_seed, 1);
+        Some(if mode < 1.0 / 3.0 {
+            SampleCorruption::CrossQueryPlan
+        } else if mode < 2.0 / 3.0 {
+            SampleCorruption::NanCost
+        } else {
+            SampleCorruption::InfCost
+        })
     }
 }
 
@@ -166,6 +213,7 @@ mod tests {
             assert!(!cfg.worker_panics(req_seed));
             assert!(!cfg.worker_dies(req_seed));
             assert!(!cfg.backend_fails(req_seed, Backend::Annealer));
+            assert!(cfg.sample_corruption(req_seed).is_none());
         }
         assert!(!ChaosConfig {
             worker_panic_rate: 0.1,
@@ -190,6 +238,40 @@ mod tests {
             }
             .validate()
             .is_err());
+            assert!(ChaosConfig {
+                sample_corruption_rate: bad,
+                ..ChaosConfig::NONE
+            }
+            .validate()
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn corruption_schedule_is_deterministic_and_covers_every_mode() {
+        let cfg = ChaosConfig {
+            seed: 13,
+            sample_corruption_rate: 0.5,
+            ..ChaosConfig::NONE
+        };
+        let schedule: Vec<_> = (0..400).map(|s| cfg.sample_corruption(s)).collect();
+        let again: Vec<_> = (0..400).map(|s| cfg.sample_corruption(s)).collect();
+        assert_eq!(schedule, again, "same seed, same corruption schedule");
+        let fired: Vec<_> = schedule.iter().flatten().collect();
+        assert!(
+            (100..=300).contains(&fired.len()),
+            "50% of 400 should land near 200, got {}",
+            fired.len()
+        );
+        for mode in [
+            SampleCorruption::CrossQueryPlan,
+            SampleCorruption::NanCost,
+            SampleCorruption::InfCost,
+        ] {
+            assert!(
+                fired.iter().any(|&&m| m == mode),
+                "mode {mode:?} never drawn in 400 rolls"
+            );
         }
     }
 
@@ -200,6 +282,7 @@ mod tests {
             worker_panic_rate: 0.3,
             worker_kill_rate: 0.5,
             backend_failure_rate: 0.3,
+            ..ChaosConfig::NONE
         };
         let schedule: Vec<bool> = (0..200).map(|s| cfg.worker_panics(s)).collect();
         let again: Vec<bool> = (0..200).map(|s| cfg.worker_panics(s)).collect();
@@ -221,6 +304,7 @@ mod tests {
             worker_panic_rate: 0.5,
             worker_kill_rate: 0.5,
             backend_failure_rate: 0.5,
+            ..ChaosConfig::NONE
         };
         let panics: Vec<bool> = (0..400).map(|s| cfg.worker_panics(s)).collect();
         let kills: Vec<bool> = (0..400).map(|s| cfg.worker_dies(s)).collect();

@@ -13,7 +13,7 @@
 use crate::api::{Backend, Reject, SolveRequest, SolveResponse};
 use crate::breaker::{BreakerConfig, BreakerSnapshot, CircuitBreaker};
 use crate::cache::{CacheKey, CacheStats, EmbeddingCache};
-use crate::chaos::{ChaosConfig, CHAOS_PANIC_MESSAGE};
+use crate::chaos::{ChaosConfig, SampleCorruption, CHAOS_PANIC_MESSAGE};
 use crate::metrics::Metrics;
 use crate::router::{route, RouteDecision, RouterConfig};
 use mqo::pipeline::{PipelineError, QuantumMqoSolver, ResilienceConfig};
@@ -21,7 +21,10 @@ use mqo_annealer::device::{DeviceConfig, QuantumAnnealer};
 use mqo_annealer::sa::SimulatedAnnealingSampler;
 use mqo_chimera::embedding::{embed_structure, EmbeddingError};
 use mqo_chimera::graph::ChimeraGraph;
+use mqo_core::ids::PlanId;
+use mqo_core::integrity::{self, DEFAULT_TOLERANCE};
 use mqo_core::logical::LogicalMapping;
+use mqo_core::problem::MqoProblem;
 use mqo_core::solution::Selection;
 use mqo_heuristics::HillClimbing;
 use mqo_milp::bb_mqo::{self, MqoBbConfig};
@@ -57,6 +60,16 @@ pub struct EngineConfig {
     pub breaker: BreakerConfig,
     /// Deterministic chaos injection (inert by default).
     pub chaos: ChaosConfig,
+    /// Whether every successful answer is re-validated (feasibility + cost
+    /// recomputation) before it is served. On by default; turning it off is
+    /// a bench-only escape hatch.
+    pub verify_gate: bool,
+    /// Whether a gate failure is deterministically repaired (min-delta
+    /// settle + bounded descent) and re-verified instead of rejected with a
+    /// typed 500.
+    pub integrity_repair: bool,
+    /// Relative tolerance of the gate's cost comparison.
+    pub integrity_tolerance: f64,
 }
 
 impl EngineConfig {
@@ -78,6 +91,9 @@ impl EngineConfig {
             max_reads: 10_000,
             breaker: BreakerConfig::default(),
             chaos: ChaosConfig::NONE,
+            verify_gate: true,
+            integrity_repair: true,
+            integrity_tolerance: DEFAULT_TOLERANCE,
         }
     }
 }
@@ -195,6 +211,11 @@ impl SolveEngine {
                     } else {
                         format!("{} [degraded: {}]", decision.reason, notes.join("; "))
                     };
+                    if let Some(mode) = self.config.chaos.sample_corruption(req.seed) {
+                        Metrics::inc(&self.metrics.chaos_corruptions_injected);
+                        corrupt_response(&mut response, &req.problem, mode);
+                    }
+                    self.gate(req, &mut response)?;
                     self.finish(&mut response, start);
                     return Ok(response);
                 }
@@ -249,6 +270,60 @@ impl SolveEngine {
                 payload.as_ref(),
             ))),
         }
+    }
+
+    /// The answer-integrity gate (DESIGN.md §11): re-validates every
+    /// successful answer — structural feasibility plus the reported cost
+    /// against a from-scratch recomputation — before it is served. A clean
+    /// answer passes untouched (the gate is observably transparent); a
+    /// corrupt one is either deterministically repaired and re-verified, or
+    /// withheld as a typed `500 integrity_violation`. Never serves an
+    /// answer it could not verify.
+    fn gate(&self, req: &SolveRequest, response: &mut SolveResponse) -> Result<(), Reject> {
+        if !self.config.verify_gate {
+            return Ok(());
+        }
+        let candidate = Selection::new(response.selection.iter().map(|&p| PlanId(p)).collect());
+        let violation = match integrity::verify_selection(
+            &req.problem,
+            &candidate,
+            response.cost,
+            self.config.integrity_tolerance,
+        ) {
+            Ok(_) => return Ok(()),
+            Err(e) => e,
+        };
+        Metrics::inc(&self.metrics.integrity_violations);
+        if self.config.integrity_repair {
+            if let Ok(repaired) = integrity::repair_selection(&req.problem, &candidate) {
+                let (sel, cost, _) = HillClimbing::descend_bounded(
+                    &req.problem,
+                    repaired.selection,
+                    self.config.resilience.repair_descent_moves,
+                );
+                if integrity::verify_selection(
+                    &req.problem,
+                    &sel,
+                    cost,
+                    self.config.integrity_tolerance,
+                )
+                .is_ok()
+                {
+                    Metrics::inc(&self.metrics.integrity_repairs);
+                    response.selection = sel.plans().iter().map(|p| p.0).collect();
+                    response.cost = cost;
+                    response.route_reason = format!(
+                        "{} [integrity: repaired ({violation})]",
+                        response.route_reason
+                    );
+                    return Ok(());
+                }
+            }
+        }
+        Metrics::inc(&self.metrics.integrity_rejects);
+        Err(Reject::IntegrityViolation {
+            detail: violation.to_string(),
+        })
     }
 
     /// Success bookkeeping shared by every backend: per-backend counters,
@@ -325,6 +400,26 @@ impl SolveEngine {
                 PipelineError::Embedding(e) => AnnealerFailure::Embedding(e),
                 other => AnnealerFailure::Fatal(other.to_string()),
             })?;
+        Metrics::add(
+            &self.metrics.reads_verified_clean,
+            outcome.integrity.verified_clean as u64,
+        );
+        Metrics::add(
+            &self.metrics.reads_repaired,
+            outcome.integrity.repaired as u64,
+        );
+        Metrics::add(
+            &self.metrics.reads_broken_chains,
+            outcome.broken_chain_reads as u64,
+        );
+        Metrics::add(
+            &self.metrics.chain_majority_repairs,
+            outcome.chain_breaks.majority_repairs as u64,
+        );
+        Metrics::add(
+            &self.metrics.chain_tie_breaks,
+            outcome.chain_breaks.tie_breaks as u64,
+        );
         let (selection, cost) = outcome.best;
         Ok(SolveResponse {
             selection: selection.plans().iter().map(|p| p.0).collect(),
@@ -422,6 +517,25 @@ impl SolveEngine {
             wall_us: 0,
             queue_wait_us: 0,
         }
+    }
+}
+
+/// Applies the chaos-chosen mangling to a successful answer. Every mode
+/// yields a response [`SolveEngine::gate`] must flag: a cross-query plan
+/// flip is structurally infeasible, a non-finite cost fails the finiteness
+/// check. Single-query problems have no cross-query plan to flip, so that
+/// mode degrades to a NaN cost.
+fn corrupt_response(response: &mut SolveResponse, problem: &MqoProblem, mode: SampleCorruption) {
+    match mode {
+        SampleCorruption::CrossQueryPlan if problem.num_queries() >= 2 => {
+            // Query 0's entry now points at query 1's selected plan: one
+            // query uncovered, one doubly covered — always infeasible.
+            response.selection[0] = response.selection[1];
+        }
+        SampleCorruption::CrossQueryPlan | SampleCorruption::NanCost => {
+            response.cost = f64::NAN;
+        }
+        SampleCorruption::InfCost => response.cost = f64::INFINITY,
     }
 }
 
@@ -666,6 +780,95 @@ mod tests {
         let msg = crate::chaos::panic_message(caught.unwrap_err().as_ref());
         assert!(msg.contains(crate::chaos::CHAOS_PANIC_MESSAGE), "{msg}");
         assert_eq!(e.metrics().snapshot().chaos_panics_injected, 1);
+    }
+
+    #[test]
+    fn corrupted_answers_are_caught_repaired_and_reconciled() {
+        let mut cfg = EngineConfig::new(ChimeraGraph::new(2, 2));
+        cfg.device.num_reads = 50;
+        cfg.device.num_gauges = 5;
+        cfg.chaos = ChaosConfig {
+            seed: 21,
+            sample_corruption_rate: 1.0,
+            ..ChaosConfig::NONE
+        };
+        let e = SolveEngine::new(cfg, Arc::new(Metrics::default()));
+        let problem = paper_example();
+        for seed in 0..8 {
+            let r = e
+                .solve(&SolveRequest::new(problem.clone(), seed))
+                .expect("every corruption is repairable");
+            // The served answer is verified-feasible with a truthful cost.
+            let sel = Selection::new(r.selection.iter().map(|&p| PlanId(p)).collect());
+            assert!(problem.validate_selection(&sel).is_ok());
+            assert_eq!(r.cost, problem.selection_cost(&sel));
+            assert!(
+                r.route_reason.contains("integrity: repaired"),
+                "repair is visible to the client: {}",
+                r.route_reason
+            );
+        }
+        // Every injected corruption was flagged and repaired; none leaked.
+        let m = e.metrics().snapshot();
+        assert_eq!(m.chaos_corruptions_injected, 8);
+        assert_eq!(m.integrity_violations, 8);
+        assert_eq!(m.integrity_repairs, 8);
+        assert_eq!(m.integrity_rejects, 0);
+        assert_eq!(m.solved_total, 8);
+    }
+
+    #[test]
+    fn corruption_without_repair_is_a_typed_500() {
+        let mut cfg = EngineConfig::new(ChimeraGraph::new(2, 2));
+        cfg.device.num_reads = 50;
+        cfg.device.num_gauges = 5;
+        cfg.integrity_repair = false;
+        cfg.chaos = ChaosConfig {
+            seed: 21,
+            sample_corruption_rate: 1.0,
+            ..ChaosConfig::NONE
+        };
+        let e = SolveEngine::new(cfg, Arc::new(Metrics::default()));
+        for seed in 0..4 {
+            let err = e
+                .solve(&SolveRequest::new(paper_example(), seed))
+                .unwrap_err();
+            assert!(matches!(err, Reject::IntegrityViolation { .. }), "{err}");
+            assert_eq!(err.http_status(), 500);
+        }
+        let m = e.metrics().snapshot();
+        assert_eq!(m.chaos_corruptions_injected, 4);
+        assert_eq!(m.integrity_violations, 4);
+        assert_eq!(m.integrity_rejects, 4);
+        assert_eq!(m.integrity_repairs, 0);
+        assert_eq!(m.solved_total, 0, "withheld answers are not solves");
+    }
+
+    #[test]
+    fn verify_gate_is_transparent_on_clean_solves() {
+        let gated = engine();
+        let mut cfg = EngineConfig::new(ChimeraGraph::new(2, 2));
+        cfg.device.num_reads = 50;
+        cfg.device.num_gauges = 5;
+        cfg.verify_gate = false;
+        let ungated = SolveEngine::new(cfg, Arc::new(Metrics::default()));
+        for seed in 0..5 {
+            let a = gated
+                .solve(&SolveRequest::new(paper_example(), seed))
+                .unwrap();
+            let b = ungated
+                .solve(&SolveRequest::new(paper_example(), seed))
+                .unwrap();
+            assert_eq!(a.selection, b.selection);
+            assert_eq!(a.cost, b.cost);
+            assert_eq!(a.reads, b.reads);
+            assert_eq!(a.route_reason, b.route_reason);
+        }
+        let m = gated.metrics().snapshot();
+        assert_eq!(m.integrity_violations, 0, "clean answers never trip the gate");
+        // The annealer read accounting reached /metrics.
+        assert_eq!(m.reads_verified_clean + m.reads_repaired, 5 * 50);
+        assert_eq!(m.chain_majority_repairs + m.chain_tie_breaks, 0);
     }
 
     #[test]

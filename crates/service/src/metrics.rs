@@ -156,6 +156,26 @@ pub struct Metrics {
     pub chaos_kills_injected: AtomicU64,
     /// Chaos: backend attempts failed by the chaos layer.
     pub chaos_backend_failures_injected: AtomicU64,
+    /// Chaos: successful answers corrupted at the API boundary.
+    pub chaos_corruptions_injected: AtomicU64,
+    /// Backend answers that failed the integrity gate (infeasible selection
+    /// or cost mismatch) — repaired + rejected.
+    pub integrity_violations: AtomicU64,
+    /// Gate failures deterministically repaired and re-verified before
+    /// serving.
+    pub integrity_repairs: AtomicU64,
+    /// Gate failures withheld as a typed `500 integrity_violation`.
+    pub integrity_rejects: AtomicU64,
+    /// Annealer reads whose decoded selection was feasible as sampled.
+    pub reads_verified_clean: AtomicU64,
+    /// Annealer reads whose decoded selection needed repair.
+    pub reads_repaired: AtomicU64,
+    /// Annealer reads with at least one broken chain.
+    pub reads_broken_chains: AtomicU64,
+    /// Broken chains resolved by a strict majority vote during unembedding.
+    pub chain_majority_repairs: AtomicU64,
+    /// Even-length chain ties resolved by the pinned all-true rule.
+    pub chain_tie_breaks: AtomicU64,
     /// Backend attempts that failed (real and injected), across backends.
     pub backend_attempt_failures: AtomicU64,
     /// Requests whose first-choice backend was skipped by an open breaker.
@@ -190,6 +210,11 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n` to a counter (per-run read accounting).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Takes a serialisable snapshot of every counter and histogram.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
@@ -213,6 +238,15 @@ impl Metrics {
             chaos_panics_injected: load(&self.chaos_panics_injected),
             chaos_kills_injected: load(&self.chaos_kills_injected),
             chaos_backend_failures_injected: load(&self.chaos_backend_failures_injected),
+            chaos_corruptions_injected: load(&self.chaos_corruptions_injected),
+            integrity_violations: load(&self.integrity_violations),
+            integrity_repairs: load(&self.integrity_repairs),
+            integrity_rejects: load(&self.integrity_rejects),
+            reads_verified_clean: load(&self.reads_verified_clean),
+            reads_repaired: load(&self.reads_repaired),
+            reads_broken_chains: load(&self.reads_broken_chains),
+            chain_majority_repairs: load(&self.chain_majority_repairs),
+            chain_tie_breaks: load(&self.chain_tie_breaks),
             backend_attempt_failures: load(&self.backend_attempt_failures),
             breaker_skips: load(&self.breaker_skips),
             lock_poison_recoveries: load(&self.lock_poison_recoveries),
@@ -271,6 +305,33 @@ pub struct MetricsSnapshot {
     pub chaos_kills_injected: u64,
     /// Chaos-injected backend failures.
     pub chaos_backend_failures_injected: u64,
+    /// Chaos-corrupted answers injected at the API boundary.
+    #[serde(default)]
+    pub chaos_corruptions_injected: u64,
+    /// Answers that failed the integrity gate.
+    #[serde(default)]
+    pub integrity_violations: u64,
+    /// Gate failures repaired and re-verified.
+    #[serde(default)]
+    pub integrity_repairs: u64,
+    /// Gate failures withheld as typed 500s.
+    #[serde(default)]
+    pub integrity_rejects: u64,
+    /// Reads decoded feasible as sampled.
+    #[serde(default)]
+    pub reads_verified_clean: u64,
+    /// Reads whose decode needed repair.
+    #[serde(default)]
+    pub reads_repaired: u64,
+    /// Reads with broken chains.
+    #[serde(default)]
+    pub reads_broken_chains: u64,
+    /// Majority-vote chain repairs.
+    #[serde(default)]
+    pub chain_majority_repairs: u64,
+    /// Even-chain tie-breaks.
+    #[serde(default)]
+    pub chain_tie_breaks: u64,
     /// Failed backend attempts (real + injected).
     pub backend_attempt_failures: u64,
     /// First-choice backends skipped by an open breaker.

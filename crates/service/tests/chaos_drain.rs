@@ -134,6 +134,7 @@ fn fifty_chaos_seeds_drain_cleanly() {
             worker_panic_rate: 0.3,
             worker_kill_rate: 0.3,
             backend_failure_rate: 0.1,
+            ..ChaosConfig::NONE
         };
         let server = chaos_server(chaos, 2, 2);
         let addr = server.local_addr();
@@ -197,6 +198,7 @@ fn chaos_schedule_is_identical_across_worker_counts() {
         worker_panic_rate: 0.4,
         worker_kill_rate: 0.2,
         backend_failure_rate: 0.3,
+        ..ChaosConfig::NONE
     };
     let mut runs = Vec::new();
     for workers in [1usize, 4] {
@@ -280,6 +282,7 @@ fn the_pool_survives_repeated_total_worker_loss() {
         worker_panic_rate: 1.0,
         worker_kill_rate: 1.0,
         backend_failure_rate: 0.0,
+        ..ChaosConfig::NONE
     };
     let server = chaos_server(chaos, 2, 0);
     let addr = server.local_addr();
@@ -296,4 +299,93 @@ fn the_pool_survives_repeated_total_worker_loss() {
     assert_eq!(s.chaos_kills_injected, 6);
     assert_eq!(s.worker_respawns, 6);
     assert_eq!(s.rejected_internal, 6);
+}
+
+/// The answer-integrity acceptance drain: with sample corruption injected
+/// into every successful answer path, the run ends with **zero unflagged
+/// corrupted answers** — every corruption is deterministically repaired to
+/// a verified-feasible selection with a truthful cost (or rejected with a
+/// typed 500), and the `/metrics` books reconcile exactly:
+/// `chaos_corruptions_injected == integrity_violations ==
+/// integrity_repairs + integrity_rejects`.
+#[test]
+fn corruption_chaos_drains_with_zero_unflagged_answers() {
+    silence_chaos_panics();
+    const REQUESTS: usize = 16;
+    // Client-side re-verification oracle for `body()`'s instance:
+    // costs [2, 4, 3, 1], one saving (plan 1, plan 2) of 5.
+    let verify = |selection: &[u64], cost: f64| {
+        assert_eq!(selection.len(), 2, "one plan per query");
+        assert!(selection[0] <= 1 && (2..=3).contains(&selection[1]));
+        let costs = [2.0, 4.0, 3.0, 1.0];
+        let mut expect = costs[selection[0] as usize] + costs[selection[1] as usize];
+        if selection[0] == 1 && selection[1] == 2 {
+            expect -= 5.0;
+        }
+        assert_eq!(cost, expect, "served cost must be truthful");
+    };
+    for repair in [true, false] {
+        let chaos = ChaosConfig {
+            seed: 31,
+            sample_corruption_rate: 0.6,
+            ..ChaosConfig::NONE
+        };
+        let mut engine = EngineConfig::new(ChimeraGraph::new(2, 2));
+        engine.device.num_reads = 10;
+        engine.device.num_gauges = 2;
+        engine.chaos = chaos;
+        engine.integrity_repair = repair;
+        let mut config = ServerConfig::new(engine);
+        config.queue.workers = 2;
+        config.queue.batch_size = 4;
+        let server = Server::start(config).expect("bind loopback");
+        let addr = server.local_addr();
+        let bodies = (0..REQUESTS).map(|i| body(i as u64)).collect();
+        let results = replay(addr, bodies, 3);
+        assert_eq!(results.len(), REQUESTS, "repair={repair}: lost requests");
+        let mut rejected = 0u64;
+        for (i, status, v) in &results {
+            match status {
+                200 => {
+                    let selection: Vec<u64> = match &v["selection"] {
+                        serde_json::Value::Array(items) => items
+                            .iter()
+                            .map(|p| p.as_u64().expect("plan id"))
+                            .collect(),
+                        other => panic!("request {i}: selection is not an array: {other:?}"),
+                    };
+                    verify(&selection, v["cost"].as_f64().expect("cost"));
+                }
+                500 => {
+                    assert!(!repair, "with repair on every corruption is fixable");
+                    assert_eq!(v["reason"], "integrity_violation", "request {i}: {v}");
+                    rejected += 1;
+                }
+                other => panic!("repair={repair} request {i}: status {other}: {v}"),
+            }
+        }
+        server.shutdown();
+        let s = server.metrics().snapshot();
+        assert!(
+            s.chaos_corruptions_injected > 0,
+            "repair={repair}: the corruption stream never fired"
+        );
+        assert_eq!(
+            s.integrity_violations, s.chaos_corruptions_injected,
+            "repair={repair}: every injected corruption must be flagged"
+        );
+        assert_eq!(
+            s.integrity_repairs + s.integrity_rejects,
+            s.integrity_violations,
+            "repair={repair}: flagged answers are repaired or rejected, never served raw"
+        );
+        if repair {
+            assert_eq!(s.integrity_rejects, 0);
+            assert_eq!(s.solved_total, REQUESTS as u64);
+        } else {
+            assert_eq!(s.integrity_repairs, 0);
+            assert_eq!(s.integrity_rejects, rejected);
+            assert_eq!(s.solved_total + rejected, REQUESTS as u64);
+        }
+    }
 }

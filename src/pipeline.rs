@@ -33,6 +33,7 @@ use mqo_chimera::embedding::triad;
 use mqo_chimera::embedding::{Embedding, EmbeddingError};
 use mqo_chimera::graph::{ChimeraGraph, QubitId};
 use mqo_chimera::physical::PhysicalMapping;
+use mqo_core::integrity::RepairStats;
 use mqo_core::logical::LogicalMapping;
 use mqo_core::problem::MqoProblem;
 use mqo_core::solution::Selection;
@@ -112,6 +113,12 @@ pub struct ResilienceConfig {
     pub fallback_restarts: usize,
     /// Wall-clock guard on the classical fallback.
     pub fallback_budget: Duration,
+    /// Bounded greedy-descent moves applied to each *repaired* (infeasible)
+    /// decoded sample after its min-delta settle (`0` disables the descent
+    /// phase). Bounded by move count — never wall clock — so repair output
+    /// is bit-identical across thread counts and hosts. Clean decodes are
+    /// never touched.
+    pub repair_descent_moves: usize,
 }
 
 impl Default for ResilienceConfig {
@@ -124,6 +131,7 @@ impl Default for ResilienceConfig {
             classical_fallback: true,
             fallback_restarts: 4,
             fallback_budget: Duration::from_millis(250),
+            repair_descent_moves: 4,
         }
     }
 }
@@ -157,6 +165,15 @@ pub struct QuantumMqoOutcome {
     pub fallback: bool,
     /// Per-chain break statistics of the final successful device run.
     pub chain_breaks: ChainBreakStats,
+    /// Integrity accounting over all decoded reads: `verified_clean` decodes
+    /// were feasible as sampled, `repaired` needed the min-delta settle (and
+    /// optional bounded descent), `rejected` is always 0 in the pipeline —
+    /// every read of the right length is repairable (service layers count
+    /// rejections at their own gate).
+    pub integrity: RepairStats,
+    /// Greedy-descent moves applied across all repaired reads (bounded per
+    /// read by [`ResilienceConfig::repair_descent_moves`]).
+    pub repair_descent_moves: usize,
 }
 
 /// The assembled Algorithm-1 solver.
@@ -228,6 +245,7 @@ impl<S: Sampler> QuantumMqoSolver<S> {
         let mut faults = FaultEvents::default();
         let mut retries = 0usize;
         let mut reembeds = 0usize;
+        let mut descent_moves = 0usize;
         let mut chain_breaks = ChainBreakStats::default();
         let mut offset_us = 0.0f64;
         let mut attempt = 0u64;
@@ -262,10 +280,22 @@ impl<S: Sampler> QuantumMqoSolver<S> {
                         }
                         let (selection, repaired) =
                             logical.decode_with_repair(problem, &unembedded.logical);
-                        if repaired {
+                        let (selection, cost) = if repaired {
                             repaired_reads += 1;
-                        }
-                        let cost = problem.selection_cost(&selection);
+                            // Polish the repaired sample with a
+                            // move-count-bounded descent (deterministic:
+                            // pure function of problem + selection).
+                            let (sel, cost, moves) = HillClimbing::descend_bounded(
+                                problem,
+                                selection,
+                                r.repair_descent_moves,
+                            );
+                            descent_moves += moves;
+                            (sel, cost)
+                        } else {
+                            let cost = problem.selection_cost(&selection);
+                            (selection, cost)
+                        };
                         let elapsed = Duration::from_secs_f64((offset_us + read.elapsed_us) * 1e-6);
                         if best.as_ref().is_none_or(|(_, c)| cost < *c) {
                             trace.record(elapsed, cost);
@@ -364,6 +394,12 @@ impl<S: Sampler> QuantumMqoSolver<S> {
             reembeds,
             fallback,
             chain_breaks,
+            integrity: RepairStats {
+                verified_clean: reads - repaired_reads,
+                repaired: repaired_reads,
+                rejected: 0,
+            },
+            repair_descent_moves: descent_moves,
         })
     }
 

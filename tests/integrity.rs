@@ -1,0 +1,136 @@
+//! Property-based tests of the solution-integrity layer: repair always
+//! produces a feasible answer the verifier accepts, verify-then-repair is
+//! bit-identical across thread counts, and the gate passes clean solves
+//! from every backend while the exact oracle bounds their reported costs.
+
+use mqo::annealer::sampler::Sampler;
+use mqo::annealer::{BehavioralSampler, ExactSampler};
+use mqo::core::integrity::{self, DEFAULT_TOLERANCE};
+use mqo::core::PlanId;
+use mqo::prelude::*;
+use proptest::prelude::*;
+
+/// A chain of `queries` queries with `plans` plans each and savings along
+/// the first-plan spine — the shape of the paper's workload, scaled down.
+fn chain_problem(queries: usize, plans: usize) -> MqoProblem {
+    let mut b = MqoProblem::builder();
+    let mut prev: Option<PlanId> = None;
+    for i in 0..queries {
+        let costs: Vec<f64> = (0..plans).map(|p| 2.0 + ((i + p) % 4) as f64).collect();
+        let q = b.add_query(&costs);
+        let plan_ids = b.plans_of(q);
+        if let Some(p) = prev {
+            b.add_saving(p, plan_ids[0], 1.5).unwrap();
+        }
+        prev = Some(plan_ids[0]);
+    }
+    b.build().unwrap()
+}
+
+fn solver<S: Sampler>(sampler: S, threads: usize) -> QuantumMqoSolver<S> {
+    QuantumMqoSolver::new(
+        ChimeraGraph::new(2, 2),
+        QuantumAnnealer::new(
+            DeviceConfig {
+                num_reads: 16,
+                num_gauges: 2,
+                threads,
+                ..DeviceConfig::default()
+            },
+            sampler,
+        ),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever garbage the candidate holds — out-of-range plan ids, plans
+    /// of the wrong query — repair returns a feasible selection the
+    /// verifier accepts, never touches already-feasible candidates, is
+    /// idempotent, and the bounded descent polish never worsens it.
+    #[test]
+    fn repair_is_feasible_verified_and_idempotent(
+        queries in 1usize..=5,
+        plans in 2usize..=4,
+        raw in proptest::collection::vec(0usize..64, 5),
+    ) {
+        let problem = chain_problem(queries, plans);
+        let candidate = Selection::new(
+            (0..queries)
+                .map(|q| PlanId::new(raw[q] % (problem.num_plans() + 2)))
+                .collect(),
+        );
+        let rep = integrity::repair_selection(&problem, &candidate).unwrap();
+        prop_assert!(problem.validate_selection(&rep.selection).is_ok());
+        let cost = problem.selection_cost(&rep.selection);
+        prop_assert!(
+            integrity::verify_selection(&problem, &rep.selection, cost, DEFAULT_TOLERANCE).is_ok()
+        );
+        if problem.validate_selection(&candidate).is_ok() {
+            prop_assert_eq!(rep.repaired_queries, 0);
+            prop_assert_eq!(rep.selection.plans(), candidate.plans());
+        }
+        let again = integrity::repair_selection(&problem, &rep.selection).unwrap();
+        prop_assert_eq!(again.repaired_queries, 0);
+        prop_assert_eq!(again.selection.plans(), rep.selection.plans());
+        let (polished, polished_cost, moves) =
+            HillClimbing::descend_bounded(&problem, rep.selection.clone(), 4);
+        prop_assert!(problem.validate_selection(&polished).is_ok());
+        prop_assert!(polished_cost <= cost + 1e-12);
+        prop_assert!(moves <= 4);
+    }
+
+    /// The full verify-then-repair pipeline is a pure function of the seed:
+    /// best answer, integrity ledger, and descent accounting are
+    /// bit-identical at any worker-thread count.
+    #[test]
+    fn verify_then_repair_is_thread_count_invariant(
+        queries in 2usize..=4,
+        seed in 0u64..100,
+    ) {
+        let problem = chain_problem(queries, 2);
+        let base = solver(SimulatedAnnealingSampler::default(), 1)
+            .solve(&problem, seed)
+            .unwrap();
+        for threads in [2, 4] {
+            let out = solver(SimulatedAnnealingSampler::default(), threads)
+                .solve(&problem, seed)
+                .unwrap();
+            prop_assert_eq!(out.best.0.plans(), base.best.0.plans());
+            prop_assert_eq!(out.best.1.to_bits(), base.best.1.to_bits());
+            prop_assert_eq!(out.integrity, base.integrity);
+            prop_assert_eq!(out.repair_descent_moves, base.repair_descent_moves);
+            prop_assert_eq!(out.repaired_reads, base.repaired_reads);
+        }
+    }
+}
+
+/// Clean solves from every backend pass the integrity gate, never undercut
+/// the exhaustive optimum, and keep the repair ledger balanced.
+#[test]
+fn gate_passes_clean_solves_from_every_backend() {
+    for queries in 2..=4usize {
+        let problem = chain_problem(queries, 2);
+        let optimum = problem.brute_force_optimum().1;
+        let outcomes = [
+            solver(SimulatedAnnealingSampler::default(), 0).solve(&problem, 7),
+            solver(PathIntegralQmcSampler::default(), 0).solve(&problem, 7),
+            solver(BehavioralSampler::default(), 0).solve(&problem, 7),
+            solver(ExactSampler, 0).solve(&problem, 7),
+        ];
+        for (i, out) in outcomes.into_iter().enumerate() {
+            let out = out.unwrap_or_else(|e| panic!("backend {i} failed: {e}"));
+            integrity::verify_selection(&problem, &out.best.0, out.best.1, DEFAULT_TOLERANCE)
+                .unwrap_or_else(|e| panic!("backend {i} flunked the gate: {e}"));
+            integrity::verify_against_bound(out.best.1, optimum, DEFAULT_TOLERANCE)
+                .unwrap_or_else(|e| panic!("backend {i} undercut the oracle: {e}"));
+            assert_eq!(
+                out.integrity.total(),
+                out.reads,
+                "backend {i}: every read must land in the ledger"
+            );
+            assert_eq!(out.integrity.rejected, 0, "pipeline repair never rejects");
+        }
+    }
+}
