@@ -1,0 +1,694 @@
+//! Composite programming: several packed tenants annealed in one
+//! programming cycle, demultiplexed back into per-tenant sample sets.
+//!
+//! The chip-packing placer (`mqo_chimera::packing`) gives each tenant a
+//! disjoint cell region of one Chimera graph. This module runs the whole
+//! batch through the device protocol *once*: per gauge batch there is one
+//! composite programming cycle covering every tenant, and each of the
+//! `num_reads` read slots anneals and reads out all tenants together —
+//! amortizing the per-cycle programming and read-out overhead across the
+//! batch exactly like request batching in an inference server.
+//!
+//! **The composite program.** [`assemble_ising`] concatenates the tenants'
+//! Ising blocks with offset spin indices into one block-diagonal problem —
+//! the artifact a real chip would be programmed with. Tenants share no
+//! couplers (regions are disjoint and coupler validation runs per tenant),
+//! so the merged program factorises exactly and each tenant's marginal is
+//! untouched by its batchmates.
+//!
+//! **Bit-identity discipline.** A packed run must return, for every tenant,
+//! samples bit-identical to a solo [`QuantumAnnealer::run`] with the same
+//! seed. All device randomness is derived from `(tenant seed, stream,
+//! gauge, read)` and fault plans are keyed on dense spin indices — never on
+//! chip location — so the only way to break identity would be to share RNG
+//! streams across tenants. The composite cycle therefore programs each
+//! tenant's block from that tenant's own gauge stream and anneals each
+//! tenant's segment of the composite spin buffer from that tenant's own
+//! read stream; the demultiplexer then slices the buffer back into
+//! per-tenant reads. The externally observable protocol is one programming
+//! cycle per gauge and one shared timestamp sequence per read slot, and
+//! every tenant's samples are exactly its solo samples.
+//!
+//! Failure isolation mirrors the solo device: a tenant whose couplings fall
+//! off the hardware or whose fault plan rejects programming gets its own
+//! `Err` slot; its batchmates anneal unaffected.
+
+use crate::device::{DeviceError, QuantumAnnealer};
+use crate::faults::{FaultEvents, FaultPlan, STREAM_FAULT_READ};
+use crate::gauge::Gauge;
+use crate::parallel::{derive_seed, parallel_map_with, resolve_threads, STREAM_GAUGE, STREAM_READ};
+use crate::sampler::{ProgrammedSampler, Read, ReadScratch, SampleSet, Sampler, SamplerHints};
+use mqo_chimera::graph::ChimeraGraph;
+use mqo_chimera::physical::PhysicalMapping;
+use mqo_core::ids::VarId;
+use mqo_core::ising::{spins_to_bits, Ising};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Dense spin-index layout of a composite program: tenant `t` owns the
+/// contiguous segment `offset(t) .. offset(t) + size(t)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompositeLayout {
+    /// Prefix sums: `offsets[t]` is where tenant `t`'s block starts;
+    /// `offsets[len]` is the total spin count.
+    offsets: Vec<usize>,
+}
+
+impl CompositeLayout {
+    /// Builds the layout for tenants with the given per-tenant spin counts.
+    pub fn new(sizes: &[usize]) -> Self {
+        let mut offsets = Vec::with_capacity(sizes.len() + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &s in sizes {
+            acc += s;
+            offsets.push(acc);
+        }
+        CompositeLayout { offsets }
+    }
+
+    /// Number of tenants in the layout.
+    pub fn num_tenants(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total composite spin count.
+    pub fn total_spins(&self) -> usize {
+        *self.offsets.last().expect("offsets always holds the total")
+    }
+
+    /// The composite index range tenant `t` owns.
+    pub fn segment(&self, t: usize) -> std::ops::Range<usize> {
+        self.offsets[t]..self.offsets[t + 1]
+    }
+
+    /// The tenant owning a composite spin index, if any. Every index below
+    /// [`CompositeLayout::total_spins`] belongs to exactly one tenant — the
+    /// demux-partition invariant.
+    pub fn tenant_of(&self, spin: usize) -> Option<usize> {
+        if spin >= self.total_spins() {
+            return None;
+        }
+        // offsets is sorted; find the last offset ≤ spin.
+        Some(match self.offsets.binary_search(&spin) {
+            Ok(t) => {
+                // Empty tenants share an offset; skip to the one that
+                // actually contains the index.
+                (t..self.num_tenants())
+                    .find(|&u| self.segment(u).contains(&spin))
+                    .expect("spin below total lies in some segment")
+            }
+            Err(insert) => insert - 1,
+        })
+    }
+}
+
+/// Concatenates per-tenant Ising blocks into the single block-diagonal
+/// composite program: fields are concatenated, couplings are offset into
+/// each tenant's segment, offsets (constant energy terms) add. There are no
+/// cross-tenant couplings by construction, so the composite energy of a
+/// concatenated spin vector is the sum of the per-tenant energies.
+pub fn assemble_ising(blocks: &[&Ising]) -> Ising {
+    let layout = CompositeLayout::new(&blocks.iter().map(|b| b.num_spins()).collect::<Vec<_>>());
+    let mut h = Vec::with_capacity(layout.total_spins());
+    let mut couplings = Vec::new();
+    let mut offset = 0.0;
+    for (t, block) in blocks.iter().enumerate() {
+        let base = layout.segment(t).start;
+        h.extend_from_slice(block.fields());
+        couplings.extend(
+            block
+                .couplings()
+                .iter()
+                .map(|&(i, j, w)| (VarId::new(i.index() + base), VarId::new(j.index() + base), w)),
+        );
+        offset += block.offset();
+    }
+    // Each block's canonical list is sorted with i < j; blocks are appended
+    // in segment order, so the concatenation is already canonical.
+    Ising::from_canonical(h, couplings, offset)
+}
+
+/// One tenant of a packed run: a physically mapped instance (placed on a
+/// disjoint region by the packer) and the request seed its RNG streams
+/// derive from.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedTenant<'a> {
+    /// The tenant's physical mapping on the shared graph.
+    pub pm: &'a PhysicalMapping,
+    /// The tenant's run seed — the same seed a solo run would use.
+    pub seed: u64,
+}
+
+struct TenantState<'a> {
+    ising: Ising,
+    qubo: &'a mqo_core::qubo::Qubo,
+    chains: Vec<Vec<usize>>,
+    seed: u64,
+    plan: Option<FaultPlan>,
+}
+
+/// Runs the full gauge/read protocol once for a batch of disjointly placed
+/// tenants and demultiplexes the composite reads into per-tenant sample
+/// sets.
+///
+/// The outer `Err` covers batch-level misconfiguration (degenerate
+/// read/gauge counts, invalid fault rates, overlapping tenants); per-tenant
+/// errors (unusable couplers, programming rejection) occupy that tenant's
+/// slot and leave its batchmates running. Each tenant's `Ok` sample set is
+/// bit-identical to [`QuantumAnnealer::run`] on the same mapping and seed.
+pub fn run_packed<S: Sampler>(
+    device: &QuantumAnnealer<S>,
+    graph: &ChimeraGraph,
+    tenants: &[PackedTenant<'_>],
+) -> Result<Vec<Result<SampleSet, DeviceError>>, DeviceError> {
+    let config = *device.config();
+    if tenants.is_empty() {
+        return Ok(Vec::new());
+    }
+    if config.num_reads == 0 {
+        return Err(DeviceError::InvalidConfig("num_reads must be positive"));
+    }
+    if config.num_gauges == 0 || config.num_gauges > config.num_reads {
+        return Err(DeviceError::InvalidConfig(
+            "num_gauges must be in 1..=num_reads",
+        ));
+    }
+    let faults_cfg = config.faults;
+    faults_cfg.validate().map_err(DeviceError::InvalidConfig)?;
+
+    // Tenants must not share hardware: overlapping placements would couple
+    // the blocks and poison both tenants' samples.
+    let mut claimed = vec![false; graph.num_qubits()];
+    for t in tenants {
+        for i in 0..t.pm.num_physical_vars() {
+            let q = t.pm.qubit_of_phys(i);
+            if claimed[q.index()] {
+                return Err(DeviceError::InvalidConfig(
+                    "packed tenants overlap on physical qubits",
+                ));
+            }
+            claimed[q.index()] = true;
+        }
+    }
+
+    // Per-tenant validation and setup; a failing tenant occupies its own
+    // error slot and drops out of the composite cycle.
+    let mut slots: Vec<Result<TenantState<'_>, DeviceError>> = Vec::with_capacity(tenants.len());
+    for t in tenants {
+        slots.push(validate_tenant(t, graph, &config));
+    }
+    let active: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_ok()).collect();
+    if active.is_empty() {
+        return Ok(slots
+            .into_iter()
+            .map(|s| s.map(|_| unreachable!("no active tenants")))
+            .collect());
+    }
+    let states: Vec<&TenantState<'_>> = active
+        .iter()
+        .map(|&i| slots[i].as_ref().expect("active slots hold states"))
+        .collect();
+
+    let layout =
+        CompositeLayout::new(&states.iter().map(|s| s.ising.num_spins()).collect::<Vec<_>>());
+    // The single composite program of a cycle. Runtime behaviour never
+    // reads it — per-tenant blocks are programmed from per-tenant gauge
+    // streams to preserve bit-identity — but its block-diagonal shape is
+    // the contract the demultiplexer relies on.
+    debug_assert_eq!(
+        assemble_ising(&states.iter().map(|s| &s.ising).collect::<Vec<_>>()).num_spins(),
+        layout.total_spins()
+    );
+
+    let threads = resolve_threads(config.threads);
+    let reads_per_gauge = config.num_reads / config.num_gauges;
+    let remainder = config.num_reads % config.num_gauges;
+    let boundary = remainder * (reads_per_gauge + 1);
+    let locate = |idx: usize| -> (usize, usize) {
+        if idx < boundary {
+            (idx / (reads_per_gauge + 1), idx % (reads_per_gauge + 1))
+        } else {
+            (
+                remainder + (idx - boundary) / reads_per_gauge,
+                (idx - boundary) % reads_per_gauge,
+            )
+        }
+    };
+
+    // Phase A — one composite programming cycle per gauge batch: every
+    // tenant's block is programmed from that tenant's own derived gauge
+    // stream, exactly as its solo run would program it.
+    let programmed: Vec<Vec<(Gauge, S::Programmed)>> = parallel_map_with(
+        config.num_gauges,
+        threads,
+        || (),
+        |_, gauge_idx| {
+            states
+                .iter()
+                .map(|st| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(
+                        st.seed,
+                        STREAM_GAUGE,
+                        gauge_idx as u64,
+                        0,
+                    ));
+                    let gauge = Gauge::random(st.ising.num_spins(), &mut rng);
+                    let realised = config.control_error.perturb(&st.ising, &mut rng);
+                    let prog = device.sampler().program(
+                        gauge.apply(&realised),
+                        &SamplerHints { chains: &st.chains },
+                        &mut rng,
+                    );
+                    (gauge, prog)
+                })
+                .collect()
+        },
+    );
+
+    // Phase B — every composite read slot anneals all tenants into one
+    // shared spin buffer (each tenant's segment from its own read stream)
+    // and demultiplexes the segments into per-tenant reads. Timestamps are
+    // shared: slot `idx` completes at `(idx + 1) · time_per_read` plus the
+    // tenant's own reprogramming delays, exactly as solo.
+    let time_per_read = config.time_per_read_us();
+    let executed: Vec<Vec<(Read, usize, bool)>> = parallel_map_with(
+        config.num_reads,
+        threads,
+        || (vec![0i8; layout.total_spins()], ReadScratch::default()),
+        |(buf, scratch): &mut (Vec<i8>, ReadScratch), idx| {
+            let (gauge_idx, read_in_gauge) = locate(idx);
+            let progs = &programmed[gauge_idx];
+            states
+                .iter()
+                .enumerate()
+                .map(|(a, st)| {
+                    let spins = &mut buf[layout.segment(a)];
+                    let (gauge, prog) = &progs[a];
+                    let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(
+                        st.seed,
+                        STREAM_READ,
+                        gauge_idx as u64,
+                        read_in_gauge as u64,
+                    ));
+                    let mut flips = 0usize;
+                    let mut stuck = false;
+                    let mut delay_us = 0.0;
+                    match st.plan.as_ref() {
+                        None => {
+                            prog.sample_into_fast(&mut rng, spins, scratch);
+                            gauge.transform_spins_in_place(spins);
+                        }
+                        Some(plan) => {
+                            delay_us = plan.delay_before_us(gauge_idx);
+                            let mut frng = ChaCha8Rng::seed_from_u64(derive_seed(
+                                st.seed,
+                                STREAM_FAULT_READ,
+                                gauge_idx as u64,
+                                read_in_gauge as u64,
+                            ));
+                            stuck = faults_cfg.stuck_read_rate > 0.0
+                                && frng.gen::<f64>() < faults_cfg.stuck_read_rate;
+                            if stuck {
+                                for s in spins.iter_mut() {
+                                    *s = if frng.gen::<bool>() { 1 } else { -1 };
+                                }
+                            } else {
+                                prog.sample_into_fast(&mut rng, spins, scratch);
+                                gauge.transform_spins_in_place(spins);
+                                for (s, &is_dead) in
+                                    spins.iter_mut().zip(plan.dead_mask(gauge_idx))
+                                {
+                                    if is_dead {
+                                        *s = if frng.gen::<bool>() { 1 } else { -1 };
+                                    }
+                                }
+                            }
+                            if faults_cfg.readout_flip_rate > 0.0 {
+                                for s in spins.iter_mut() {
+                                    if frng.gen::<f64>() < faults_cfg.readout_flip_rate {
+                                        *s = -*s;
+                                        flips += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let assignment = spins_to_bits(spins);
+                    let energy = st.qubo.energy(&assignment);
+                    let read = Read {
+                        assignment,
+                        energy,
+                        elapsed_us: (idx + 1) as f64 * time_per_read + delay_us,
+                        gauge: gauge_idx,
+                    };
+                    (read, flips, stuck)
+                })
+                .collect()
+        },
+    );
+
+    // Demultiplex: regroup slot-major results into per-tenant chronological
+    // sample sets with per-tenant fault accounting.
+    let mut per_tenant_reads: Vec<Vec<Read>> = states
+        .iter()
+        .map(|_| Vec::with_capacity(config.num_reads))
+        .collect();
+    let mut flips_total = vec![0usize; states.len()];
+    let mut stuck_total = vec![0usize; states.len()];
+    for slot in executed {
+        for (a, (read, flips, stuck)) in slot.into_iter().enumerate() {
+            per_tenant_reads[a].push(read);
+            flips_total[a] += flips;
+            if stuck {
+                stuck_total[a] += 1;
+            }
+        }
+    }
+
+    let mut sets: Vec<Option<SampleSet>> = Vec::with_capacity(states.len());
+    for (a, st) in states.iter().enumerate() {
+        let mut events = match st.plan.as_ref() {
+            Some(plan) => FaultEvents {
+                dropped_qubits: plan.dropped_qubits(),
+                programming_rejects: plan.programming_rejects(),
+                delay_us: plan.total_delay_us(),
+                ..FaultEvents::default()
+            },
+            None => FaultEvents::default(),
+        };
+        events.readout_flips = flips_total[a];
+        events.stuck_reads = stuck_total[a];
+        sets.push(Some(SampleSet::with_faults(
+            std::mem::take(&mut per_tenant_reads[a]),
+            events,
+        )));
+    }
+
+    let mut sets_iter = sets.into_iter();
+    Ok(slots
+        .into_iter()
+        .map(|slot| {
+            slot.map(|_| {
+                sets_iter
+                    .next()
+                    .flatten()
+                    .expect("one sample set per active tenant")
+            })
+        })
+        .collect())
+}
+
+fn validate_tenant<'a>(
+    tenant: &PackedTenant<'a>,
+    graph: &ChimeraGraph,
+    config: &crate::device::DeviceConfig,
+) -> Result<TenantState<'a>, DeviceError> {
+    let pm = tenant.pm;
+    for &(i, j, _) in pm.physical_qubo().quadratic() {
+        let qa = pm.qubit_of_phys(i.index());
+        let qb = pm.qubit_of_phys(j.index());
+        if !graph.has_coupler(qa, qb) {
+            return Err(DeviceError::NotProgrammable {
+                phys_a: i.index(),
+                phys_b: j.index(),
+            });
+        }
+    }
+    let ising = Ising::from_qubo(pm.physical_qubo());
+    let plan = if config.faults.is_inert() {
+        None
+    } else {
+        match FaultPlan::build(
+            &config.faults,
+            tenant.seed,
+            config.num_gauges,
+            ising.num_spins(),
+        ) {
+            Ok(plan) => Some(plan),
+            Err(rejected) => {
+                return Err(DeviceError::ProgrammingFailed {
+                    gauge: rejected.gauge,
+                    attempts: rejected.attempts,
+                })
+            }
+        }
+    };
+    Ok(TenantState {
+        ising,
+        qubo: pm.physical_qubo(),
+        chains: pm.dense_chains(),
+        seed: tenant.seed,
+        plan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use crate::faults::FaultConfig;
+    use crate::sa::SimulatedAnnealingSampler;
+    use mqo_chimera::packing;
+    use mqo_core::ids::VarId;
+    use mqo_core::qubo::Qubo;
+
+    fn tenant_qubo(num_vars: usize, salt: u64) -> Qubo {
+        let mut b = Qubo::builder(num_vars);
+        for v in 0..num_vars {
+            b.add_linear(VarId::new(v), (salt as f64 + v as f64).sin());
+        }
+        for v in 0..num_vars {
+            for w in v + 1..num_vars {
+                b.add_quadratic(
+                    VarId::new(v),
+                    VarId::new(w),
+                    ((salt + 1) as f64 * (v + w) as f64).cos(),
+                );
+            }
+        }
+        b.build()
+    }
+
+    fn packed_mappings(
+        graph: &ChimeraGraph,
+        sizes: &[usize],
+    ) -> (Vec<PhysicalMapping>, Vec<Qubo>) {
+        let placements = packing::pack(graph, sizes);
+        let qubos: Vec<Qubo> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| tenant_qubo(n, i as u64))
+            .collect();
+        let pms = placements
+            .into_iter()
+            .zip(&qubos)
+            .map(|(p, q)| {
+                PhysicalMapping::new(q, p.expect("fits").embedding, graph, 0.25).unwrap()
+            })
+            .collect();
+        (pms, qubos)
+    }
+
+    fn device(reads: usize, gauges: usize, threads: usize) -> QuantumAnnealer<SimulatedAnnealingSampler> {
+        QuantumAnnealer::new(
+            DeviceConfig {
+                num_reads: reads,
+                num_gauges: gauges,
+                threads,
+                ..DeviceConfig::default()
+            },
+            SimulatedAnnealingSampler::default(),
+        )
+    }
+
+    #[test]
+    fn layout_partitions_every_composite_spin() {
+        let layout = CompositeLayout::new(&[3, 5, 1, 4]);
+        assert_eq!(layout.num_tenants(), 4);
+        assert_eq!(layout.total_spins(), 13);
+        for spin in 0..13 {
+            let t = layout.tenant_of(spin).expect("in range");
+            assert!(layout.segment(t).contains(&spin));
+            // No other tenant claims it.
+            for u in 0..4 {
+                if u != t {
+                    assert!(!layout.segment(u).contains(&spin));
+                }
+            }
+        }
+        assert_eq!(layout.tenant_of(13), None);
+    }
+
+    #[test]
+    fn assembled_ising_energy_is_the_sum_of_block_energies() {
+        let a = Ising::new(vec![0.5, -1.0], vec![(VarId(0), VarId(1), 2.0)], 0.25);
+        let b = Ising::new(
+            vec![1.0, 0.0, -0.5],
+            vec![(VarId(0), VarId(2), -1.5), (VarId(1), VarId(2), 0.5)],
+            -1.0,
+        );
+        let merged = assemble_ising(&[&a, &b]);
+        assert_eq!(merged.num_spins(), 5);
+        let sa = [1i8, -1];
+        let sb = [-1i8, 1, -1];
+        let combined = [1i8, -1, -1, 1, -1];
+        assert!(
+            (merged.energy(&combined) - (a.energy(&sa) + b.energy(&sb))).abs() < 1e-12,
+            "block-diagonal energies must add"
+        );
+    }
+
+    #[test]
+    fn single_tenant_packed_run_matches_solo() {
+        let graph = ChimeraGraph::new(2, 2);
+        let (pms, _) = packed_mappings(&graph, &[4]);
+        let dev = device(20, 4, 1);
+        let solo = dev.run(&pms[0], &graph, 7).unwrap();
+        let packed = run_packed(&dev, &graph, &[PackedTenant { pm: &pms[0], seed: 7 }]).unwrap();
+        let set = packed[0].as_ref().unwrap();
+        assert_eq!(solo.reads(), set.reads());
+        assert_eq!(solo.faults(), set.faults());
+    }
+
+    #[test]
+    fn every_tenant_is_bit_identical_to_its_solo_run() {
+        let graph = ChimeraGraph::new(4, 4);
+        let sizes = [5, 4, 3, 2];
+        let (pms, _) = packed_mappings(&graph, &sizes);
+        let dev = device(15, 3, 2);
+        let tenants: Vec<PackedTenant<'_>> = pms
+            .iter()
+            .enumerate()
+            .map(|(i, pm)| PackedTenant { pm, seed: 100 + i as u64 })
+            .collect();
+        let packed = run_packed(&dev, &graph, &tenants).unwrap();
+        for (i, pm) in pms.iter().enumerate() {
+            let solo = dev.run(pm, &graph, 100 + i as u64).unwrap();
+            let set = packed[i].as_ref().unwrap();
+            assert_eq!(solo.reads(), set.reads(), "tenant {i}");
+            assert_eq!(solo.faults(), set.faults(), "tenant {i}");
+        }
+    }
+
+    #[test]
+    fn fault_injected_tenants_stay_bit_identical_to_solo() {
+        let graph = ChimeraGraph::new(4, 4);
+        let sizes = [4, 5, 2];
+        let (pms, _) = packed_mappings(&graph, &sizes);
+        let faults = FaultConfig {
+            readout_flip_rate: 0.05,
+            stuck_read_rate: 0.05,
+            qubit_dropout_rate: 0.05,
+            ..FaultConfig::NONE
+        };
+        let dev = QuantumAnnealer::new(
+            DeviceConfig {
+                num_reads: 12,
+                num_gauges: 3,
+                faults,
+                ..DeviceConfig::default()
+            },
+            SimulatedAnnealingSampler::default(),
+        );
+        let tenants: Vec<PackedTenant<'_>> = pms
+            .iter()
+            .enumerate()
+            .map(|(i, pm)| PackedTenant { pm, seed: 40 + i as u64 })
+            .collect();
+        let packed = run_packed(&dev, &graph, &tenants).unwrap();
+        for (i, pm) in pms.iter().enumerate() {
+            match (&packed[i], dev.run(pm, &graph, 40 + i as u64)) {
+                (Ok(set), Ok(solo)) => {
+                    assert_eq!(solo.reads(), set.reads(), "tenant {i}");
+                    assert_eq!(solo.faults(), set.faults(), "tenant {i}");
+                }
+                (Err(e), Err(solo_e)) => assert_eq!(e, &solo_e, "tenant {i}"),
+                (packed, solo) => {
+                    panic!("tenant {i}: packed {packed:?} vs solo {solo:?} disagree")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_failing_tenant_never_poisons_its_batchmates() {
+        let graph = ChimeraGraph::new(4, 4);
+        let sizes = [4, 4];
+        let (pms, _) = packed_mappings(&graph, &sizes);
+        // Break a qubit tenant 0 uses, after mapping: its couplings fall
+        // off the hardware while tenant 1 is untouched.
+        let dead = pms[0].qubit_of_phys(0);
+        let broken = graph.clone().with_broken(&[dead]);
+        let dev = device(10, 2, 1);
+        let tenants = [
+            PackedTenant { pm: &pms[0], seed: 1 },
+            PackedTenant { pm: &pms[1], seed: 2 },
+        ];
+        let packed = run_packed(&dev, &broken, &tenants).unwrap();
+        assert!(matches!(
+            packed[0],
+            Err(DeviceError::NotProgrammable { .. })
+        ));
+        let solo = dev.run(&pms[1], &broken, 2).unwrap();
+        assert_eq!(solo.reads(), packed[1].as_ref().unwrap().reads());
+    }
+
+    #[test]
+    fn overlapping_tenants_are_rejected_at_the_batch_level() {
+        let graph = ChimeraGraph::new(2, 2);
+        let (pms, _) = packed_mappings(&graph, &[4]);
+        let dev = device(10, 2, 1);
+        let tenants = [
+            PackedTenant { pm: &pms[0], seed: 1 },
+            PackedTenant { pm: &pms[0], seed: 2 },
+        ];
+        let err = run_packed(&dev, &graph, &tenants).unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::InvalidConfig("packed tenants overlap on physical qubits")
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_packed_results() {
+        let graph = ChimeraGraph::new(4, 4);
+        let sizes = [3, 4, 5];
+        let (pms, _) = packed_mappings(&graph, &sizes);
+        let run_with = |threads: usize| {
+            let dev = device(14, 4, threads);
+            let tenants: Vec<PackedTenant<'_>> = pms
+                .iter()
+                .enumerate()
+                .map(|(i, pm)| PackedTenant { pm, seed: 9 + i as u64 })
+                .collect();
+            run_packed(&dev, &graph, &tenants).unwrap()
+        };
+        let serial = run_with(1);
+        for threads in [2, 3, 8] {
+            let parallel = run_with(threads);
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(
+                    a.as_ref().unwrap().reads(),
+                    b.as_ref().unwrap().reads()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_fail_the_whole_batch() {
+        let graph = ChimeraGraph::new(2, 2);
+        let (pms, _) = packed_mappings(&graph, &[4]);
+        let tenants = [PackedTenant { pm: &pms[0], seed: 0 }];
+        assert_eq!(
+            run_packed(&device(0, 1, 1), &graph, &tenants).unwrap_err(),
+            DeviceError::InvalidConfig("num_reads must be positive")
+        );
+        assert!(matches!(
+            run_packed(&device(5, 10, 1), &graph, &tenants).unwrap_err(),
+            DeviceError::InvalidConfig(_)
+        ));
+        assert!(run_packed(&device(5, 2, 1), &graph, &[]).unwrap().is_empty());
+    }
+}

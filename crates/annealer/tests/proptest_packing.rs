@@ -1,0 +1,146 @@
+//! Property-based tests of composite programming (the chip-packing
+//! subsystem's device layer): the demultiplexer must partition the
+//! composite spin buffer exactly, and a packed run must return samples
+//! bit-identical to each tenant's solo run with the same seed — across
+//! tenant counts, thread counts, and fault rates.
+
+use mqo_annealer::composite::{run_packed, CompositeLayout, PackedTenant};
+use mqo_annealer::device::{DeviceConfig, QuantumAnnealer};
+use mqo_annealer::faults::FaultConfig;
+use mqo_annealer::sa::SimulatedAnnealingSampler;
+use mqo_chimera::graph::ChimeraGraph;
+use mqo_chimera::packing;
+use mqo_chimera::physical::PhysicalMapping;
+use mqo_core::ids::VarId;
+use mqo_core::qubo::Qubo;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A random tenant problem with `num_vars` logical variables: dense enough
+/// that every chain coupler matters, small enough to pack several per chip.
+fn tenant_qubo(num_vars: usize, salt: u64) -> Qubo {
+    let mut rng = ChaCha8Rng::seed_from_u64(salt);
+    let mut b = Qubo::builder(num_vars);
+    for v in 0..num_vars {
+        b.add_linear(VarId::new(v), rng.gen_range(-2.0..2.0));
+    }
+    for v in 0..num_vars {
+        for w in v + 1..num_vars {
+            if rng.gen_bool(0.8) {
+                b.add_quadratic(VarId::new(v), VarId::new(w), rng.gen_range(-1.5..1.5));
+            }
+        }
+    }
+    b.build()
+}
+
+fn device(
+    threads: usize,
+    fault_rate: f64,
+) -> QuantumAnnealer<SimulatedAnnealingSampler> {
+    QuantumAnnealer::new(
+        DeviceConfig {
+            num_reads: 15,
+            num_gauges: 3,
+            threads,
+            faults: FaultConfig {
+                readout_flip_rate: fault_rate,
+                stuck_read_rate: fault_rate,
+                qubit_dropout_rate: fault_rate / 4.0,
+                ..FaultConfig::default()
+            },
+            ..DeviceConfig::default()
+        },
+        SimulatedAnnealingSampler::default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The composite layout is an exact partition: every composite spin
+    /// index belongs to exactly one tenant's segment, segments are
+    /// contiguous and ordered, and out-of-range indices belong to nobody.
+    /// Zero-sized tenants occupy empty segments without claiming spins.
+    #[test]
+    fn layout_segments_partition_the_composite_buffer(
+        sizes in proptest::collection::vec(0usize..=9, 1..=8),
+    ) {
+        let layout = CompositeLayout::new(&sizes);
+        prop_assert_eq!(layout.num_tenants(), sizes.len());
+        prop_assert_eq!(layout.total_spins(), sizes.iter().sum::<usize>());
+        let mut claimed = 0usize;
+        for t in 0..sizes.len() {
+            let seg = layout.segment(t);
+            prop_assert_eq!(seg.len(), sizes[t]);
+            prop_assert_eq!(seg.start, claimed, "segments must be contiguous");
+            claimed = seg.end;
+            for spin in seg.clone() {
+                prop_assert_eq!(layout.tenant_of(spin), Some(t));
+            }
+        }
+        prop_assert_eq!(claimed, layout.total_spins());
+        prop_assert_eq!(layout.tenant_of(layout.total_spins()), None);
+    }
+
+    /// Device-level bit-identity: every tenant of a packed run gets reads
+    /// and fault events identical to its own solo run with the same seed,
+    /// for any tenant mix, placement order, thread count, and fault rate.
+    #[test]
+    fn packed_tenants_match_their_solo_runs_bit_for_bit(
+        gen_seed in 0u64..4096,
+        num_tenants in 2usize..=5,
+        packed_threads in 1usize..=4,
+        solo_threads in 1usize..=4,
+        fault_idx in 0usize..3,
+    ) {
+        let fault_rate = [0.0, 0.02, 0.05][fault_idx];
+        let graph = ChimeraGraph::new(3, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(gen_seed);
+        let sizes: Vec<usize> = (0..num_tenants).map(|_| rng.gen_range(2..=5)).collect();
+        let qubos: Vec<Qubo> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| tenant_qubo(n, gen_seed ^ ((i as u64) << 16)))
+            .collect();
+        // Tenants the placer declines (chip full) simply don't join the
+        // cycle — the subsystem sends them down the solo path.
+        let placements = packing::pack(&graph, &sizes);
+        let pms: Vec<PhysicalMapping> = placements
+            .into_iter()
+            .zip(&qubos)
+            .filter_map(|(p, q)| {
+                p.map(|p| PhysicalMapping::new(q, p.embedding, &graph, 0.25).unwrap())
+            })
+            .collect();
+        let num_placed = pms.len();
+        prop_assert!(num_placed >= 2, "a 3x3 chip always hosts at least two tenants");
+        let seeds: Vec<u64> = (0..num_placed as u64).map(|i| gen_seed ^ (i << 32)).collect();
+        let tenants: Vec<PackedTenant<'_>> = pms
+            .iter()
+            .zip(&seeds)
+            .map(|(pm, &seed)| PackedTenant { pm, seed })
+            .collect();
+
+        let packed_dev = device(packed_threads, fault_rate);
+        let solo_dev = device(solo_threads, fault_rate);
+        let packed = run_packed(&packed_dev, &graph, &tenants).unwrap();
+        prop_assert_eq!(packed.len(), num_placed);
+        for (t, slot) in packed.iter().enumerate() {
+            let solo = solo_dev.run(&pms[t], &graph, seeds[t]);
+            match (slot, solo) {
+                (Ok(set), Ok(solo)) => {
+                    prop_assert_eq!(solo.reads(), set.reads(), "tenant {} reads drifted", t);
+                    prop_assert_eq!(solo.faults(), set.faults(), "tenant {} faults drifted", t);
+                }
+                (Err(_), Err(_)) => {} // both paths reject the same tenant
+                (packed_slot, solo) => {
+                    return Err(TestCaseError::fail(format!(
+                        "tenant {t} diverged: packed={packed_slot:?} solo={solo:?}"
+                    )));
+                }
+            }
+        }
+    }
+}

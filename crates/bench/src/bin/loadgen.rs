@@ -4,6 +4,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--clients C] [--structures S]
 //!         [--plans P] [--reads N] [--seed S] [--small]
+//!         [--mixed-sizes] [--tenants T]
 //!         [--chaos-seed N] [--chaos-panic-rate F] [--chaos-kill-rate F]
 //!         [--chaos-backend-failure-rate F] [--chaos-corruption-rate F]
 //!         [--chaos-conn-abort-rate F] [--chaos-slow-rate F]
@@ -24,6 +25,15 @@
 //! `(--chaos-seed, --requests)` pair aborts exactly the same requests at
 //! any `--clients` count. Under chaos the run asserts a clean drain:
 //! every request ends as a solve, a typed error, or a deliberate abort.
+//!
+//! Packing mode (ISSUE-8): `--mixed-sizes` cycles the structures through
+//! the paper's plan classes 2–5 (at one or two queries each) so request
+//! footprints vary from one Chimera cell to several; `--tenants T`
+//! self-hosts with chip packing enabled and up to `T` tenants per
+//! programming cycle. The report gains a `packing` section — packed
+//! batches, tenants packed, placer declines, and occupancy in tenants per
+//! cycle — and a clean self-hosted run with a backlog asserts occupancy
+//! exceeded 1.0.
 //!
 //! Integrity mode (ISSUE-7): `--chaos-corruption-rate` mangles a
 //! deterministic subset of successful answers at the server's API
@@ -56,6 +66,8 @@ struct Options {
     reads: usize,
     seed: u64,
     small: bool,
+    mixed_sizes: bool,
+    tenants: usize,
     chaos: ChaosConfig,
     conn_abort_rate: f64,
     slow_rate: f64,
@@ -74,6 +86,8 @@ impl Default for Options {
             reads: 50,
             seed: 7,
             small: true,
+            mixed_sizes: false,
+            tenants: 0,
             chaos: ChaosConfig::NONE,
             conn_abort_rate: 0.0,
             slow_rate: 0.0,
@@ -117,6 +131,8 @@ fn parse_options() -> Options {
             "--seed" => opts.seed = num(value("--seed"), "--seed"),
             "--small" => opts.small = true,
             "--full" => opts.small = false,
+            "--mixed-sizes" => opts.mixed_sizes = true,
+            "--tenants" => opts.tenants = num(value("--tenants"), "--tenants"),
             "--chaos-seed" => opts.chaos.seed = num(value("--chaos-seed"), "--chaos-seed"),
             "--chaos-panic-rate" => {
                 opts.chaos.worker_panic_rate =
@@ -160,6 +176,8 @@ fn parse_options() -> Options {
                      --seed S          workload generator seed (7)\n\
                      --small           4-cell Chimera graph [default]\n\
                      --full            12x12 D-Wave 2X graph\n\
+                     --mixed-sizes     cycle structures through paper classes 2-5 plans\n\
+                     --tenants T       self-host with chip packing, up to T tenants/cycle (0 = off)\n\
                      --chaos-seed N    seed of all chaos streams (0)\n\
                      --chaos-panic-rate F    server: worker panic probability (0, self-host)\n\
                      --chaos-kill-rate F     server: worker death probability (0, self-host)\n\
@@ -286,13 +304,23 @@ fn main() {
 
     // Distinct structures: vary the sharing pattern per generator seed so
     // the cache sees `structures` different keys, each repeated
-    // `requests / structures` times.
+    // `requests / structures` times. With `--mixed-sizes` the structures
+    // additionally cycle through the paper's plan classes 2–5 at one or two
+    // queries each — the size mix the chip-packing placer sees in practice.
     let mut problems = Vec::new();
     for s in 0..opts.structures {
-        let cfg = PaperWorkloadConfig {
-            sharing_probability: 0.6,
-            max_queries: 4,
-            ..PaperWorkloadConfig::paper_class(opts.plans)
+        let cfg = if opts.mixed_sizes {
+            PaperWorkloadConfig {
+                sharing_probability: 0.6,
+                max_queries: 1 + (s / 4) % 2,
+                ..PaperWorkloadConfig::paper_class(2 + s % 4)
+            }
+        } else {
+            PaperWorkloadConfig {
+                sharing_probability: 0.6,
+                max_queries: 4,
+                ..PaperWorkloadConfig::paper_class(opts.plans)
+            }
         };
         let mut rng = ChaCha8Rng::seed_from_u64(opts.seed.wrapping_add(s as u64));
         let inst = paper::generate(&graph, &cfg, &mut rng).unwrap_or_else(|e| fail(e));
@@ -318,13 +346,32 @@ fn main() {
     let (server, addr): (Option<Server>, SocketAddr) = match &opts.addr {
         Some(a) => (None, a.parse().unwrap_or_else(|e| fail(e))),
         None => {
-            let mut engine = EngineConfig::new(graph.clone());
+            // With packing, host on a chip large enough to co-locate
+            // several mixed-size tenants even when structures were
+            // generated against the small graph.
+            let host_graph = if opts.tenants > 0 && opts.small {
+                ChimeraGraph::new(4, 4)
+            } else {
+                graph.clone()
+            };
+            let mut engine = EngineConfig::new(host_graph);
             engine.chaos = opts.chaos;
             engine.breaker.failure_threshold = opts.breaker_threshold;
             engine.breaker.open_ms = opts.breaker_open_ms;
+            if opts.tenants > 0 {
+                engine.packing = true;
+                engine.packing_max_tenants = opts.tenants.max(2);
+            }
             let mut config = ServerConfig::new(engine);
             config.addr = "127.0.0.1:0".to_string();
-            config.queue.workers = opts.clients.max(2);
+            if opts.tenants > 0 {
+                // Few workers over a deep claim window: backlogs form while
+                // a cycle runs, so the next claim packs several tenants.
+                config.queue.workers = 2;
+                config.queue.batch_size = config.queue.batch_size.max(opts.tenants);
+            } else {
+                config.queue.workers = opts.clients.max(2);
+            }
             let server = Server::start(config).unwrap_or_else(|e| fail(e));
             let addr = server.local_addr();
             (Some(server), addr)
@@ -454,6 +501,20 @@ fn main() {
         ));
     }
 
+    // Overall occupancy: solved tenants per programming cycle across the
+    // whole run. Solo solves are one-tenant cycles, so without packing this
+    // is exactly 1.0; packed batches push it above 1.0.
+    let svc_count = |key: &str| metrics["service"][key].as_u64().unwrap_or(0);
+    let solved_srv = svc_count("solved_total");
+    let packed_batches = svc_count("packed_batches");
+    let tenants_packed = svc_count("tenants_packed");
+    let cycles = packed_batches + solved_srv.saturating_sub(tenants_packed);
+    let occupancy = if cycles == 0 {
+        0.0
+    } else {
+        solved_srv as f64 / cycles as f64
+    };
+
     let errors_value = serde_json::Value::Object(
         errors_by_status
             .iter()
@@ -482,6 +543,13 @@ fn main() {
             "repairs": metrics["service"]["integrity_repairs"].clone(),
             "rejects": metrics["service"]["integrity_rejects"].clone(),
             "corruptions_injected": metrics["service"]["chaos_corruptions_injected"].clone(),
+        }),
+        "packing": serde_json::json!({
+            "packed_batches": metrics["service"]["packed_batches"].clone(),
+            "tenants_packed": metrics["service"]["tenants_packed"].clone(),
+            "packing_declines": metrics["service"]["packing_declines"].clone(),
+            "tenants_per_cycle": metrics["service"]["tenants_per_cycle"].clone(),
+            "occupancy_tenants_per_cycle": occupancy,
         }),
         "chains": serde_json::json!({
             "reads_broken": metrics["service"]["reads_broken_chains"].clone(),
@@ -534,5 +602,21 @@ fn main() {
     // (weights-only reprogramming) must be at least as fast on median.
     if !chaos_active && outcomes.len() > opts.structures && hits.is_empty() {
         fail("no cache hits despite repeated structures");
+    }
+
+    // The packing acceptance signal (self-host, clean runs with a
+    // meaningful backlog): at least one programming cycle must have carried
+    // multiple tenants, i.e. occupancy exceeds one tenant per cycle.
+    if opts.addr.is_none()
+        && opts.tenants > 0
+        && !chaos_active
+        && opts.clients >= 2
+        && opts.requests >= 8 * opts.clients
+        && occupancy <= 1.0
+    {
+        fail(format!(
+            "packing never engaged: occupancy {occupancy:.3} tenants/cycle \
+             ({packed_batches} packed batches over {solved_srv} solves)"
+        ));
     }
 }

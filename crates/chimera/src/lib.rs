@@ -40,6 +40,7 @@
 pub mod capacity;
 pub mod embedding;
 pub mod graph;
+pub mod packing;
 pub mod physical;
 pub mod render;
 

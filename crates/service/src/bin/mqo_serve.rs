@@ -10,6 +10,7 @@
 //!           [--chaos-seed N] [--chaos-panic-rate F] [--chaos-kill-rate F]
 //!           [--chaos-backend-failure-rate F] [--chaos-corruption-rate F]
 //!           [--no-integrity-repair] [--no-verify-gate]
+//!           [--packing] [--max-tenants N]
 //! ```
 //!
 //! Binds, prints `listening on <addr>` (scripts parse that line), then
@@ -48,6 +49,8 @@ struct Options {
     chaos: ChaosConfig,
     integrity_repair: bool,
     verify_gate: bool,
+    packing: bool,
+    max_tenants: usize,
 }
 
 impl Default for Options {
@@ -75,6 +78,8 @@ impl Default for Options {
             chaos: ChaosConfig::NONE,
             integrity_repair: true,
             verify_gate: true,
+            packing: false,
+            max_tenants: 16,
         }
     }
 }
@@ -141,6 +146,8 @@ fn parse_options() -> Result<Options, String> {
                     "--chaos-corruption-rate",
                 )?
             }
+            "--packing" => opts.packing = true,
+            "--max-tenants" => opts.max_tenants = parse(&value("--max-tenants")?, "--max-tenants")?,
             "--no-integrity-repair" => opts.integrity_repair = false,
             "--no-verify-gate" => opts.verify_gate = false,
             "--help" | "-h" => {
@@ -170,6 +177,8 @@ fn parse_options() -> Result<Options, String> {
                      --chaos-kill-rate F    caught-panic worker death probability (0)\n\
                      --chaos-backend-failure-rate F  per-attempt backend failure probability (0)\n\
                      --chaos-corruption-rate F  per-request answer corruption probability (0)\n\
+                     --packing           pack small requests onto disjoint chip regions per cycle\n\
+                     --max-tenants N     tenants per packed cycle cap (16)\n\
                      --no-integrity-repair  reject gate failures with a typed 500 instead of repairing\n\
                      --no-verify-gate    disable answer re-validation (bench escape hatch)"
                 );
@@ -225,6 +234,8 @@ fn main() {
     engine.verify_gate = opts.verify_gate;
     engine.breaker.failure_threshold = opts.breaker_threshold;
     engine.breaker.open_ms = opts.breaker_open_ms;
+    engine.packing = opts.packing;
+    engine.packing_max_tenants = opts.max_tenants.max(2);
 
     let mut config = ServerConfig::new(engine);
     config.addr = opts.addr;

@@ -352,7 +352,20 @@ fn handle_solve(stream: &mut TcpStream, request: Request, queue: &SolveQueue, me
     let receiver = match queue.submit(solve_request) {
         Ok(rx) => rx,
         Err(reject) => {
-            let _ = write_json_response(stream, reject.http_status(), &reject_body(&reject));
+            // Back-pressure rejections carry a Retry-After hint, exactly
+            // like the accept-time connection shed: a full queue is a
+            // transient condition the client should retry, not an error.
+            let headers: &[(&str, &str)] = if matches!(reject, Reject::QueueFull { .. }) {
+                &[("retry-after", "1")]
+            } else {
+                &[]
+            };
+            let _ = write_json_response_with(
+                stream,
+                reject.http_status(),
+                &reject_body(&reject),
+                headers,
+            );
             return;
         }
     };
@@ -521,6 +534,86 @@ mod tests {
         let v: serde_json::Value = serde_json::from_slice(&body).unwrap();
         assert_eq!(v["reason"], "header_limit");
         assert_eq!(server.metrics().snapshot().rejected_header_limit, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn queue_full_answers_429_with_retry_after_like_the_shed_path() {
+        use std::io::{BufRead, BufReader, Write};
+        let mut engine = EngineConfig::new(ChimeraGraph::new(2, 2));
+        engine.device.num_reads = 20;
+        engine.device.num_gauges = 2;
+        let mut config = ServerConfig::new(engine);
+        config.queue = crate::queue::QueueConfig {
+            depth: 1,
+            workers: 1,
+            batch_size: 1,
+            default_deadline_ms: 0,
+        };
+        let server = Server::start(config).unwrap();
+        let addr = server.local_addr();
+
+        // A long solve occupies the single worker; the next request fills
+        // the depth-1 queue; the one after that must be rejected 429.
+        let slow: &[u8] = br#"{"problem": {"queries": [[2,4],[3,1]], "savings": [[1,2,5.0]]}, "seed": 7, "reads": 4000, "gauges": 1}"#;
+        let send = |body: &[u8]| {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            let head = format!(
+                "POST /solve HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                body.len()
+            );
+            s.write_all(head.as_bytes()).unwrap();
+            s.write_all(body).unwrap();
+            s.flush().unwrap();
+            s
+        };
+        let read_response = |stream: &std::net::TcpStream| {
+            let mut reader = BufReader::new(stream);
+            let mut status_line = String::new();
+            reader.read_line(&mut status_line).unwrap();
+            let mut saw_retry_after = false;
+            loop {
+                let mut header = String::new();
+                if reader.read_line(&mut header).unwrap() == 0 {
+                    break;
+                }
+                if header.trim_end().is_empty() {
+                    break;
+                }
+                if header.to_ascii_lowercase().starts_with("retry-after:") {
+                    saw_retry_after = true;
+                }
+            }
+            (status_line, saw_retry_after)
+        };
+        let wait_until = |ready: &dyn Fn() -> bool, what: &str| {
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while !ready() {
+                assert!(std::time::Instant::now() < deadline, "timed out: {what}");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
+
+        let a = send(slow);
+        wait_until(
+            &|| server.metrics().snapshot().batches_dispatched >= 1,
+            "worker claims the first request",
+        );
+        let b = send(slow);
+        wait_until(
+            &|| server.metrics().snapshot().queue_depth >= 1,
+            "second request queues",
+        );
+        let c = send(TINY);
+        let (status, retry_after) = read_response(&c);
+        assert!(status.starts_with("HTTP/1.1 429"), "{status}");
+        assert!(retry_after, "429 advertises Retry-After like the 503 shed");
+        assert_eq!(server.metrics().snapshot().rejected_queue_full, 1);
+        // The occupying requests still answer normally.
+        for held in [a, b] {
+            let (status, _) = read_response(&held);
+            assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+        }
         server.shutdown();
     }
 

@@ -1,0 +1,147 @@
+//! Property-based tests of the chip-packing subsystem at the service
+//! level (DESIGN.md §12): a packed solve must be bit-identical to the same
+//! request solved solo with the same seed — across tenant counts, device
+//! thread counts, and fault rates — and packing must never change *which*
+//! requests are answerable, only how many share a programming cycle.
+
+use mqo_chimera::graph::ChimeraGraph;
+use mqo_core::problem::MqoProblem;
+use mqo_service::api::SolveRequest;
+use mqo_service::engine::{EngineConfig, SolveEngine};
+use mqo_service::metrics::Metrics;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// A random small MQO instance (2–3 queries, 1–2 plans each) — the paper's
+/// small classes, sized so several fit a 3×3 chip at once.
+fn random_problem(gen_seed: u64) -> MqoProblem {
+    let mut rng = ChaCha8Rng::seed_from_u64(gen_seed);
+    let mut b = MqoProblem::builder();
+    let num_queries = rng.gen_range(2..=3);
+    let queries: Vec<_> = (0..num_queries)
+        .map(|_| {
+            let num_plans = rng.gen_range(1..=2);
+            let costs: Vec<f64> = (0..num_plans)
+                .map(|_| f64::from(rng.gen_range(1..=8)))
+                .collect();
+            b.add_query(&costs)
+        })
+        .collect();
+    for i in 0..queries.len() {
+        for j in (i + 1)..queries.len() {
+            if rng.gen_bool(0.7) {
+                let pi = b.plans_of(queries[i]);
+                let pj = b.plans_of(queries[j]);
+                let a = pi[rng.gen_range(0..pi.len())];
+                let c = pj[rng.gen_range(0..pj.len())];
+                let saving = f64::from(rng.gen_range(1..=5));
+                b.add_saving(a, c, saving).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+fn engine(packing: bool, threads: usize, fault_rate: f64) -> SolveEngine {
+    let mut cfg = EngineConfig::new(ChimeraGraph::new(3, 3));
+    cfg.device.num_reads = 20;
+    cfg.device.num_gauges = 4;
+    cfg.device.threads = threads;
+    cfg.device.faults.readout_flip_rate = fault_rate;
+    cfg.device.faults.stuck_read_rate = fault_rate;
+    cfg.device.faults.qubit_dropout_rate = fault_rate / 4.0;
+    cfg.packing = packing;
+    SolveEngine::new(cfg, Arc::new(Metrics::default()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Packed answers are bit-identical to solo answers with the same seed:
+    /// same selection, cost, and read statistics — for every tenant count,
+    /// thread count, and fault rate, and regardless of how the remaining
+    /// tenants of the cycle look.
+    #[test]
+    fn packed_solves_are_bit_identical_to_solo_solves(
+        gen_seed in 0u64..4096,
+        tenants in 2usize..=6,
+        packed_threads in 1usize..=4,
+        solo_threads in 1usize..=4,
+        fault_idx in 0usize..3,
+    ) {
+        let fault_rate = [0.0, 0.02, 0.05][fault_idx];
+        let reqs: Vec<SolveRequest> = (0..tenants as u64)
+            .map(|i| SolveRequest::new(random_problem(gen_seed + 31 * i), gen_seed ^ (i << 8)))
+            .collect();
+        let refs: Vec<&SolveRequest> = reqs.iter().collect();
+        let packed_engine = engine(true, packed_threads, fault_rate);
+        let solo_engine = engine(false, solo_threads, fault_rate);
+        let packed = packed_engine.solve_packed(&refs);
+        prop_assert_eq!(packed.len(), reqs.len());
+        for (req, slot) in reqs.iter().zip(&packed) {
+            let solo = solo_engine.solve(req);
+            match (slot, solo) {
+                (Some(Ok(p)), Ok(s)) => {
+                    prop_assert_eq!(&p.selection, &s.selection);
+                    prop_assert_eq!(p.cost, s.cost);
+                    prop_assert_eq!(p.reads, s.reads);
+                    prop_assert_eq!(p.qubits_used, s.qubits_used);
+                    prop_assert_eq!(p.device_time_us, s.device_time_us);
+                    prop_assert!(p.packed_tenants >= 2);
+                    prop_assert_eq!(s.packed_tenants, 0);
+                }
+                // A packed slot the engine returned to the solo path (placer
+                // decline, tenant device fault) imposes nothing — but a
+                // tenant must never be answered packed when solo rejects it.
+                (None, _) => {}
+                (Some(Ok(_)), Err(e)) => {
+                    return Err(TestCaseError::fail(format!(
+                        "packed answered what solo rejects: {e}"
+                    )));
+                }
+                (Some(Err(_)), _) => {
+                    // Per-tenant gate rejection: inert chaos never corrupts,
+                    // so the gate must have passed.
+                    return Err(TestCaseError::fail(
+                        "gate rejected a clean packed tenant".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The packed/solo split is exhaustive and non-overlapping: every
+    /// request is answered exactly once whether packing is on or off, and
+    /// identical batches produce identical packings (placer determinism at
+    /// the engine level).
+    #[test]
+    fn packing_is_deterministic_across_identical_batches(
+        gen_seed in 0u64..4096,
+        tenants in 2usize..=6,
+    ) {
+        let reqs: Vec<SolveRequest> = (0..tenants as u64)
+            .map(|i| SolveRequest::new(random_problem(gen_seed + 17 * i), gen_seed + i))
+            .collect();
+        let refs: Vec<&SolveRequest> = reqs.iter().collect();
+        let a = engine(true, 2, 0.0).solve_packed(&refs);
+        let b = engine(true, 2, 0.0).solve_packed(&refs);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (None, None) => {}
+                (Some(Ok(p)), Some(Ok(q))) => {
+                    prop_assert_eq!(&p.selection, &q.selection);
+                    prop_assert_eq!(p.cost, q.cost);
+                    prop_assert_eq!(p.packed_tenants, q.packed_tenants);
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "identical batches packed differently: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+}
