@@ -116,12 +116,13 @@ pub fn assemble_ising(blocks: &[&Ising]) -> Ising {
     for (t, block) in blocks.iter().enumerate() {
         let base = layout.segment(t).start;
         h.extend_from_slice(block.fields());
-        couplings.extend(
-            block
-                .couplings()
-                .iter()
-                .map(|&(i, j, w)| (VarId::new(i.index() + base), VarId::new(j.index() + base), w)),
-        );
+        couplings.extend(block.couplings().iter().map(|&(i, j, w)| {
+            (
+                VarId::new(i.index() + base),
+                VarId::new(j.index() + base),
+                w,
+            )
+        }));
         offset += block.offset();
     }
     // Each block's canonical list is sorted with i < j; blocks are appended
@@ -210,8 +211,12 @@ pub fn run_packed<S: Sampler>(
         .map(|&i| slots[i].as_ref().expect("active slots hold states"))
         .collect();
 
-    let layout =
-        CompositeLayout::new(&states.iter().map(|s| s.ising.num_spins()).collect::<Vec<_>>());
+    let layout = CompositeLayout::new(
+        &states
+            .iter()
+            .map(|s| s.ising.num_spins())
+            .collect::<Vec<_>>(),
+    );
     // The single composite program of a cycle. Runtime behaviour never
     // reads it — per-tenant blocks are programmed from per-tenant gauge
     // streams to preserve bit-identity — but its block-diagonal shape is
@@ -316,8 +321,7 @@ pub fn run_packed<S: Sampler>(
                             } else {
                                 prog.sample_into_fast(&mut rng, spins, scratch);
                                 gauge.transform_spins_in_place(spins);
-                                for (s, &is_dead) in
-                                    spins.iter_mut().zip(plan.dead_mask(gauge_idx))
+                                for (s, &is_dead) in spins.iter_mut().zip(plan.dead_mask(gauge_idx))
                                 {
                                     if is_dead {
                                         *s = if frng.gen::<bool>() { 1 } else { -1 };
@@ -470,10 +474,7 @@ mod tests {
         b.build()
     }
 
-    fn packed_mappings(
-        graph: &ChimeraGraph,
-        sizes: &[usize],
-    ) -> (Vec<PhysicalMapping>, Vec<Qubo>) {
+    fn packed_mappings(graph: &ChimeraGraph, sizes: &[usize]) -> (Vec<PhysicalMapping>, Vec<Qubo>) {
         let placements = packing::pack(graph, sizes);
         let qubos: Vec<Qubo> = sizes
             .iter()
@@ -483,14 +484,16 @@ mod tests {
         let pms = placements
             .into_iter()
             .zip(&qubos)
-            .map(|(p, q)| {
-                PhysicalMapping::new(q, p.expect("fits").embedding, graph, 0.25).unwrap()
-            })
+            .map(|(p, q)| PhysicalMapping::new(q, p.expect("fits").embedding, graph, 0.25).unwrap())
             .collect();
         (pms, qubos)
     }
 
-    fn device(reads: usize, gauges: usize, threads: usize) -> QuantumAnnealer<SimulatedAnnealingSampler> {
+    fn device(
+        reads: usize,
+        gauges: usize,
+        threads: usize,
+    ) -> QuantumAnnealer<SimulatedAnnealingSampler> {
         QuantumAnnealer::new(
             DeviceConfig {
                 num_reads: reads,
@@ -545,7 +548,15 @@ mod tests {
         let (pms, _) = packed_mappings(&graph, &[4]);
         let dev = device(20, 4, 1);
         let solo = dev.run(&pms[0], &graph, 7).unwrap();
-        let packed = run_packed(&dev, &graph, &[PackedTenant { pm: &pms[0], seed: 7 }]).unwrap();
+        let packed = run_packed(
+            &dev,
+            &graph,
+            &[PackedTenant {
+                pm: &pms[0],
+                seed: 7,
+            }],
+        )
+        .unwrap();
         let set = packed[0].as_ref().unwrap();
         assert_eq!(solo.reads(), set.reads());
         assert_eq!(solo.faults(), set.faults());
@@ -560,7 +571,10 @@ mod tests {
         let tenants: Vec<PackedTenant<'_>> = pms
             .iter()
             .enumerate()
-            .map(|(i, pm)| PackedTenant { pm, seed: 100 + i as u64 })
+            .map(|(i, pm)| PackedTenant {
+                pm,
+                seed: 100 + i as u64,
+            })
             .collect();
         let packed = run_packed(&dev, &graph, &tenants).unwrap();
         for (i, pm) in pms.iter().enumerate() {
@@ -594,7 +608,10 @@ mod tests {
         let tenants: Vec<PackedTenant<'_>> = pms
             .iter()
             .enumerate()
-            .map(|(i, pm)| PackedTenant { pm, seed: 40 + i as u64 })
+            .map(|(i, pm)| PackedTenant {
+                pm,
+                seed: 40 + i as u64,
+            })
             .collect();
         let packed = run_packed(&dev, &graph, &tenants).unwrap();
         for (i, pm) in pms.iter().enumerate() {
@@ -622,8 +639,14 @@ mod tests {
         let broken = graph.clone().with_broken(&[dead]);
         let dev = device(10, 2, 1);
         let tenants = [
-            PackedTenant { pm: &pms[0], seed: 1 },
-            PackedTenant { pm: &pms[1], seed: 2 },
+            PackedTenant {
+                pm: &pms[0],
+                seed: 1,
+            },
+            PackedTenant {
+                pm: &pms[1],
+                seed: 2,
+            },
         ];
         let packed = run_packed(&dev, &broken, &tenants).unwrap();
         assert!(matches!(
@@ -640,8 +663,14 @@ mod tests {
         let (pms, _) = packed_mappings(&graph, &[4]);
         let dev = device(10, 2, 1);
         let tenants = [
-            PackedTenant { pm: &pms[0], seed: 1 },
-            PackedTenant { pm: &pms[0], seed: 2 },
+            PackedTenant {
+                pm: &pms[0],
+                seed: 1,
+            },
+            PackedTenant {
+                pm: &pms[0],
+                seed: 2,
+            },
         ];
         let err = run_packed(&dev, &graph, &tenants).unwrap_err();
         assert_eq!(
@@ -660,7 +689,10 @@ mod tests {
             let tenants: Vec<PackedTenant<'_>> = pms
                 .iter()
                 .enumerate()
-                .map(|(i, pm)| PackedTenant { pm, seed: 9 + i as u64 })
+                .map(|(i, pm)| PackedTenant {
+                    pm,
+                    seed: 9 + i as u64,
+                })
                 .collect();
             run_packed(&dev, &graph, &tenants).unwrap()
         };
@@ -668,10 +700,7 @@ mod tests {
         for threads in [2, 3, 8] {
             let parallel = run_with(threads);
             for (a, b) in serial.iter().zip(&parallel) {
-                assert_eq!(
-                    a.as_ref().unwrap().reads(),
-                    b.as_ref().unwrap().reads()
-                );
+                assert_eq!(a.as_ref().unwrap().reads(), b.as_ref().unwrap().reads());
             }
         }
     }
@@ -680,7 +709,10 @@ mod tests {
     fn degenerate_configs_fail_the_whole_batch() {
         let graph = ChimeraGraph::new(2, 2);
         let (pms, _) = packed_mappings(&graph, &[4]);
-        let tenants = [PackedTenant { pm: &pms[0], seed: 0 }];
+        let tenants = [PackedTenant {
+            pm: &pms[0],
+            seed: 0,
+        }];
         assert_eq!(
             run_packed(&device(0, 1, 1), &graph, &tenants).unwrap_err(),
             DeviceError::InvalidConfig("num_reads must be positive")
@@ -689,6 +721,8 @@ mod tests {
             run_packed(&device(5, 10, 1), &graph, &tenants).unwrap_err(),
             DeviceError::InvalidConfig(_)
         ));
-        assert!(run_packed(&device(5, 2, 1), &graph, &[]).unwrap().is_empty());
+        assert!(run_packed(&device(5, 2, 1), &graph, &[])
+            .unwrap()
+            .is_empty());
     }
 }

@@ -35,10 +35,7 @@ fn tenant_qubo(num_vars: usize, salt: u64) -> Qubo {
     b.build()
 }
 
-fn device(
-    threads: usize,
-    fault_rate: f64,
-) -> QuantumAnnealer<SimulatedAnnealingSampler> {
+fn device(threads: usize, fault_rate: f64) -> QuantumAnnealer<SimulatedAnnealingSampler> {
     QuantumAnnealer::new(
         DeviceConfig {
             num_reads: 15,
@@ -71,9 +68,9 @@ proptest! {
         prop_assert_eq!(layout.num_tenants(), sizes.len());
         prop_assert_eq!(layout.total_spins(), sizes.iter().sum::<usize>());
         let mut claimed = 0usize;
-        for t in 0..sizes.len() {
+        for (t, &size) in sizes.iter().enumerate() {
             let seg = layout.segment(t);
-            prop_assert_eq!(seg.len(), sizes[t]);
+            prop_assert_eq!(seg.len(), size);
             prop_assert_eq!(seg.start, claimed, "segments must be contiguous");
             claimed = seg.end;
             for spin in seg.clone() {

@@ -187,7 +187,9 @@ pub fn cross_check_class(
             ));
         }
         for run in &inst.runs {
-            let Some(best) = run.trace.best() else { continue };
+            let Some(best) = run.trace.best() else {
+                continue;
+            };
             if let Err(e) = integrity::verify_against_bound(best, bound, DEFAULT_TOLERANCE) {
                 summary.violations.push(format!(
                     "instance {}: {} reported {best}: {e}",

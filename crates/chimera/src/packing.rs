@@ -58,8 +58,7 @@ pub fn footprint_side(num_vars: usize) -> usize {
 pub fn canonical_embedding(num_vars: usize) -> Embedding {
     let side = footprint_side(num_vars);
     let region = ChimeraGraph::new(side, side);
-    triad::triad(&region, 0, 0, num_vars)
-        .expect("TRIAD always fits its own pristine region block")
+    triad::triad(&region, 0, 0, num_vars).expect("TRIAD always fits its own pristine region block")
 }
 
 /// The pristine region graph a canonical embedding is expressed on. Its

@@ -74,16 +74,16 @@ pub fn render_packed(graph: &ChimeraGraph, placements: &[crate::packing::Placeme
     let mut owner: Vec<Vec<Option<usize>>> = vec![vec![None; cols]; rows];
     for (tenant, p) in placements.iter().enumerate() {
         let r = &p.region;
-        for row in r.origin_row..r.origin_row + r.side {
-            for col in r.origin_col..r.origin_col + r.side {
-                owner[row][col] = Some(tenant);
+        for owner_row in owner.iter_mut().skip(r.origin_row).take(r.side) {
+            for slot in owner_row.iter_mut().skip(r.origin_col).take(r.side) {
+                *slot = Some(tenant);
             }
         }
     }
     let has_dead = |row: usize, col: usize| {
-        [Side::Vertical, Side::Horizontal].iter().any(|&side| {
-            (0..HALF_CELL).any(|k| !graph.is_working(graph.qubit(row, col, side, k)))
-        })
+        [Side::Vertical, Side::Horizontal]
+            .iter()
+            .any(|&side| (0..HALF_CELL).any(|k| !graph.is_working(graph.qubit(row, col, side, k))))
     };
     // Border between two (possibly out-of-graph) cells: drawn unless both
     // sides belong to the same tenant.
@@ -188,7 +188,10 @@ mod tests {
         let dead = g.qubit(2, 2, Side::Horizontal, 1);
         let g = g.with_broken(&[dead]);
         // Tenant 0 needs a 2×2 region, tenants 1 and 2 one cell each.
-        let placements: Vec<_> = packing::pack(&g, &[8, 4, 4]).into_iter().flatten().collect();
+        let placements: Vec<_> = packing::pack(&g, &[8, 4, 4])
+            .into_iter()
+            .flatten()
+            .collect();
         assert_eq!(placements.len(), 3);
         let s = render_packed(&g, &placements);
         let expected = "\

@@ -36,7 +36,9 @@ impl Ising {
     pub fn new(h: Vec<f64>, couplings: Vec<(VarId, VarId, f64)>, offset: f64) -> Self {
         let n = h.len();
         debug_assert!(
-            h.iter().chain(couplings.iter().map(|(_, _, w)| w)).all(|w| w.is_finite()),
+            h.iter()
+                .chain(couplings.iter().map(|(_, _, w)| w))
+                .all(|w| w.is_finite()),
             "non-finite Ising weight; untrusted inputs must go through Ising::try_new"
         );
         let mut merged = std::collections::BTreeMap::new();
@@ -534,7 +536,11 @@ mod tests {
     fn try_new_rejects_non_finite_weights_with_typed_errors() {
         assert!(matches!(
             Ising::try_new(vec![f64::NAN, 0.0], vec![], 0.0).unwrap_err(),
-            CoreError::NonFiniteWeight { term: "field", index: 0, .. }
+            CoreError::NonFiniteWeight {
+                term: "field",
+                index: 0,
+                ..
+            }
         ));
         assert!(matches!(
             Ising::try_new(
@@ -543,7 +549,10 @@ mod tests {
                 0.0
             )
             .unwrap_err(),
-            CoreError::NonFiniteWeight { term: "coupling", .. }
+            CoreError::NonFiniteWeight {
+                term: "coupling",
+                ..
+            }
         ));
         let ok = Ising::try_new(vec![0.5, -1.0], vec![(VarId(0), VarId(1), 2.0)], 0.25).unwrap();
         assert_eq!(ok.couplings(), &[(VarId(0), VarId(1), 2.0)]);

@@ -410,14 +410,21 @@ mod tests {
         b.add_linear(VarId(0), f64::NAN);
         assert!(matches!(
             b.try_build().unwrap_err(),
-            CoreError::NonFiniteWeight { term: "linear", index: 0, .. }
+            CoreError::NonFiniteWeight {
+                term: "linear",
+                index: 0,
+                ..
+            }
         ));
 
         let mut b = Qubo::builder(2);
         b.add_quadratic(VarId(0), VarId(1), f64::INFINITY);
         assert!(matches!(
             b.try_build().unwrap_err(),
-            CoreError::NonFiniteWeight { term: "quadratic", .. }
+            CoreError::NonFiniteWeight {
+                term: "quadratic",
+                ..
+            }
         ));
 
         // NaN survives the `!= 0.0` zero-drop filter of `build`, which is

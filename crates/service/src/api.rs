@@ -186,6 +186,14 @@ impl Reject {
             Reject::HeaderLimit { .. } => 431,
         }
     }
+
+    /// The JSON body this rejection is answered with
+    /// (`{"reason": ..., ...}`); serialisation failure degrades to a
+    /// generic internal-error body rather than panicking on the error path.
+    #[must_use]
+    pub fn body_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| r#"{"reason":"internal"}"#.to_string())
+    }
 }
 
 impl std::fmt::Display for Reject {
@@ -257,8 +265,7 @@ mod tests {
         // non-finite costs and savings), never reach a worker as Inf/NaN.
         let inf_cost = r#"{"problem": {"queries": [[2,1e999],[3,1]], "savings": []}}"#;
         assert!(serde_json::from_str::<SolveRequest>(inf_cost).is_err());
-        let inf_saving =
-            r#"{"problem": {"queries": [[2,4],[3,1]], "savings": [[1,2,1e999]]}}"#;
+        let inf_saving = r#"{"problem": {"queries": [[2,4],[3,1]], "savings": [[1,2,1e999]]}}"#;
         assert!(serde_json::from_str::<SolveRequest>(inf_saving).is_err());
     }
 

@@ -1,0 +1,120 @@
+//! `mqo_router` — structure-sharded front for a fleet of `mqo_serve` cells.
+//!
+//! ```text
+//! mqo_router --cells 127.0.0.1:7700,127.0.0.1:7701 [--addr 127.0.0.1:7600]
+//!            [--forwarders N] [--epsilon F] [--io-timeout-ms N]
+//!            [--breaker-threshold N] [--breaker-open-ms N]
+//!            [--warm-exemplars N] [--max-connections N]
+//!            [--request-deadline-ms N] [--accept-shards N] [--max-pipeline N]
+//! ```
+//!
+//! Shards `POST /solve` requests across the cells by the instance's QUBO
+//! structure hash so each cell's embedding cache serves a consistent slice
+//! of the workload; unreachable cells are skipped via per-cell circuit
+//! breakers and recovered cells get their caches warmed from recent
+//! exemplar requests. Prints `listening on <addr>` (scripts parse that
+//! line), serves until `POST /shutdown`, then prints `drained and stopped`.
+
+use mqo_service::shard::{MqoRouter, MqoRouterConfig};
+
+struct Options {
+    config: MqoRouterConfig,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut cells: Vec<String> = Vec::new();
+    let mut config = MqoRouterConfig::new(Vec::new());
+    config.addr = "127.0.0.1:7600".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--cells" => {
+                cells = value("--cells")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--forwarders" => config.forwarders = parse(&value("--forwarders")?, "--forwarders")?,
+            "--epsilon" => config.epsilon = parse(&value("--epsilon")?, "--epsilon")?,
+            "--io-timeout-ms" => {
+                config.io_timeout_ms = parse(&value("--io-timeout-ms")?, "--io-timeout-ms")?
+            }
+            "--breaker-threshold" => {
+                config.breaker.failure_threshold =
+                    parse(&value("--breaker-threshold")?, "--breaker-threshold")?
+            }
+            "--breaker-open-ms" => {
+                config.breaker.open_ms = parse(&value("--breaker-open-ms")?, "--breaker-open-ms")?
+            }
+            "--warm-exemplars" => {
+                config.warm_exemplars = parse(&value("--warm-exemplars")?, "--warm-exemplars")?
+            }
+            "--max-connections" => {
+                config.max_connections = parse(&value("--max-connections")?, "--max-connections")?
+            }
+            "--request-deadline-ms" => {
+                config.request_deadline_ms =
+                    parse(&value("--request-deadline-ms")?, "--request-deadline-ms")?
+            }
+            "--accept-shards" => {
+                config.accept_shards = parse(&value("--accept-shards")?, "--accept-shards")?
+            }
+            "--max-pipeline" => {
+                config.max_pipeline = parse(&value("--max-pipeline")?, "--max-pipeline")?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "mqo_router: structure-sharded front for mqo_serve cells\n\
+                     --cells A,B,...     upstream cell addresses (required)\n\
+                     --addr A            bind address (default 127.0.0.1:7600)\n\
+                     --forwarders N      forwarder threads (4)\n\
+                     --epsilon F         logical-QUBO epsilon for the shard key (0.25)\n\
+                     --io-timeout-ms N   upstream connect/read/write timeout (10000)\n\
+                     --breaker-threshold N  consecutive failures that open a cell breaker (5)\n\
+                     --breaker-open-ms N    cell breaker cooling period (1000)\n\
+                     --warm-exemplars N  exemplar requests replayed on cell recovery, 0 = off (32)\n\
+                     --max-connections N   client-side connection cap (256)\n\
+                     --request-deadline-ms N  client-side read deadline (10000)\n\
+                     --accept-shards N   event-loop accept shards (2)\n\
+                     --max-pipeline N    pipelined requests per connection cap (32)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if cells.is_empty() {
+        return Err("--cells is required (comma-separated mqo_serve addresses)".to_string());
+    }
+    config.cells = cells;
+    Ok(Options { config })
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: cannot parse {value:?}"))
+}
+
+fn main() {
+    let opts = match parse_options() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mqo_router: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+    let router = match MqoRouter::start(opts.config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mqo_router: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", router.local_addr());
+    router.wait();
+    println!("drained and stopped");
+}

@@ -6,7 +6,8 @@
 //!           [--cache-capacity N] [--fault-rate F] [--derating F]
 //!           [--deadline-ms N] [--milp-max-queries N] [--budget-ms N]
 //!           [--max-connections N] [--request-deadline-ms N]
-//!           [--io-timeout-ms N] [--breaker-threshold N] [--breaker-open-ms N]
+//!           [--io-timeout-ms N] [--accept-shards N] [--max-pipeline N]
+//!           [--breaker-threshold N] [--breaker-open-ms N]
 //!           [--chaos-seed N] [--chaos-panic-rate F] [--chaos-kill-rate F]
 //!           [--chaos-backend-failure-rate F] [--chaos-corruption-rate F]
 //!           [--no-integrity-repair] [--no-verify-gate]
@@ -44,6 +45,8 @@ struct Options {
     max_connections: usize,
     request_deadline_ms: u64,
     io_timeout_ms: u64,
+    accept_shards: usize,
+    max_pipeline: usize,
     breaker_threshold: u32,
     breaker_open_ms: u64,
     chaos: ChaosConfig,
@@ -73,6 +76,8 @@ impl Default for Options {
             max_connections: 256,
             request_deadline_ms: 10_000,
             io_timeout_ms: 10_000,
+            accept_shards: 2,
+            max_pipeline: 32,
             breaker_threshold: 5,
             breaker_open_ms: 1_000,
             chaos: ChaosConfig::NONE,
@@ -117,6 +122,12 @@ fn parse_options() -> Result<Options, String> {
             }
             "--io-timeout-ms" => {
                 opts.io_timeout_ms = parse(&value("--io-timeout-ms")?, "--io-timeout-ms")?
+            }
+            "--accept-shards" => {
+                opts.accept_shards = parse(&value("--accept-shards")?, "--accept-shards")?
+            }
+            "--max-pipeline" => {
+                opts.max_pipeline = parse(&value("--max-pipeline")?, "--max-pipeline")?
             }
             "--breaker-threshold" => {
                 opts.breaker_threshold =
@@ -169,7 +180,9 @@ fn parse_options() -> Result<Options, String> {
                      --budget-ms N       classical backend wall budget (250)\n\
                      --max-connections N   concurrent-connection cap (256)\n\
                      --request-deadline-ms N  per-request read deadline, 0 = none (10000)\n\
-                     --io-timeout-ms N   socket read/write timeout (10000)\n\
+                     --io-timeout-ms N   keep-alive idle / write-stall timeout (10000)\n\
+                     --accept-shards N   event-loop accept shards (2)\n\
+                     --max-pipeline N    pipelined requests per connection cap (32)\n\
                      --breaker-threshold N  consecutive failures that open a breaker, 0 = off (5)\n\
                      --breaker-open-ms N    breaker cooling period (1000)\n\
                      --chaos-seed N      seed of the chaos streams (0)\n\
@@ -248,6 +261,8 @@ fn main() {
     config.max_connections = opts.max_connections.max(1);
     config.request_deadline_ms = opts.request_deadline_ms;
     config.io_timeout_ms = opts.io_timeout_ms.max(1);
+    config.accept_shards = opts.accept_shards.max(1);
+    config.max_pipeline = opts.max_pipeline.max(1);
 
     let server = match Server::start(config) {
         Ok(s) => s,

@@ -537,7 +537,10 @@ impl SolveEngine {
     /// device fault the solo resilience loop owns (retries, re-embeds,
     /// classical fallback). The integrity gate runs per tenant, so one
     /// corrupted tenant never poisons its batchmates.
-    pub fn solve_packed(&self, reqs: &[&SolveRequest]) -> Vec<Option<Result<SolveResponse, Reject>>> {
+    pub fn solve_packed(
+        &self,
+        reqs: &[&SolveRequest],
+    ) -> Vec<Option<Result<SolveResponse, Reject>>> {
         let batch_start = Instant::now();
         let mut out: Vec<Option<Result<SolveResponse, Reject>>> =
             reqs.iter().map(|_| None).collect();
@@ -1074,7 +1077,10 @@ mod tests {
             assert_eq!(a.route_reason, b.route_reason);
         }
         let m = gated.metrics().snapshot();
-        assert_eq!(m.integrity_violations, 0, "clean answers never trip the gate");
+        assert_eq!(
+            m.integrity_violations, 0,
+            "clean answers never trip the gate"
+        );
         // The annealer read accounting reached /metrics.
         assert_eq!(m.reads_verified_clean + m.reads_repaired, 5 * 50);
         assert_eq!(m.chain_majority_repairs + m.chain_tie_breaks, 0);
@@ -1105,9 +1111,17 @@ mod tests {
         let packed = e.solve_packed(&refs);
         let solo = solo_twin(&e);
         for (req, result) in reqs.iter().zip(&packed) {
-            let p = result.as_ref().expect("clean tenants pack").as_ref().unwrap();
+            let p = result
+                .as_ref()
+                .expect("clean tenants pack")
+                .as_ref()
+                .unwrap();
             assert_eq!(p.packed_tenants, 4);
-            assert!(p.route_reason.contains("[packed: 4 tenants]"), "{}", p.route_reason);
+            assert!(
+                p.route_reason.contains("[packed: 4 tenants]"),
+                "{}",
+                p.route_reason
+            );
             let s = solo.solve(req).unwrap();
             assert_eq!(p.selection, s.selection);
             assert_eq!(p.cost, s.cost);
@@ -1185,7 +1199,10 @@ mod tests {
         let reqs = [&pinned, &panicky, &clean_a, &clean_b];
         let packed = e.solve_packed(&reqs);
         assert!(packed[0].is_none(), "pinned requests keep their contract");
-        assert!(packed[1].is_none(), "chaos-marked seeds panic on the solo path");
+        assert!(
+            packed[1].is_none(),
+            "chaos-marked seeds panic on the solo path"
+        );
         assert!(packed[2].is_some() && packed[3].is_some());
     }
 
@@ -1238,7 +1255,11 @@ mod tests {
             let sel = Selection::new(r.selection.iter().map(|&p| PlanId(p)).collect());
             assert!(problem.validate_selection(&sel).is_ok());
             assert_eq!(r.cost, problem.selection_cost(&sel));
-            assert!(r.route_reason.contains("integrity: repaired"), "{}", r.route_reason);
+            assert!(
+                r.route_reason.contains("integrity: repaired"),
+                "{}",
+                r.route_reason
+            );
         }
         let m = e.metrics().snapshot();
         assert_eq!(m.integrity_violations, 3);

@@ -1,6 +1,16 @@
 //! A deliberately small HTTP/1.1 subset over `std::net` — just enough for a
-//! JSON API (request line, headers, `Content-Length` bodies, one request per
-//! connection). No external dependencies: the build environment is offline.
+//! JSON API (request line, headers, `Content-Length` bodies). No external
+//! dependencies: the build environment is offline.
+//!
+//! Two parsing surfaces share the same limits and typed errors:
+//!
+//! * [`read_request`] — the original blocking reader over any
+//!   [`RequestSource`], one request per call;
+//! * [`parse_request`] — an incremental parser over a connection buffer for
+//!   the nonblocking event loop (DESIGN.md §13): `Ok(None)` means "need
+//!   more bytes", and every cap (line bytes, header count, body size) is
+//!   enforced even on partial data, so a connection can never make the
+//!   server buffer without bound while waiting for the rest of a request.
 //!
 //! Hardening (DESIGN.md §9): every read is bounded three ways —
 //!
@@ -251,6 +261,180 @@ pub fn read_request<S: RequestSource>(
     Ok(Request { method, path, body })
 }
 
+/// A request parsed incrementally out of a connection buffer by
+/// [`parse_request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedRequest {
+    /// The parsed request.
+    pub request: Request,
+    /// Bytes of the buffer this request consumed (head + body); the caller
+    /// drains this prefix before parsing the next pipelined request.
+    pub consumed: usize,
+    /// True when the client asked the connection to close after this
+    /// exchange (`Connection: close`, or HTTP/1.0 without
+    /// `Connection: keep-alive`).
+    pub close: bool,
+}
+
+/// Locates the next `\n`-terminated line starting at `start`, enforcing the
+/// same byte cap as the blocking reader: the line including its `\n` must
+/// fit in `cap` bytes. `Ok(None)` means the line is incomplete but still
+/// within the cap.
+fn scan_line(buf: &[u8], start: usize, cap: usize) -> Result<Option<(usize, usize)>, HttpError> {
+    let rest = &buf[start..];
+    let window = &rest[..rest.len().min(cap)];
+    match window.iter().position(|&b| b == b'\n') {
+        Some(pos) => Ok(Some((start + pos, start + pos + 1))),
+        None if rest.len() >= cap => Err(HttpError::LineTooLong { limit: cap }),
+        None => Ok(None),
+    }
+}
+
+/// Decodes one header/request line (trailing `\r` stripped) as UTF-8.
+fn line_str(line: &[u8]) -> Result<&str, HttpError> {
+    let line = match line.last() {
+        Some(b'\r') => &line[..line.len() - 1],
+        _ => line,
+    };
+    std::str::from_utf8(line)
+        .map_err(|_| HttpError::BadRequest("non-UTF-8 bytes in request line or headers"))
+}
+
+/// Incrementally parses one request from the front of `buf`.
+///
+/// * `Ok(Some(parsed))` — a complete request; the caller drains
+///   `parsed.consumed` bytes and may call again on the remainder (pipelining).
+/// * `Ok(None)` — the bytes so far are a valid prefix; read more and retry.
+///   Buffering while in this state is bounded: the head is capped by
+///   `max_line_bytes × max_header_count` and the body by `max_body`.
+/// * `Err(_)` — the prefix can never become a valid request; the caller
+///   answers the typed status and closes.
+///
+/// Total like [`read_request`]: arbitrary byte prefixes must produce one of
+/// the three outcomes, never a panic (fuzzed in `proptest_http.rs`), and on
+/// complete inputs the outcome agrees with the blocking reader.
+pub fn parse_request(buf: &[u8], limits: &HttpLimits) -> Result<Option<ParsedRequest>, HttpError> {
+    let cap = limits.max_line_bytes;
+    let (line_end, mut cursor) = match scan_line(buf, 0, cap)? {
+        Some(bounds) => bounds,
+        None => return Ok(None),
+    };
+    let line = line_str(&buf[..line_end])?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::BadRequest("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing request target"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    // HTTP/1.0 defaults to close; everything else (1.1, or the version-less
+    // requests the blocking reader also tolerates) defaults to keep-alive.
+    let mut close = parts.next() == Some("HTTP/1.0");
+
+    let mut content_length = 0usize;
+    let mut header_count = 0usize;
+    loop {
+        let (header_end, next) = match scan_line(buf, cursor, cap)? {
+            Some(bounds) => bounds,
+            None => return Ok(None),
+        };
+        let header = line_str(&buf[cursor..header_end])?.trim_end();
+        cursor = next;
+        if header.is_empty() {
+            break;
+        }
+        header_count += 1;
+        if header_count > limits.max_header_count {
+            return Err(HttpError::TooManyHeaders {
+                limit: limits.max_header_count,
+            });
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest("unparseable content-length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        close = true;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        close = false;
+                    }
+                }
+            }
+        }
+    }
+    if content_length > limits.max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: limits.max_body,
+        });
+    }
+    let total = cursor + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some(ParsedRequest {
+        request: Request {
+            method,
+            path,
+            body: buf[cursor..total].to_vec(),
+        },
+        consumed: total,
+        close,
+    }))
+}
+
+/// Renders a complete response (head + JSON body) into a byte vector for
+/// the event loop's buffered writer. `close` selects the `connection`
+/// header; keep-alive responses rely on `content-length` framing.
+#[must_use]
+pub fn render_response(
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+    close: bool,
+) -> Vec<u8> {
+    let reason = reason_phrase(status);
+    let connection = if close { "close" } else { "keep-alive" };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: {connection}\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
+}
+
+/// Renders a request head + body for a client connection. `close` asks the
+/// server to end the connection after this exchange; pooled keep-alive
+/// clients pass `false`.
+#[must_use]
+pub fn render_request(method: &str, path: &str, host: &str, body: &[u8], close: bool) -> Vec<u8> {
+    let connection = if close { "close" } else { "keep-alive" };
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
+}
+
 /// Writes a response with a JSON body and closes the exchange
 /// (`Connection: close`).
 pub fn write_json_response<W: Write>(stream: &mut W, status: u16, body: &str) -> io::Result<()> {
@@ -266,21 +450,7 @@ pub fn write_json_response_with<W: Write>(
     body: &str,
     extra_headers: &[(&str, &str)],
 ) -> io::Result<()> {
-    let reason = reason_phrase(status);
-    let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\nconnection: close\r\n",
-        body.len()
-    );
-    for (name, value) in extra_headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(&render_response(status, body, extra_headers, true))?;
     stream.flush()
 }
 
@@ -302,33 +472,36 @@ fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
-/// Minimal client used by tests and the load generator: one round trip,
-/// returning `(status, body)`.
-pub fn roundtrip(
-    addr: std::net::SocketAddr,
-    method: &str,
-    path: &str,
-    body: &[u8],
-) -> io::Result<(u16, Vec<u8>)> {
-    let mut stream = TcpStream::connect(addr)?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\nconnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()?;
+/// A response as read off a client connection by [`read_response`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseParts {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Body bytes (`content-length` framed).
+    pub body: Vec<u8>,
+    /// True when the server announced `connection: close` — the connection
+    /// must not be reused for another request.
+    pub close: bool,
+}
 
-    let mut reader = BufReader::new(stream);
+/// Reads one `content-length`-framed response from a client-side reader.
+/// A clean EOF before the status line is `UnexpectedEof` (pooled clients
+/// use this to detect a stale connection and retry once).
+pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ResponseParts> {
     let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a response arrived",
+        ));
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
     let mut content_length = 0usize;
+    let mut close = false;
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
@@ -341,12 +514,197 @@ pub fn roundtrip(
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().unwrap_or(0);
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                close = true;
             }
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok((status, body))
+    Ok(ResponseParts {
+        status,
+        body,
+        close,
+    })
+}
+
+/// Minimal client used by tests and the load generator: one round trip on a
+/// fresh connection (`Connection: close`), returning `(status, body)`.
+pub fn roundtrip(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(&render_request(method, path, &addr.to_string(), body, true))?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let parts = read_response(&mut reader)?;
+    Ok((parts.status, parts.body))
+}
+
+/// A pooled keep-alive client connection: requests reuse one TCP stream,
+/// reconnecting transparently (with a single retry) when the pooled stream
+/// turns out to be stale — e.g. the server closed it during an idle gap.
+///
+/// Also supports request pipelining ([`KeepAliveClient::request_batch`]):
+/// every request in the batch is written back-to-back before any response
+/// is read, amortising syscalls and round trips across the batch.
+pub struct KeepAliveClient {
+    addr: std::net::SocketAddr,
+    host: String,
+    io_timeout: Option<Duration>,
+    stream: Option<BufReader<TcpStream>>,
+    connects: u64,
+    reuses: u64,
+    last_connect_us: u64,
+}
+
+/// Batch-exchange failure: the number of responses already read off the
+/// wire (0 means a stale pooled connection, safe to retry) and the error.
+type BatchError = (usize, io::Error);
+
+impl KeepAliveClient {
+    /// A client for `addr` with no I/O timeout.
+    #[must_use]
+    pub fn new(addr: std::net::SocketAddr) -> Self {
+        Self::with_timeout(addr, None)
+    }
+
+    /// A client for `addr` arming `timeout` on reads and writes of every
+    /// connection it opens.
+    #[must_use]
+    pub fn with_timeout(addr: std::net::SocketAddr, timeout: Option<Duration>) -> Self {
+        KeepAliveClient {
+            addr,
+            host: addr.to_string(),
+            io_timeout: timeout,
+            stream: None,
+            connects: 0,
+            reuses: 0,
+            last_connect_us: 0,
+        }
+    }
+
+    /// TCP connects this client has made.
+    #[must_use]
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Requests (or batches) that reused a pooled connection.
+    #[must_use]
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Microseconds the most recent request/batch spent on TCP connect
+    /// (0 when it reused a pooled connection).
+    #[must_use]
+    pub fn last_connect_us(&self) -> u64 {
+        self.last_connect_us
+    }
+
+    fn connect(&mut self) -> io::Result<()> {
+        let started = Instant::now();
+        let stream = TcpStream::connect(self.addr)?;
+        let _ = stream.set_nodelay(true);
+        if let Some(timeout) = self.io_timeout {
+            stream.set_read_timeout(Some(timeout))?;
+            stream.set_write_timeout(Some(timeout))?;
+        }
+        self.last_connect_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.connects += 1;
+        self.stream = Some(BufReader::new(stream));
+        Ok(())
+    }
+
+    /// One keep-alive round trip, returning `(status, body)`.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        let mut responses = self.request_batch(&[(method, path, body)])?;
+        responses
+            .pop()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no response"))
+    }
+
+    /// Writes every request in the batch back-to-back on one connection
+    /// (HTTP/1.1 pipelining), then reads the responses in order. A stale
+    /// pooled connection (error before any response byte) is replaced and
+    /// the whole batch retried once; errors after a partial read are
+    /// surfaced as-is, since the server has already seen some requests.
+    pub fn request_batch(
+        &mut self,
+        reqs: &[(&str, &str, &[u8])],
+    ) -> io::Result<Vec<(u16, Vec<u8>)>> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.stream.is_some() {
+            self.last_connect_us = 0;
+            match self.exchange(reqs) {
+                Ok(responses) => {
+                    self.reuses += 1;
+                    return Ok(responses);
+                }
+                // Nothing read back: the pooled stream was stale. Reconnect
+                // and retry the batch once.
+                Err((0, _stale)) => self.stream = None,
+                Err((_, e)) => {
+                    self.stream = None;
+                    return Err(e);
+                }
+            }
+        }
+        self.connect()?;
+        self.exchange(reqs).map_err(|(_, e)| {
+            self.stream = None;
+            e
+        })
+    }
+
+    /// One write-all-then-read-all exchange over the current stream.
+    /// Errors carry the number of responses already read so the caller can
+    /// distinguish a stale pooled connection (0) from a mid-batch failure.
+    fn exchange(
+        &mut self,
+        reqs: &[(&str, &str, &[u8])],
+    ) -> Result<Vec<(u16, Vec<u8>)>, BatchError> {
+        let mut wire = Vec::new();
+        for (method, path, body) in reqs {
+            wire.extend(render_request(method, path, &self.host, body, false));
+        }
+        let mut responses = Vec::with_capacity(reqs.len());
+        let mut server_closes = false;
+        {
+            let reader = self
+                .stream
+                .as_mut()
+                .expect("exchange requires a connection");
+            reader.get_mut().write_all(&wire).map_err(|e| (0, e))?;
+            for _ in reqs {
+                if server_closes {
+                    return Err((
+                        responses.len(),
+                        io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the connection mid-pipeline",
+                        ),
+                    ));
+                }
+                let count = responses.len();
+                let parts = read_response(reader).map_err(|e| (count, e))?;
+                server_closes = parts.close;
+                responses.push((parts.status, parts.body));
+            }
+        }
+        if server_closes {
+            self.stream = None;
+        }
+        Ok(responses)
+    }
 }
 
 #[cfg(test)]
@@ -504,6 +862,193 @@ mod tests {
         );
         assert!(text.contains("retry-after: 1\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    #[test]
+    fn incremental_parser_needs_more_bytes_then_agrees_with_the_blocking_reader() {
+        let wire = b"POST /solve HTTP/1.1\r\nhost: x\r\ncontent-length: 7\r\n\r\n{\"x\":1}";
+        let limits = HttpLimits::default();
+        // Every strict prefix is "need more bytes"...
+        for cut in 0..wire.len() {
+            match parse_request(&wire[..cut], &limits) {
+                Ok(None) => {}
+                other => panic!("prefix of {cut} bytes should be incomplete, got {other:?}"),
+            }
+        }
+        // ...and the full buffer parses to exactly what the blocking reader sees.
+        let parsed = parse_request(wire, &limits).unwrap().unwrap();
+        let blocking = read_request(&mut &wire[..], &limits).unwrap();
+        assert_eq!(parsed.request, blocking);
+        assert_eq!(parsed.consumed, wire.len());
+        assert!(!parsed.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time_off_the_front() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        wire.extend_from_slice(b"POST /solve HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}");
+        wire.extend_from_slice(b"GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n");
+        let limits = HttpLimits::default();
+        let mut paths = Vec::new();
+        let mut offset = 0;
+        while let Some(parsed) = parse_request(&wire[offset..], &limits).unwrap() {
+            paths.push((parsed.request.path.clone(), parsed.close));
+            offset += parsed.consumed;
+        }
+        assert_eq!(offset, wire.len(), "every byte belongs to some request");
+        assert_eq!(
+            paths,
+            vec![
+                ("/healthz".to_string(), false),
+                ("/solve".to_string(), false),
+                ("/metrics".to_string(), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn connection_semantics_cover_http10_and_explicit_headers() {
+        let limits = HttpLimits::default();
+        let close = |wire: &[u8]| parse_request(wire, &limits).unwrap().unwrap().close;
+        assert!(close(b"GET / HTTP/1.0\r\n\r\n"), "1.0 defaults to close");
+        assert!(
+            !close(b"GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n"),
+            "1.0 + keep-alive stays open"
+        );
+        assert!(close(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n"));
+        assert!(!close(b"GET / HTTP/1.1\r\n\r\n"));
+    }
+
+    #[test]
+    fn incremental_caps_trip_on_partial_data() {
+        let limits = HttpLimits {
+            max_line_bytes: 32,
+            max_header_count: 2,
+            max_body: 8,
+            deadline: None,
+        };
+        // A request line that can never fit errors before it completes.
+        let long: Vec<u8> = b"GET /".iter().copied().chain([b'a'; 64]).collect();
+        assert!(matches!(
+            parse_request(&long, &limits),
+            Err(HttpError::LineTooLong { limit: 32 })
+        ));
+        // Too many headers errors even though the blank line never arrived.
+        let heads = b"GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n";
+        assert!(matches!(
+            parse_request(heads, &limits),
+            Err(HttpError::TooManyHeaders { limit: 2 })
+        ));
+        // An oversized declared body errors without waiting for the bytes.
+        let big = b"POST / HTTP/1.1\r\ncontent-length: 999\r\n\r\n";
+        assert!(matches!(
+            parse_request(big, &limits),
+            Err(HttpError::BodyTooLarge {
+                declared: 999,
+                limit: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn render_response_is_keep_alive_aware() {
+        let keep = String::from_utf8(render_response(200, "{}", &[], false)).unwrap();
+        assert!(keep.contains("connection: keep-alive\r\n"), "{keep}");
+        let close = String::from_utf8(render_response(200, "{}", &[], true)).unwrap();
+        assert!(close.contains("connection: close\r\n"), "{close}");
+        assert!(close.ends_with("\r\n\r\n{}"), "{close}");
+    }
+
+    #[test]
+    fn keep_alive_client_reuses_one_connection_and_recovers_from_a_stale_one() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // First connection: serve two requests, then close (stale pool).
+            let (mut stream, _) = listener.accept().unwrap();
+            for _ in 0..2 {
+                let req = read_request(&mut stream, &HttpLimits::default()).unwrap();
+                assert_eq!(req.method, "GET");
+                stream
+                    .write_all(&render_response(200, "{\"n\":1}", &[], false))
+                    .unwrap();
+            }
+            drop(stream);
+            // Second connection: the client's retry after the stale reuse.
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = read_request(&mut stream, &HttpLimits::default()).unwrap();
+            stream
+                .write_all(&render_response(200, "{\"n\":2}", &[], false))
+                .unwrap();
+        });
+        let mut client = KeepAliveClient::new(addr);
+        let (status, _) = client.request("GET", "/a", b"").unwrap();
+        assert_eq!(status, 200);
+        let (status, _) = client.request("GET", "/b", b"").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(client.connects(), 1, "second request reused the stream");
+        assert_eq!(client.reuses(), 1);
+        // The server has closed the pooled stream; the next request must
+        // transparently reconnect and succeed.
+        let (status, body) = client.request("GET", "/c", b"").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"{\"n\":2}");
+        assert_eq!(client.connects(), 2, "stale reuse reconnected once");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_batches_come_back_in_order() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Pipelined requests share read segments, so the server side
+            // must parse incrementally from one buffer — `read_request`'s
+            // per-call BufReader would swallow the trailing requests.
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 4096];
+            let mut served = 0;
+            while served < 3 {
+                match parse_request(&buf, &HttpLimits::default()).unwrap() {
+                    Some(parsed) => {
+                        let body =
+                            format!("{{\"path\":\"{}\",\"i\":{served}}}", parsed.request.path);
+                        stream
+                            .write_all(&render_response(200, &body, &[], false))
+                            .unwrap();
+                        buf.drain(..parsed.consumed);
+                        served += 1;
+                    }
+                    None => {
+                        let n = stream.read(&mut chunk).unwrap();
+                        assert!(n > 0, "client closed before sending all requests");
+                        buf.extend_from_slice(&chunk[..n]);
+                    }
+                }
+            }
+        });
+        let mut client = KeepAliveClient::new(addr);
+        let responses = client
+            .request_batch(&[
+                ("GET", "/a", b"".as_slice()),
+                ("GET", "/b", b"".as_slice()),
+                ("GET", "/c", b"".as_slice()),
+            ])
+            .unwrap();
+        let bodies: Vec<String> = responses
+            .iter()
+            .map(|(status, body)| {
+                assert_eq!(*status, 200);
+                String::from_utf8(body.clone()).unwrap()
+            })
+            .collect();
+        assert_eq!(bodies[0], "{\"path\":\"/a\",\"i\":0}");
+        assert_eq!(bodies[1], "{\"path\":\"/b\",\"i\":1}");
+        assert_eq!(bodies[2], "{\"path\":\"/c\",\"i\":2}");
+        assert_eq!(client.connects(), 1);
+        server.join().unwrap();
     }
 
     #[test]

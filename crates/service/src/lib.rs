@@ -41,18 +41,22 @@ pub mod breaker;
 pub mod cache;
 pub mod chaos;
 pub mod engine;
+pub mod event_loop;
 pub mod http;
 pub mod metrics;
 pub mod queue;
 pub mod router;
 pub mod server;
+pub mod shard;
 
 pub use api::{Backend, Reject, SolveRequest, SolveResponse};
 pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker};
 pub use cache::{CacheKey, CacheStats, EmbeddingCache};
 pub use chaos::ChaosConfig;
 pub use engine::{BreakerPanel, EngineConfig, SolveEngine};
+pub use event_loop::{Action, Completer, EventLoop, Handler, LoopConfig, Response};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use queue::{QueueConfig, SolveQueue};
 pub use router::{route, RouteDecision, RouterConfig};
 pub use server::{Server, ServerConfig};
+pub use shard::{structure_key, CellSnapshot, MqoRouter, MqoRouterConfig};

@@ -44,6 +44,10 @@ pub fn wait_recover<'a, T>(
 /// `[2^i, 2^(i+1))` µs, the last bucket is open-ended (~2.3 min and up).
 const NUM_BUCKETS: usize = 28;
 
+/// Per-shard accept counters tracked in `/metrics`; shards beyond this fold
+/// into their `shard_id % 16` slot.
+pub const MAX_TRACKED_SHARDS: usize = 16;
+
 /// A log₂-bucketed latency histogram over microseconds.
 #[derive(Debug, Default)]
 pub struct LatencyHistogram {
@@ -100,7 +104,7 @@ impl LatencyHistogram {
 }
 
 /// Serialisable view of a [`LatencyHistogram`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Observations recorded.
     pub count: u64,
@@ -144,6 +148,22 @@ pub struct Metrics {
     pub connections_shed: AtomicU64,
     /// Connections currently being served (gauge).
     pub connections_active: AtomicU64,
+    /// Connections accepted by the event loop (shed connections excluded).
+    pub connections_accepted: AtomicU64,
+    /// Keep-alive reuses: requests parsed on a connection that had already
+    /// served at least one request.
+    pub connections_reused: AtomicU64,
+    /// Requests parsed while an earlier request on the same connection was
+    /// still in flight (HTTP/1.1 pipelining).
+    pub pipelined_requests: AtomicU64,
+    /// Times the event loop woke from `poll` (readiness, wakeup byte, or
+    /// timeout tick).
+    pub event_loop_wakeups: AtomicU64,
+    /// Accepts per event-loop shard (slot = `shard_id % 16`).
+    pub shard_accepts: [AtomicU64; MAX_TRACKED_SHARDS],
+    /// Requests served per connection, recorded when the connection closes
+    /// (log₂ buckets; the `_us` field names are generic counts here).
+    pub requests_per_connection: LatencyHistogram,
     /// Worker panics caught and isolated by `catch_unwind`.
     pub worker_panics_caught: AtomicU64,
     /// Dead worker threads respawned by the supervisor.
@@ -238,6 +258,12 @@ impl Metrics {
             rejected_header_limit: load(&self.rejected_header_limit),
             connections_shed: load(&self.connections_shed),
             connections_active: load(&self.connections_active),
+            connections_accepted: load(&self.connections_accepted),
+            connections_reused: load(&self.connections_reused),
+            pipelined_requests: load(&self.pipelined_requests),
+            event_loop_wakeups: load(&self.event_loop_wakeups),
+            shard_accepts: self.shard_accepts.iter().map(load).collect(),
+            requests_per_connection: self.requests_per_connection.snapshot(),
             worker_panics_caught: load(&self.worker_panics_caught),
             worker_respawns: load(&self.worker_respawns),
             conn_panics_caught: load(&self.conn_panics_caught),
@@ -310,6 +336,24 @@ pub struct MetricsSnapshot {
     pub connections_shed: u64,
     /// Connections being served right now (gauge).
     pub connections_active: u64,
+    /// Connections accepted by the event loop.
+    #[serde(default)]
+    pub connections_accepted: u64,
+    /// Keep-alive reuses (second and later requests on one connection).
+    #[serde(default)]
+    pub connections_reused: u64,
+    /// Requests pipelined behind an in-flight request.
+    #[serde(default)]
+    pub pipelined_requests: u64,
+    /// Event-loop wakeups from `poll`.
+    #[serde(default)]
+    pub event_loop_wakeups: u64,
+    /// Accepts per event-loop shard (`shard_id % 16` slots).
+    #[serde(default)]
+    pub shard_accepts: Vec<u64>,
+    /// Requests served per connection at close time (log₂ buckets).
+    #[serde(default)]
+    pub requests_per_connection: HistogramSnapshot,
     /// Worker panics caught and isolated.
     pub worker_panics_caught: u64,
     /// Worker threads respawned by the supervisor.

@@ -57,13 +57,69 @@ impl Default for QueueConfig {
     }
 }
 
+/// Where a job's answer goes: the blocking front-end waits on a one-shot
+/// channel; the event-loop front-end hands the queue a callback that posts
+/// the response back to the owning shard and wakes its `poll`.
+pub struct Responder(ResponderKind);
+
+/// Boxed completion callback invoked with the job's final answer.
+type ResponseCallback = Box<dyn FnOnce(Result<SolveResponse, Reject>) + Send>;
+
+enum ResponderKind {
+    Channel(mpsc::Sender<Result<SolveResponse, Reject>>),
+    Callback(Option<ResponseCallback>),
+}
+
+impl Responder {
+    /// A responder that sends into a one-shot channel.
+    #[must_use]
+    pub fn channel(tx: mpsc::Sender<Result<SolveResponse, Reject>>) -> Responder {
+        Responder(ResponderKind::Channel(tx))
+    }
+
+    /// A responder that invokes `f` with the answer. Invoked from a worker
+    /// thread, so `f` must be cheap and non-blocking (the event loop's
+    /// completers only push onto a channel and write one wakeup byte).
+    #[must_use]
+    pub fn callback(f: impl FnOnce(Result<SolveResponse, Reject>) + Send + 'static) -> Responder {
+        Responder(ResponderKind::Callback(Some(Box::new(f))))
+    }
+
+    /// Delivers the answer. A receiver that hung up is not an error.
+    pub fn respond(mut self, result: Result<SolveResponse, Reject>) {
+        match &mut self.0 {
+            ResponderKind::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            ResponderKind::Callback(f) => {
+                if let Some(f) = f.take() {
+                    f(result);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Responder {
+    /// Safety net: a callback responder dropped without answering (worker
+    /// pool died hard) still tells the client the service is going away,
+    /// mirroring what channel waiters see as a `RecvError`.
+    fn drop(&mut self) {
+        if let ResponderKind::Callback(f) = &mut self.0 {
+            if let Some(f) = f.take() {
+                f(Err(Reject::ShuttingDown));
+            }
+        }
+    }
+}
+
 /// One admitted request awaiting dispatch.
 struct Job {
     req: SolveRequest,
     enqueued: Instant,
     deadline: Option<Instant>,
     deadline_ms: u64,
-    tx: mpsc::Sender<Result<SolveResponse, Reject>>,
+    responder: Responder,
 }
 
 struct QueueState {
@@ -187,35 +243,52 @@ impl SolveQueue {
         &self,
         req: SolveRequest,
     ) -> Result<mpsc::Receiver<Result<SolveResponse, Reject>>, Reject> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_with(req, Responder::channel(tx))
+            .map(|()| rx)
+            .map_err(|(_responder, reject)| reject)
+    }
+
+    /// Admits a request whose answer is delivered through `responder`.
+    /// Admission rejections (queue full, draining) hand the responder back
+    /// unanswered, so the caller decides how to answer — the HTTP
+    /// front-ends attach `Retry-After` to back-pressure rejections.
+    pub fn submit_with(
+        &self,
+        req: SolveRequest,
+        responder: Responder,
+    ) -> Result<(), (Responder, Reject)> {
         let metrics = self.engine.metrics();
         let mut state = lock_recover(&self.state, &metrics.lock_poison_recoveries);
         if !state.accepting {
             Metrics::inc(&metrics.rejected_shutdown);
-            return Err(Reject::ShuttingDown);
+            return Err((responder, Reject::ShuttingDown));
         }
         if state.jobs.len() >= self.config.depth {
             Metrics::inc(&metrics.rejected_queue_full);
-            return Err(Reject::QueueFull {
-                depth: self.config.depth,
-            });
+            return Err((
+                responder,
+                Reject::QueueFull {
+                    depth: self.config.depth,
+                },
+            ));
         }
         let deadline_ms = req.deadline_ms.unwrap_or(self.config.default_deadline_ms);
         let deadline = (deadline_ms > 0)
             .then(|| Instant::now() + std::time::Duration::from_millis(deadline_ms));
-        let (tx, rx) = mpsc::channel();
         state.jobs.push_back(Job {
             req,
             enqueued: Instant::now(),
             deadline,
             deadline_ms,
-            tx,
+            responder,
         });
         metrics
             .queue_depth
             .store(state.jobs.len() as u64, Ordering::Relaxed);
         drop(state);
         self.wakeup.notify_one();
-        Ok(rx)
+        Ok(())
     }
 
     /// Requests currently queued.
@@ -318,7 +391,7 @@ impl SolveQueue {
                     .is_some_and(|deadline| Instant::now() >= deadline)
                 {
                     Metrics::inc(&metrics.rejected_deadline);
-                    let _ = job.tx.send(Err(Reject::DeadlineExceeded {
+                    job.responder.respond(Err(Reject::DeadlineExceeded {
                         deadline_ms: job.deadline_ms,
                     }));
                     continue;
@@ -333,7 +406,7 @@ impl SolveQueue {
                         response.queue_wait_us = wait_us;
                         response
                     });
-                    let _ = job.tx.send(result);
+                    job.responder.respond(result);
                     continue;
                 }
                 let started = Instant::now();
@@ -352,13 +425,13 @@ impl SolveQueue {
                             response
                         });
                         // A receiver that hung up is not an error here.
-                        let _ = job.tx.send(result);
+                        job.responder.respond(result);
                     }
                     Err(payload) => {
                         Metrics::inc(&metrics.worker_panics_caught);
                         Metrics::inc(&metrics.rejected_internal);
                         let detail = panic_message(payload.as_ref());
-                        let _ = job.tx.send(Err(Reject::InternalError { detail }));
+                        job.responder.respond(Err(Reject::InternalError { detail }));
                         // Chaos may escalate the caught panic into a worker
                         // death (keyed on request content, so the kill
                         // schedule is deterministic). The batch remainder

@@ -1,6 +1,6 @@
-//! The HTTP front-end: binds a listener, parses requests with the
-//! [`crate::http`] subset, and bridges connections onto the admission
-//! queue.
+//! The HTTP front-end: binds a listener, runs the nonblocking event-loop
+//! tier ([`crate::event_loop`], DESIGN.md §13), and bridges parsed requests
+//! onto the admission queue.
 //!
 //! Endpoints:
 //!
@@ -12,26 +12,28 @@
 //! * `POST /shutdown` — graceful drain: stop admissions, answer everything
 //!   already queued, then exit [`Server::wait`].
 //!
-//! Connection hardening (DESIGN.md §9): sockets carry read *and* write
-//! timeouts, every request is read under byte/count caps and a whole-request
-//! wall-clock deadline ([`crate::http::HttpLimits`]), the accept loop sheds
-//! connections beyond [`ServerConfig::max_connections`] with a `503` +
-//! `Retry-After`, and each connection thread runs inside `catch_unwind` so a
-//! handler panic never kills the process.
+//! Connections are HTTP/1.1 keep-alive with pipelining: one connection can
+//! carry many requests, and the solve path never blocks an event-loop
+//! thread — the handler submits to the queue with a callback
+//! [`crate::queue::Responder`] and the worker's answer is posted back to the
+//! owning shard through its completion channel.
+//!
+//! Connection hardening (DESIGN.md §9) is enforced by the event loop:
+//! byte/count caps and whole-request wall-clock deadlines on reads,
+//! idle/write-stall timeouts, a connection cap shedding with `503` +
+//! `Retry-After`, and `catch_unwind` around every handler dispatch.
 
 use crate::api::{Reject, SolveRequest};
 use crate::engine::{EngineConfig, SolveEngine};
-use crate::http::{
-    read_request, write_json_response, write_json_response_with, HttpError, HttpLimits, Request,
-};
+use crate::event_loop::{Action, Completer, EventLoop, Handler, LoopConfig, Response};
+use crate::http::{HttpLimits, Request};
 use crate::metrics::{lock_recover, Metrics};
-use crate::queue::{QueueConfig, SolveQueue};
+use crate::queue::{QueueConfig, Responder, SolveQueue};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Full server configuration.
 #[derive(Debug, Clone)]
@@ -49,12 +51,19 @@ pub struct ServerConfig {
     /// Whole-request wall-clock deadline, milliseconds (0 disables): the
     /// budget for reading one request off the socket, slowloris defense.
     pub request_deadline_ms: u64,
-    /// Socket read/write timeout, milliseconds: no single I/O operation —
-    /// including writing the response to a stalled client — blocks longer.
+    /// Keep-alive idle timeout and write-stall timeout, milliseconds: a
+    /// connection with no request in flight, or a client not reading its
+    /// response, is closed after this long.
     pub io_timeout_ms: u64,
     /// Concurrent-connection cap; accepts beyond it are shed with a typed
-    /// `503` and `Retry-After` instead of spawning a thread.
+    /// `503` and `Retry-After`.
     pub max_connections: usize,
+    /// Event-loop accept shards (threads); each polls its own clone of the
+    /// listener.
+    pub accept_shards: usize,
+    /// Maximum pipelined requests in flight per connection before the
+    /// event loop stops reading from it (backpressure).
+    pub max_pipeline: usize,
 }
 
 impl ServerConfig {
@@ -68,6 +77,8 @@ impl ServerConfig {
             request_deadline_ms: 10_000,
             io_timeout_ms: 10_000,
             max_connections: 256,
+            accept_shards: 2,
+            max_pipeline: 32,
         }
     }
 }
@@ -79,7 +90,7 @@ pub struct Server {
     engine: Arc<SolveEngine>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
-    accept_handle: Mutex<Option<JoinHandle<()>>>,
+    event_loop: Mutex<Option<EventLoop>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -89,10 +100,9 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds the listener, spawns the accept loop and the worker pool.
+    /// Binds the listener, spawns the event-loop shards and the worker pool.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
         let metrics = Arc::new(Metrics::default());
@@ -100,71 +110,26 @@ impl Server {
         let queue = SolveQueue::start(Arc::clone(&engine), config.queue);
         let shutdown = Arc::new(AtomicBool::new(false));
 
-        let accept_handle = {
-            let queue = Arc::clone(&queue);
-            let engine = Arc::clone(&engine);
-            let metrics = Arc::clone(&metrics);
-            let shutdown = Arc::clone(&shutdown);
-            let http = config.http;
-            let request_deadline_ms = config.request_deadline_ms;
-            let io_timeout_ms = config.io_timeout_ms;
-            let max_connections = config.max_connections.max(1);
-            std::thread::Builder::new()
-                .name("mqo-accept".to_string())
-                .spawn(move || loop {
-                    if shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            // Shed beyond the cap before spawning anything:
-                            // the guard below is what bounds thread count.
-                            if metrics.connections_active.load(Ordering::Relaxed)
-                                >= max_connections as u64
-                            {
-                                Metrics::inc(&metrics.connections_shed);
-                                shed_connection(stream, max_connections, io_timeout_ms);
-                                continue;
-                            }
-                            let guard = ConnGuard::admit(Arc::clone(&metrics));
-                            let queue = Arc::clone(&queue);
-                            let engine = Arc::clone(&engine);
-                            let metrics = Arc::clone(&metrics);
-                            let shutdown = Arc::clone(&shutdown);
-                            // One thread per connection: connections are
-                            // short-lived (Connection: close) and the real
-                            // concurrency limit is the cap above plus the
-                            // bounded queue behind.
-                            let _ = std::thread::Builder::new()
-                                .name("mqo-conn".to_string())
-                                .spawn(move || {
-                                    let _guard = guard;
-                                    let caught = std::panic::catch_unwind(
-                                        std::panic::AssertUnwindSafe(|| {
-                                            handle_connection(
-                                                stream,
-                                                &queue,
-                                                &engine,
-                                                &metrics,
-                                                &shutdown,
-                                                &http,
-                                                request_deadline_ms,
-                                                io_timeout_ms,
-                                            );
-                                        }),
-                                    );
-                                    if caught.is_err() {
-                                        Metrics::inc(&metrics.conn_panics_caught);
-                                    }
-                                });
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(2));
-                        }
-                        Err(_) => return,
-                    }
-                })?
-        };
+        let handler = Arc::new(SolveHandler {
+            queue: Arc::clone(&queue),
+            engine: Arc::clone(&engine),
+            metrics: Arc::clone(&metrics),
+            shutdown: Arc::clone(&shutdown),
+        });
+        let event_loop = EventLoop::spawn(
+            listener,
+            LoopConfig {
+                shards: config.accept_shards,
+                http: config.http,
+                request_deadline_ms: config.request_deadline_ms,
+                idle_timeout_ms: config.io_timeout_ms,
+                max_connections: config.max_connections,
+                max_pipeline: config.max_pipeline,
+            },
+            handler,
+            Arc::clone(&metrics),
+            Arc::clone(&shutdown),
+        )?;
 
         Ok(Server {
             addr,
@@ -172,7 +137,7 @@ impl Server {
             engine,
             metrics,
             shutdown,
-            accept_handle: Mutex::new(Some(accept_handle)),
+            event_loop: Mutex::new(Some(event_loop)),
         })
     }
 
@@ -198,21 +163,23 @@ impl Server {
     }
 
     /// Blocks until shutdown is requested, then drains and joins
-    /// everything: stops accepting connections, answers every queued
-    /// request, joins the workers.
+    /// everything: the event-loop shards stop accepting, answer every
+    /// request already in flight (final responses carry
+    /// `connection: close`), then the worker pool drains and joins.
     pub fn wait(&self) {
         while !self.shutdown.load(Ordering::SeqCst) {
             std::thread::sleep(Duration::from_millis(10));
         }
-        if let Some(handle) =
-            lock_recover(&self.accept_handle, &self.metrics.lock_poison_recoveries).take()
+        if let Some(event_loop) =
+            lock_recover(&self.event_loop, &self.metrics.lock_poison_recoveries).take()
         {
-            let _ = handle.join();
+            event_loop.wake();
+            event_loop.join();
         }
+        // Shards only exit once every connection has flushed, so every
+        // in-flight answer is already on the wire; this join is for the
+        // worker threads themselves.
         self.queue.shutdown();
-        // Give connection threads that already hold an answer a beat to
-        // finish writing it before the caller exits the process.
-        std::thread::sleep(Duration::from_millis(50));
     }
 
     /// Requests a graceful shutdown and waits for the drain to finish.
@@ -222,172 +189,93 @@ impl Server {
     }
 }
 
-/// RAII admission token of one connection: increments the
-/// `connections_active` gauge on admit, decrements it on drop — including
-/// the unwind path of a panicking handler, so the cap cannot leak shut.
-struct ConnGuard {
+/// Routes parsed requests to the solve queue and the introspection
+/// endpoints. Runs on event-loop threads: everything here is non-blocking —
+/// the solve path answers later through the queue's callback responder.
+struct SolveHandler {
+    queue: Arc<SolveQueue>,
+    engine: Arc<SolveEngine>,
     metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
 }
 
-impl ConnGuard {
-    fn admit(metrics: Arc<Metrics>) -> ConnGuard {
-        metrics.connections_active.fetch_add(1, Ordering::Relaxed);
-        ConnGuard { metrics }
+impl Handler for SolveHandler {
+    fn handle(&self, request: Request, completer: Completer) -> Action {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => Action::Respond(Response::json(200, r#"{"status":"ok"}"#)),
+            ("GET", "/metrics") => {
+                let payload = serde_json::json!({
+                    "service": self.metrics.snapshot(),
+                    "cache": self.engine.cache_stats(),
+                    "breakers": self.engine.breaker_panel(),
+                });
+                Action::Respond(Response::json(200, payload.to_string()))
+            }
+            ("POST", "/solve") => self.handle_solve(request, completer),
+            ("POST", "/shutdown") => {
+                // The drain pass the shard runs after this dispatch flushes
+                // the acknowledgement with `connection: close`; wait() wakes
+                // the remaining shards.
+                self.shutdown.store(true, Ordering::SeqCst);
+                Action::Respond(Response::json(200, r#"{"status":"draining"}"#).closing())
+            }
+            ("GET", "/solve") | ("POST", "/healthz") | ("POST", "/metrics") => {
+                Action::Respond(Response::json(405, r#"{"error":"method not allowed"}"#))
+            }
+            _ => Action::Respond(Response::json(404, r#"{"error":"not found"}"#)),
+        }
     }
 }
 
-impl Drop for ConnGuard {
-    fn drop(&mut self) {
-        self.metrics
-            .connections_active
-            .fetch_sub(1, Ordering::Relaxed);
-    }
-}
-
-/// Answers a connection shed by the cap: typed `503 overloaded` with a
-/// `Retry-After` hint, under a short write timeout so a slow client cannot
-/// stall the accept loop's helper thread.
-fn shed_connection(mut stream: TcpStream, max_connections: usize, io_timeout_ms: u64) {
-    let _ = std::thread::Builder::new()
-        .name("mqo-shed".to_string())
-        .spawn(move || {
-            let _ = stream.set_nonblocking(false);
-            let _ = stream.set_write_timeout(Some(Duration::from_millis(io_timeout_ms.max(1))));
-            let body = reject_body(&Reject::Overloaded { max_connections });
-            let _ = write_json_response_with(&mut stream, 503, &body, &[("retry-after", "1")]);
-        });
-}
-
-#[allow(clippy::too_many_arguments)]
-fn handle_connection(
-    mut stream: TcpStream,
-    queue: &SolveQueue,
-    engine: &SolveEngine,
-    metrics: &Metrics,
-    shutdown: &AtomicBool,
-    http: &HttpLimits,
-    request_deadline_ms: u64,
-    io_timeout_ms: u64,
-) {
-    // Accepted sockets may inherit the listener's nonblocking mode on some
-    // platforms; request handling is plain blocking I/O with caps. Both
-    // directions are bounded: reads by the per-read timeout (re-armed
-    // against the request deadline), writes by the write timeout — a client
-    // that accepts its answer one byte a minute cannot pin this thread.
-    let _ = stream.set_nonblocking(false);
-    let io_timeout = Duration::from_millis(io_timeout_ms.max(1));
-    let _ = stream.set_read_timeout(Some(io_timeout));
-    let _ = stream.set_write_timeout(Some(io_timeout));
-
-    let limits = HttpLimits {
-        deadline: (request_deadline_ms > 0)
-            .then(|| Instant::now() + Duration::from_millis(request_deadline_ms)),
-        ..*http
-    };
-    let request = match read_request(&mut stream, &limits) {
-        Ok(r) => r,
-        Err(HttpError::Io(_)) => return, // dead socket: nothing to answer
-        Err(e) => {
-            let reject = match &e {
-                HttpError::Timeout => {
-                    Metrics::inc(&metrics.rejected_request_timeout);
-                    Reject::RequestTimeout {
-                        deadline_ms: request_deadline_ms,
-                    }
-                }
-                HttpError::LineTooLong { .. } | HttpError::TooManyHeaders { .. } => {
-                    Metrics::inc(&metrics.rejected_header_limit);
-                    Reject::HeaderLimit {
-                        detail: e.to_string(),
-                    }
-                }
-                _ => Reject::InvalidRequest {
+impl SolveHandler {
+    fn handle_solve(&self, request: Request, completer: Completer) -> Action {
+        Metrics::inc(&self.metrics.requests_total);
+        let solve_request: SolveRequest = match serde_json::from_slice(&request.body) {
+            Ok(r) => r,
+            Err(e) => {
+                Metrics::inc(&self.metrics.rejected_invalid);
+                let reject = Reject::InvalidRequest {
                     detail: e.to_string(),
-                },
-            };
-            let _ = write_json_response(&mut stream, e.http_status(), &reject_body(&reject));
-            return;
-        }
-    };
-
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            let _ = write_json_response(&mut stream, 200, r#"{"status":"ok"}"#);
-        }
-        ("GET", "/metrics") => {
-            let payload = serde_json::json!({
-                "service": metrics.snapshot(),
-                "cache": engine.cache_stats(),
-                "breakers": engine.breaker_panel(),
-            });
-            let _ = write_json_response(&mut stream, 200, &payload.to_string());
-        }
-        ("POST", "/solve") => handle_solve(&mut stream, request, queue, metrics),
-        ("POST", "/shutdown") => {
-            let _ = write_json_response(&mut stream, 200, r#"{"status":"draining"}"#);
-            shutdown.store(true, Ordering::SeqCst);
-        }
-        ("GET", "/solve") | ("POST", "/healthz") | ("POST", "/metrics") => {
-            let _ = write_json_response(&mut stream, 405, r#"{"error":"method not allowed"}"#);
-        }
-        _ => {
-            let _ = write_json_response(&mut stream, 404, r#"{"error":"not found"}"#);
+                };
+                return Action::Respond(Response::reject(&reject));
+            }
+        };
+        let responder = Responder::callback(move |result| {
+            completer.complete(queue_answer(result));
+        });
+        match self.queue.submit_with(solve_request, responder) {
+            Ok(()) => Action::Pending,
+            Err((responder, reject)) => {
+                // Answer through the responder we got back: it carries the
+                // completer, and `queue_answer` attaches the Retry-After
+                // hint to back-pressure rejections.
+                responder.respond(Err(reject));
+                Action::Pending
+            }
         }
     }
 }
 
-fn handle_solve(stream: &mut TcpStream, request: Request, queue: &SolveQueue, metrics: &Metrics) {
-    Metrics::inc(&metrics.requests_total);
-    let solve_request: SolveRequest = match serde_json::from_slice(&request.body) {
-        Ok(r) => r,
-        Err(e) => {
-            Metrics::inc(&metrics.rejected_invalid);
-            let reject = Reject::InvalidRequest {
-                detail: e.to_string(),
-            };
-            let _ = write_json_response(stream, reject.http_status(), &reject_body(&reject));
-            return;
-        }
-    };
-    let receiver = match queue.submit(solve_request) {
-        Ok(rx) => rx,
-        Err(reject) => {
-            // Back-pressure rejections carry a Retry-After hint, exactly
-            // like the accept-time connection shed: a full queue is a
-            // transient condition the client should retry, not an error.
-            let headers: &[(&str, &str)] = if matches!(reject, Reject::QueueFull { .. }) {
-                &[("retry-after", "1")]
-            } else {
-                &[]
-            };
-            let _ = write_json_response_with(
-                stream,
-                reject.http_status(),
-                &reject_body(&reject),
-                headers,
-            );
-            return;
-        }
-    };
-    // The worker pool always answers admitted jobs (shutdown drains); a
-    // recv error would mean the pool died, which we surface as 503.
-    match receiver.recv() {
-        Ok(Ok(response)) => {
+/// Renders a queue answer (worker result or typed rejection) as a response.
+/// Back-pressure rejections carry a `Retry-After` hint, exactly like the
+/// accept-time connection shed: a full queue is a transient condition the
+/// client should retry, not an error.
+fn queue_answer(result: Result<crate::api::SolveResponse, Reject>) -> Response {
+    match result {
+        Ok(response) => {
             let body = serde_json::to_string(&response)
                 .unwrap_or_else(|_| r#"{"error":"serialisation failure"}"#.to_string());
-            let _ = write_json_response(stream, 200, &body);
+            Response::json(200, body)
         }
-        Ok(Err(reject)) => {
-            let _ = write_json_response(stream, reject.http_status(), &reject_body(&reject));
-        }
-        Err(_) => {
-            let _ = write_json_response(stream, 503, &reject_body(&Reject::ShuttingDown));
+        Err(reject) => {
+            let response = Response::reject(&reject);
+            if matches!(reject, Reject::QueueFull { .. }) {
+                response.with_header("retry-after", "1")
+            } else {
+                response
+            }
         }
     }
-}
-
-fn reject_body(reject: &Reject) -> String {
-    serde_json::to_string(reject).unwrap_or_else(|_| r#"{"reason":"internal"}"#.to_string())
 }
 
 #[cfg(test)]
@@ -449,6 +337,47 @@ mod tests {
         assert_eq!(m["service"]["cache_hits"], 1);
         assert_eq!(m["cache"]["hits"], 1);
         assert_eq!(m["cache"]["misses"], 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn solve_round_trips_over_one_keep_alive_connection() {
+        let server = small_server();
+        let addr = server.local_addr();
+        let mut client = crate::http::KeepAliveClient::new(addr);
+        let (status, cold) = client.request("POST", "/solve", TINY).unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&cold));
+        let (status, warm) = client.request("POST", "/solve", TINY).unwrap();
+        assert_eq!(status, 200);
+        let cold: serde_json::Value = serde_json::from_slice(&cold).unwrap();
+        let warm: serde_json::Value = serde_json::from_slice(&warm).unwrap();
+        assert_eq!(warm["selection"], cold["selection"]);
+        assert_eq!(warm["cache_hit"], true);
+        assert_eq!(client.connects(), 1, "both requests shared one connection");
+        let snapshot = server.metrics().snapshot();
+        assert!(snapshot.connections_reused >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_solves_answer_in_request_order() {
+        let server = small_server();
+        let addr = server.local_addr();
+        let mut client = crate::http::KeepAliveClient::new(addr);
+        let batch: Vec<(&str, &str, &[u8])> = vec![
+            ("POST", "/solve", TINY),
+            ("GET", "/healthz", b""),
+            ("POST", "/solve", TINY),
+        ];
+        let responses = client.request_batch(&batch).unwrap();
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].0, 200);
+        assert_eq!(responses[1].1, br#"{"status":"ok"}"#.to_vec());
+        let first: serde_json::Value = serde_json::from_slice(&responses[0].1).unwrap();
+        let third: serde_json::Value = serde_json::from_slice(&responses[2].1).unwrap();
+        assert_eq!(first["cost"], 2.0);
+        assert_eq!(third["selection"], first["selection"]);
+        assert!(server.metrics().snapshot().pipelined_requests >= 1);
         server.shutdown();
     }
 

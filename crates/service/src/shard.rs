@@ -1,0 +1,693 @@
+//! The structure-sharded router front (`mqo_router`, DESIGN.md §13).
+//!
+//! A thin front process that consistently shards `POST /solve` requests
+//! across N `mqo_serve` *cells* by the instance's QUBO structure
+//! (`Qubo::structure_hash`, which is weight-independent): structurally
+//! identical instances always land on the same cell, so each cell's
+//! embedding cache sees the full hit-rate benefit of its shard instead of
+//! every cell re-deriving every embedding.
+//!
+//! The router reuses the nonblocking event-loop front-end
+//! ([`crate::event_loop`]) for its own client side; forwarding happens on a
+//! small pool of forwarder threads over *pooled keep-alive upstream
+//! connections* ([`crate::http::KeepAliveClient`]), so neither accepting nor
+//! forwarding blocks the poll loop.
+//!
+//! Per-cell resilience:
+//!
+//! * every cell has its own [`CircuitBreaker`]; an unreachable cell is
+//!   skipped after `failure_threshold` consecutive failures and its traffic
+//!   falls through to the next healthy cell (consistent order: the probe
+//!   sequence starts at `hash % cells` and walks forward);
+//! * when a cell recovers (its breaker closes after being open), the router
+//!   replays a bounded set of recent *exemplar* requests whose primary
+//!   shard is that cell — warming the respawned cell's embedding cache
+//!   before live traffic returns to it;
+//! * any HTTP answer from a cell — including typed rejections — counts as
+//!   cell health; only transport errors trip the breaker.
+
+use crate::api::{Reject, SolveRequest};
+use crate::breaker::{BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker};
+use crate::event_loop::{Action, Completer, EventLoop, Handler, LoopConfig, Response};
+use crate::http::{HttpLimits, KeepAliveClient, Request};
+use crate::metrics::{lock_recover, Metrics};
+use mqo_core::logical::LogicalMapping;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct MqoRouterConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Upstream `mqo_serve` cell addresses (at least one).
+    pub cells: Vec<String>,
+    /// Epsilon used to build the logical QUBO for the shard key; must match
+    /// the cells' engine epsilon for the key to mirror their cache key.
+    pub epsilon: f64,
+    /// Forwarder threads (each owns pooled upstream connections).
+    pub forwarders: usize,
+    /// Upstream connect/read/write timeout, milliseconds.
+    pub io_timeout_ms: u64,
+    /// Per-cell circuit-breaker policy.
+    pub breaker: BreakerConfig,
+    /// Recent requests retained per structure hash for cache warm-up on
+    /// cell recovery (0 disables warm-up).
+    pub warm_exemplars: usize,
+    /// Client-side byte/count caps.
+    pub http: HttpLimits,
+    /// Client-side whole-request read deadline, milliseconds.
+    pub request_deadline_ms: u64,
+    /// Client-side idle / write-stall timeout, milliseconds.
+    pub idle_timeout_ms: u64,
+    /// Client-side connection cap.
+    pub max_connections: usize,
+    /// Event-loop accept shards.
+    pub accept_shards: usize,
+    /// Pipelined requests per client connection cap.
+    pub max_pipeline: usize,
+}
+
+impl MqoRouterConfig {
+    /// Loopback defaults over the given cells.
+    #[must_use]
+    pub fn new(cells: Vec<String>) -> Self {
+        MqoRouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cells,
+            epsilon: 0.25,
+            forwarders: 4,
+            io_timeout_ms: 10_000,
+            breaker: BreakerConfig::default(),
+            warm_exemplars: 32,
+            http: HttpLimits::default(),
+            request_deadline_ms: 10_000,
+            idle_timeout_ms: 10_000,
+            max_connections: 256,
+            accept_shards: 2,
+            max_pipeline: 32,
+        }
+    }
+}
+
+/// The shard key of one instance: the structure hash of its logical QUBO.
+/// Weight-independent, so instances differing only in costs/savings values
+/// still map to the same cell (and hit its cached embedding).
+#[must_use]
+pub fn structure_key(problem: &mqo_core::problem::MqoProblem, epsilon: f64) -> u64 {
+    LogicalMapping::new(problem, epsilon)
+        .qubo()
+        .structure_hash()
+}
+
+/// One upstream cell: address, connection pool, breaker, counters.
+struct Cell {
+    addr: SocketAddr,
+    display: String,
+    pool: Mutex<Vec<KeepAliveClient>>,
+    breaker: CircuitBreaker,
+    forwarded: AtomicU64,
+    failures: AtomicU64,
+    warmups: AtomicU64,
+}
+
+/// Serialisable per-cell health reported under the router's `/metrics`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CellSnapshot {
+    /// The cell's address.
+    pub addr: String,
+    /// Breaker state and transition counters.
+    pub breaker: BreakerSnapshot,
+    /// Requests this cell answered.
+    pub forwarded: u64,
+    /// Transport failures talking to this cell.
+    pub failures: u64,
+    /// Warm-up requests replayed into this cell after recovery.
+    pub warmups: u64,
+    /// Idle pooled keep-alive connections to this cell.
+    pub pooled: usize,
+}
+
+/// Shared forwarding state: the cells and the warm-up exemplar store.
+struct Fleet {
+    cells: Vec<Cell>,
+    io_timeout: Duration,
+    /// Most-recent request body per structure hash, bounded FIFO; replayed
+    /// into a cell when its breaker closes after being open.
+    exemplars: Mutex<VecDeque<(u64, Vec<u8>)>>,
+    warm_exemplars: usize,
+    lock_recoveries: AtomicU64,
+}
+
+impl Fleet {
+    /// Primary cell of a shard key, before breaker fall-through.
+    fn primary(&self, hash: u64) -> usize {
+        (hash % self.cells.len() as u64) as usize
+    }
+
+    /// Remembers `body` as the exemplar for `hash` (replacing any previous
+    /// one), evicting the oldest entry beyond the cap.
+    fn remember(&self, hash: u64, body: &[u8]) {
+        if self.warm_exemplars == 0 {
+            return;
+        }
+        let mut exemplars = lock_recover(&self.exemplars, &self.lock_recoveries);
+        if let Some(pos) = exemplars.iter().position(|(h, _)| *h == hash) {
+            exemplars.remove(pos);
+        }
+        exemplars.push_back((hash, body.to_vec()));
+        while exemplars.len() > self.warm_exemplars {
+            exemplars.pop_front();
+        }
+    }
+
+    /// Forwards one `/solve` body to the shard's cell, falling through to
+    /// the next healthy cell on transport failure. Any HTTP answer is
+    /// passed through verbatim.
+    fn forward(&self, hash: u64, body: &[u8]) -> Response {
+        let n = self.cells.len();
+        let mut detail = String::new();
+        for step in 0..n {
+            let idx = (self.primary(hash) + step) % n;
+            let cell = &self.cells[idx];
+            if !cell.breaker.admit() {
+                if !detail.is_empty() {
+                    detail.push_str("; ");
+                }
+                detail.push_str(&format!("{}: breaker open", cell.display));
+                continue;
+            }
+            let was_unhealthy = cell.breaker.state() != BreakerState::Closed
+                || cell.breaker.snapshot().consecutive_failures > 0;
+            match self.try_cell(cell, body) {
+                Ok((status, resp_body)) => {
+                    cell.breaker.record_success();
+                    Metrics::inc(&cell.forwarded);
+                    self.remember(hash, body);
+                    if was_unhealthy {
+                        self.warm_cell(idx);
+                    }
+                    let body = String::from_utf8(resp_body)
+                        .unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned());
+                    return Response::json(status, body);
+                }
+                Err(e) => {
+                    cell.breaker.record_failure();
+                    Metrics::inc(&cell.failures);
+                    if !detail.is_empty() {
+                        detail.push_str("; ");
+                    }
+                    detail.push_str(&format!("{}: {e}", cell.display));
+                }
+            }
+        }
+        Response::reject(&Reject::BackendUnavailable { detail }).with_header("retry-after", "1")
+    }
+
+    /// One attempt against one cell over a pooled keep-alive connection;
+    /// the client itself retries once on a stale pooled connection.
+    fn try_cell(&self, cell: &Cell, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        let mut client = lock_recover(&cell.pool, &self.lock_recoveries)
+            .pop()
+            .unwrap_or_else(|| KeepAliveClient::with_timeout(cell.addr, Some(self.io_timeout)));
+        let result = client.request("POST", "/solve", body);
+        if result.is_ok() {
+            lock_recover(&cell.pool, &self.lock_recoveries).push(client);
+        }
+        result
+    }
+
+    /// Replays the exemplars whose primary shard is `idx` into that cell,
+    /// warming its embedding cache after a respawn. Best-effort: replay
+    /// failures are ignored (live traffic will re-trip the breaker).
+    fn warm_cell(&self, idx: usize) {
+        if self.warm_exemplars == 0 {
+            return;
+        }
+        let mine: Vec<Vec<u8>> = lock_recover(&self.exemplars, &self.lock_recoveries)
+            .iter()
+            .filter(|(hash, _)| self.primary(*hash) == idx)
+            .map(|(_, body)| body.clone())
+            .collect();
+        if mine.is_empty() {
+            return;
+        }
+        let cell = &self.cells[idx];
+        let mut client = KeepAliveClient::with_timeout(cell.addr, Some(self.io_timeout));
+        for body in mine {
+            if client.request("POST", "/solve", &body).is_err() {
+                return;
+            }
+            Metrics::inc(&cell.warmups);
+        }
+    }
+
+    fn cell_snapshots(&self) -> Vec<CellSnapshot> {
+        self.cells
+            .iter()
+            .map(|cell| CellSnapshot {
+                addr: cell.display.clone(),
+                breaker: cell.breaker.snapshot(),
+                forwarded: cell.forwarded.load(Ordering::Relaxed),
+                failures: cell.failures.load(Ordering::Relaxed),
+                warmups: cell.warmups.load(Ordering::Relaxed),
+                pooled: lock_recover(&cell.pool, &self.lock_recoveries).len(),
+            })
+            .collect()
+    }
+}
+
+/// A solve forward in flight from the event loop to a forwarder thread.
+struct ForwardJob {
+    hash: u64,
+    body: Vec<u8>,
+    completer: Completer,
+}
+
+/// Routes client requests: introspection answers inline, `/solve` is
+/// dispatched to the forwarder pool.
+struct RouterHandler {
+    fleet: Arc<Fleet>,
+    forward_tx: mpsc::Sender<ForwardJob>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    epsilon: f64,
+}
+
+impl Handler for RouterHandler {
+    fn handle(&self, request: Request, completer: Completer) -> Action {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => Action::Respond(Response::json(
+                200,
+                format!(r#"{{"status":"ok","cells":{}}}"#, self.fleet.cells.len()),
+            )),
+            ("GET", "/metrics") => {
+                let payload = serde_json::json!({
+                    "service": self.metrics.snapshot(),
+                    "router": serde_json::json!({ "cells": self.fleet.cell_snapshots() }),
+                });
+                Action::Respond(Response::json(200, payload.to_string()))
+            }
+            ("POST", "/solve") => {
+                Metrics::inc(&self.metrics.requests_total);
+                let solve_request: SolveRequest = match serde_json::from_slice(&request.body) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        Metrics::inc(&self.metrics.rejected_invalid);
+                        return Action::Respond(Response::reject(&Reject::InvalidRequest {
+                            detail: e.to_string(),
+                        }));
+                    }
+                };
+                let hash = structure_key(&solve_request.problem, self.epsilon);
+                match self.forward_tx.send(ForwardJob {
+                    hash,
+                    body: request.body,
+                    completer,
+                }) {
+                    Ok(()) => Action::Pending,
+                    Err(mpsc::SendError(job)) => {
+                        // Forwarder pool gone: only happens mid-teardown.
+                        job.completer
+                            .complete(Response::reject(&Reject::ShuttingDown));
+                        Action::Pending
+                    }
+                }
+            }
+            ("POST", "/shutdown") => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Action::Respond(Response::json(200, r#"{"status":"draining"}"#).closing())
+            }
+            ("GET", "/solve") | ("POST", "/healthz") | ("POST", "/metrics") => {
+                Action::Respond(Response::json(405, r#"{"error":"method not allowed"}"#))
+            }
+            _ => Action::Respond(Response::json(404, r#"{"error":"not found"}"#)),
+        }
+    }
+}
+
+/// A running structure-sharded router.
+pub struct MqoRouter {
+    addr: SocketAddr,
+    fleet: Arc<Fleet>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    event_loop: Mutex<Option<EventLoop>>,
+    forwarders: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for MqoRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MqoRouter")
+            .field("addr", &self.addr)
+            .field("cells", &self.fleet.cells.len())
+            .finish()
+    }
+}
+
+impl MqoRouter {
+    /// Binds the listener, resolves the cells, spawns the event-loop shards
+    /// and the forwarder pool.
+    pub fn start(config: MqoRouterConfig) -> io::Result<MqoRouter> {
+        if config.cells.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one cell",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let cells = config
+            .cells
+            .iter()
+            .map(|spec| {
+                let resolved = spec.to_socket_addrs()?.next().ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("cell {spec:?} resolves to nothing"),
+                    )
+                })?;
+                Ok(Cell {
+                    addr: resolved,
+                    display: spec.clone(),
+                    pool: Mutex::new(Vec::new()),
+                    breaker: CircuitBreaker::new(config.breaker),
+                    forwarded: AtomicU64::new(0),
+                    failures: AtomicU64::new(0),
+                    warmups: AtomicU64::new(0),
+                })
+            })
+            .collect::<io::Result<Vec<Cell>>>()?;
+        let fleet = Arc::new(Fleet {
+            cells,
+            io_timeout: Duration::from_millis(config.io_timeout_ms.max(1)),
+            exemplars: Mutex::new(VecDeque::new()),
+            warm_exemplars: config.warm_exemplars,
+            lock_recoveries: AtomicU64::new(0),
+        });
+        let metrics = Arc::new(Metrics::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let (forward_tx, forward_rx) = mpsc::channel::<ForwardJob>();
+        let forward_rx = Arc::new(Mutex::new(forward_rx));
+        let mut forwarders = Vec::new();
+        for i in 0..config.forwarders.max(1) {
+            let fleet = Arc::clone(&fleet);
+            let forward_rx = Arc::clone(&forward_rx);
+            forwarders.push(
+                std::thread::Builder::new()
+                    .name(format!("mqo-forward-{i}"))
+                    .spawn(move || loop {
+                        // Pull one job under the lock, forward outside it.
+                        let job = {
+                            let rx = fleet_rx(&forward_rx, &fleet);
+                            match rx.recv() {
+                                Ok(job) => job,
+                                Err(_) => return,
+                            }
+                        };
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                fleet.forward(job.hash, &job.body)
+                            }))
+                            .unwrap_or_else(|_| {
+                                Response::reject(&Reject::InternalError {
+                                    detail: "forwarder panicked".to_string(),
+                                })
+                            });
+                        job.completer.complete(outcome);
+                    })?,
+            );
+        }
+
+        let handler = Arc::new(RouterHandler {
+            fleet: Arc::clone(&fleet),
+            forward_tx,
+            metrics: Arc::clone(&metrics),
+            shutdown: Arc::clone(&shutdown),
+            epsilon: config.epsilon,
+        });
+        let event_loop = EventLoop::spawn(
+            listener,
+            LoopConfig {
+                shards: config.accept_shards,
+                http: config.http,
+                request_deadline_ms: config.request_deadline_ms,
+                idle_timeout_ms: config.idle_timeout_ms,
+                max_connections: config.max_connections,
+                max_pipeline: config.max_pipeline,
+            },
+            handler,
+            Arc::clone(&metrics),
+            Arc::clone(&shutdown),
+        )?;
+
+        Ok(MqoRouter {
+            addr,
+            fleet,
+            metrics,
+            shutdown,
+            event_loop: Mutex::new(Some(event_loop)),
+            forwarders: Mutex::new(forwarders),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router's front-end metrics handle.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Per-cell health (breaker state, traffic, warm-ups, pool size).
+    #[must_use]
+    pub fn cells(&self) -> Vec<CellSnapshot> {
+        self.fleet.cell_snapshots()
+    }
+
+    /// True once a shutdown has been requested.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until shutdown is requested, drains the event loop (every
+    /// in-flight forward is answered), then joins the forwarder pool.
+    pub fn wait(&self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if let Some(event_loop) = lock_recover(&self.event_loop, &self.fleet.lock_recoveries).take()
+        {
+            event_loop.wake();
+            event_loop.join();
+        }
+        // The event loop dropped the handler — and with it the forward
+        // sender — so the forwarders drain whatever is queued and exit.
+        let handles: Vec<JoinHandle<()>> =
+            lock_recover(&self.forwarders, &self.fleet.lock_recoveries)
+                .drain(..)
+                .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Requests a graceful shutdown and waits for the drain.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.wait();
+    }
+}
+
+/// Locks the shared forwarder receiver, recovering from poison via the
+/// fleet's recovery counter.
+fn fleet_rx<'a>(
+    rx: &'a Arc<Mutex<mpsc::Receiver<ForwardJob>>>,
+    fleet: &Fleet,
+) -> std::sync::MutexGuard<'a, mpsc::Receiver<ForwardJob>> {
+    lock_recover(rx, &fleet.lock_recoveries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::http::roundtrip;
+    use crate::server::{Server, ServerConfig};
+    use mqo_chimera::graph::ChimeraGraph;
+
+    fn cell_server() -> Server {
+        let mut engine = EngineConfig::new(ChimeraGraph::new(2, 2));
+        engine.device.num_reads = 20;
+        engine.device.num_gauges = 2;
+        Server::start(ServerConfig::new(engine)).expect("bind cell")
+    }
+
+    fn router_over(cells: &[&Server]) -> MqoRouter {
+        let specs = cells
+            .iter()
+            .map(|cell| cell.local_addr().to_string())
+            .collect();
+        MqoRouter::start(MqoRouterConfig::new(specs)).expect("bind router")
+    }
+
+    /// Two structurally distinct tiny instances (different plan counts), so
+    /// they can shard to different cells.
+    const TINY_A: &[u8] =
+        br#"{"problem": {"queries": [[2,4],[3,1]], "savings": [[1,2,5.0]]}, "seed": 7}"#;
+    const TINY_B: &[u8] =
+        br#"{"problem": {"queries": [[2,4,6],[3,1]], "savings": [[1,3,5.0]]}, "seed": 7}"#;
+
+    #[test]
+    fn sharded_responses_are_bit_identical_to_a_single_cell() {
+        let cell_a = cell_server();
+        let cell_b = cell_server();
+        let router = router_over(&[&cell_a, &cell_b]);
+        let solo = cell_server();
+        for body in [TINY_A, TINY_B] {
+            let (via_router, direct) = (
+                roundtrip(router.local_addr(), "POST", "/solve", body).unwrap(),
+                roundtrip(solo.local_addr(), "POST", "/solve", body).unwrap(),
+            );
+            assert_eq!(
+                via_router.0,
+                200,
+                "{}",
+                String::from_utf8_lossy(&via_router.1)
+            );
+            // Identical (problem, seed) answers bit-identically regardless
+            // of which cell solved it (timing fields differ; compare the
+            // solution surface).
+            let r: serde_json::Value = serde_json::from_slice(&via_router.1).unwrap();
+            let d: serde_json::Value = serde_json::from_slice(&direct.1).unwrap();
+            for field in ["selection", "cost", "backend", "reads", "qubits_used"] {
+                assert_eq!(r[field], d[field], "{field}");
+            }
+        }
+        let total: u64 = router.cells().iter().map(|c| c.forwarded).sum();
+        assert_eq!(total, 2);
+        router.shutdown();
+        cell_a.shutdown();
+        cell_b.shutdown();
+        solo.shutdown();
+    }
+
+    #[test]
+    fn same_structure_always_lands_on_the_same_cell() {
+        let cell_a = cell_server();
+        let cell_b = cell_server();
+        let router = router_over(&[&cell_a, &cell_b]);
+        // Same structure, different weights/seeds: one cell takes them all.
+        let bodies: Vec<Vec<u8>> = (0..4)
+            .map(|seed| {
+                format!(
+                    r#"{{"problem": {{"queries": [[2,4],[3,1]], "savings": [[1,2,5.0]]}}, "seed": {seed}}}"#
+                )
+                .into_bytes()
+            })
+            .collect();
+        for body in &bodies {
+            let (status, body) = roundtrip(router.local_addr(), "POST", "/solve", body).unwrap();
+            assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        }
+        let cells = router.cells();
+        let loads: Vec<u64> = cells.iter().map(|c| c.forwarded).collect();
+        assert!(
+            loads.contains(&4) && loads.contains(&0),
+            "one cell takes the whole structure shard, saw {loads:?}"
+        );
+        // The owning cell saw 1 miss + 3 hits; the idle cell saw nothing.
+        let owner = if loads[0] == 4 { &cell_a } else { &cell_b };
+        assert_eq!(owner.metrics().snapshot().cache_hits, 3);
+        router.shutdown();
+        cell_a.shutdown();
+        cell_b.shutdown();
+    }
+
+    #[test]
+    fn dead_cells_fall_through_and_recovery_warms_the_cache() {
+        let cell_a = cell_server();
+        let cell_b = cell_server();
+        let mut config = MqoRouterConfig::new(vec![
+            cell_a.local_addr().to_string(),
+            cell_b.local_addr().to_string(),
+        ]);
+        config.breaker.failure_threshold = 1;
+        config.breaker.open_ms = 50;
+        config.io_timeout_ms = 500;
+        let router = MqoRouter::start(config).expect("bind router");
+
+        // Find which cell owns TINY_A's structure, then kill it.
+        let (status, _) = roundtrip(router.local_addr(), "POST", "/solve", TINY_A).unwrap();
+        assert_eq!(status, 200);
+        let owner_idx = router
+            .cells()
+            .iter()
+            .position(|c| c.forwarded == 1)
+            .expect("one cell answered");
+        let (owner, survivor) = if owner_idx == 0 {
+            (cell_a, &cell_b)
+        } else {
+            (cell_b, &cell_a)
+        };
+        owner.shutdown();
+
+        // The shard's primary is gone: requests fall through to the
+        // survivor and still answer 200.
+        let (status, body) = roundtrip(router.local_addr(), "POST", "/solve", TINY_A).unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        let cells = router.cells();
+        assert!(
+            cells[owner_idx].failures >= 1,
+            "dead cell recorded failures"
+        );
+        assert_eq!(
+            survivor.metrics().snapshot().requests_total,
+            1,
+            "survivor answered the fallen-through request"
+        );
+        router.shutdown();
+        survivor.shutdown();
+    }
+
+    #[test]
+    fn router_metrics_report_per_cell_breaker_state() {
+        let cell = cell_server();
+        let router = router_over(&[&cell]);
+        let (status, body) = roundtrip(router.local_addr(), "GET", "/metrics", b"").unwrap();
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        assert_eq!(v["router"]["cells"][0]["breaker"]["state"], "closed");
+        assert!(v["service"]["requests_total"].is_u64());
+        let (status, body) = roundtrip(router.local_addr(), "GET", "/healthz", b"").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, br#"{"status":"ok","cells":1}"#);
+        router.shutdown();
+        cell.shutdown();
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected_at_the_router_without_forwarding() {
+        let cell = cell_server();
+        let router = router_over(&[&cell]);
+        let (status, body) = roundtrip(router.local_addr(), "POST", "/solve", b"{nope").unwrap();
+        assert_eq!(status, 400);
+        let v: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        assert_eq!(v["reason"], "invalid_request");
+        assert_eq!(cell.metrics().snapshot().requests_total, 0);
+        assert_eq!(router.cells()[0].forwarded, 0);
+        router.shutdown();
+        cell.shutdown();
+    }
+}

@@ -348,10 +348,9 @@ fn corruption_chaos_drains_with_zero_unflagged_answers() {
             match status {
                 200 => {
                     let selection: Vec<u64> = match &v["selection"] {
-                        serde_json::Value::Array(items) => items
-                            .iter()
-                            .map(|p| p.as_u64().expect("plan id"))
-                            .collect(),
+                        serde_json::Value::Array(items) => {
+                            items.iter().map(|p| p.as_u64().expect("plan id")).collect()
+                        }
                         other => panic!("request {i}: selection is not an array: {other:?}"),
                     };
                     verify(&selection, v["cost"].as_f64().expect("cost"));

@@ -1,4 +1,6 @@
-//! Property-based fuzzing of the HTTP request reader (ISSUE-5, satellite c).
+//! Property-based fuzzing of the HTTP request reader (ISSUE-5, satellite c)
+//! and of the incremental parser behind the nonblocking event loop
+//! (ISSUE-9, satellite c).
 //!
 //! `http::read_request` is the service's unauthenticated network-facing
 //! parsing surface: whatever bytes a client throws at the socket flow
@@ -8,8 +10,15 @@
 //! assert the total-function contract: the reader never panics and every
 //! outcome is either a parsed [`Request`] or a typed [`HttpError`] whose
 //! `http_status()` is an expected client-error code.
+//!
+//! `http::parse_request` is the same grammar restated over a buffer
+//! prefix for the event loop: it must agree with the blocking reader on
+//! every complete input, stay at `Ok(None)` on every proper prefix no
+//! matter how reads are split (the slow-loris path), walk pipelined
+//! requests in order, and turn mid-pipeline garbage into the same typed
+//! errors.
 
-use mqo_service::http::{read_request, HttpError, HttpLimits};
+use mqo_service::http::{parse_request, read_request, HttpError, HttpLimits};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
@@ -129,6 +138,162 @@ proptest! {
         raw.extend_from_slice(format!("content-length: {declared}\r\n\r\n").as_bytes());
         raw.extend_from_slice(&vec![b'x'; actual]);
         parse_never_panics(&raw, &small_limits())?;
+    }
+
+    /// Differential property: the incremental parser and the blocking
+    /// reader are the same grammar. On any corrupted/truncated valid
+    /// request, a complete parse agrees field-for-field, a typed error
+    /// agrees on the response status, and an incomplete verdict
+    /// (`Ok(None)`) coincides with the blocking reader failing on EOF.
+    #[test]
+    fn incremental_parser_agrees_with_blocking_reader(
+        body_len in 0usize..64,
+        cut in 0usize..256,
+        flip_at in 0usize..256,
+        flip_to in 0u8..=255,
+    ) {
+        let mut raw = valid_request(body_len);
+        if flip_at < raw.len() {
+            raw[flip_at] = flip_to;
+        }
+        raw.truncate(cut.min(raw.len()));
+        let limits = small_limits();
+        let incremental = parse_request(&raw, &limits);
+        let mut source: &[u8] = &raw;
+        let blocking = read_request(&mut source, &limits);
+        match incremental {
+            Ok(Some(parsed)) => match blocking {
+                Ok(req) => {
+                    prop_assert_eq!(&parsed.request.method, &req.method);
+                    prop_assert_eq!(&parsed.request.path, &req.path);
+                    prop_assert_eq!(&parsed.request.body, &req.body);
+                    prop_assert!(parsed.consumed <= raw.len());
+                }
+                Err(e) => return Err(TestCaseError::fail(format!(
+                    "incremental parsed a request the blocking reader rejects: {e}"
+                ))),
+            },
+            Ok(None) => prop_assert!(
+                blocking.is_err(),
+                "incremental says incomplete but the blocking reader parsed it"
+            ),
+            Err(e) => match blocking {
+                Err(b) => prop_assert_eq!(e.http_status(), b.http_status()),
+                Ok(_) => return Err(TestCaseError::fail(format!(
+                    "incremental rejects ({e}) a request the blocking reader accepts"
+                ))),
+            },
+        }
+    }
+
+    /// Split-read boundaries: every proper prefix of a valid request is
+    /// `Ok(None)` — never an error, never a premature parse — and the full
+    /// buffer parses with `consumed` equal to the request length. This is
+    /// the byte-at-a-time slow-loris path: the event loop keeps buffering
+    /// without misparsing regardless of where the kernel splits reads.
+    #[test]
+    fn every_prefix_of_a_valid_request_is_incomplete_not_an_error(
+        body_len in 0usize..64,
+        keep_alive in proptest::bool::ANY,
+    ) {
+        let mut raw = valid_request(body_len);
+        if keep_alive {
+            let text = String::from_utf8(raw).unwrap();
+            raw = text.replace("connection: close", "connection: keep-alive").into_bytes();
+        }
+        let limits = small_limits();
+        for cut in 0..raw.len() {
+            match parse_request(&raw[..cut], &limits) {
+                Ok(None) => {}
+                other => return Err(TestCaseError::fail(format!(
+                    "prefix of {cut}/{} bytes gave {other:?}", raw.len()
+                ))),
+            }
+        }
+        match parse_request(&raw, &limits) {
+            Ok(Some(parsed)) => {
+                prop_assert_eq!(parsed.consumed, raw.len());
+                prop_assert_eq!(parsed.close, !keep_alive);
+                prop_assert_eq!(parsed.request.body.len(), body_len);
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "complete request gave {other:?}"
+            ))),
+        }
+    }
+
+    /// Pipelining: several keep-alive requests concatenated into one
+    /// segment parse strictly in order, each `consumed` draining exactly
+    /// one request, with an empty buffer at the end.
+    #[test]
+    fn pipelined_requests_in_one_segment_parse_in_order(
+        body_lens in vec(0usize..48, 1..6),
+    ) {
+        let limits = small_limits();
+        let mut buf = Vec::new();
+        for len in &body_lens {
+            let text = String::from_utf8(valid_request(*len)).unwrap();
+            buf.extend_from_slice(
+                text.replace("connection: close", "connection: keep-alive").as_bytes(),
+            );
+        }
+        for (k, len) in body_lens.iter().enumerate() {
+            match parse_request(&buf, &limits) {
+                Ok(Some(parsed)) => {
+                    prop_assert_eq!(
+                        parsed.request.body.len(), *len,
+                        "request {} parsed out of order", k
+                    );
+                    prop_assert!(!parsed.close);
+                    buf.drain(..parsed.consumed);
+                }
+                other => return Err(TestCaseError::fail(format!(
+                    "pipelined request {k} gave {other:?}"
+                ))),
+            }
+        }
+        prop_assert!(buf.is_empty());
+    }
+
+    /// Mid-pipeline malformed input: a valid request followed by one of
+    /// several definitively-broken tails parses the valid request first,
+    /// then answers the tail with a typed client-error status — the event
+    /// loop turns that into an error response plus connection close, never
+    /// a hang or a panic.
+    #[test]
+    fn mid_pipeline_malformed_tails_are_typed_errors(
+        body_len in 0usize..48,
+        tail_kind in 0usize..4,
+    ) {
+        let limits = small_limits();
+        let text = String::from_utf8(valid_request(body_len)).unwrap();
+        let mut buf = text.replace("connection: close", "connection: keep-alive").into_bytes();
+        let tail: &[u8] = match tail_kind {
+            0 => b"POST /solve HTTP/1.1\r\ncontent-length: zzz\r\n\r\n",
+            1 => b"not-even-a-request-line\r\n\r\n",
+            2 => b"POST /solve HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n",
+            _ => b"POST\r\n\r\n",
+        };
+        buf.extend_from_slice(tail);
+        let first = match parse_request(&buf, &limits) {
+            Ok(Some(parsed)) => parsed,
+            other => return Err(TestCaseError::fail(format!(
+                "leading valid request gave {other:?}"
+            ))),
+        };
+        buf.drain(..first.consumed);
+        match parse_request(&buf, &limits) {
+            Err(e) => {
+                let status = e.http_status();
+                prop_assert!(
+                    matches!(status, 400 | 408 | 413 | 431),
+                    "unexpected status {status} for {e}"
+                );
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "malformed tail {tail_kind} gave {other:?}"
+            ))),
+        }
     }
 
     /// Oversized declared bodies are rejected with the typed 413, never by

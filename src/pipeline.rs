@@ -566,12 +566,8 @@ impl<S: Sampler> QuantumMqoSolver<S> {
                 continue;
             }
             let (logical, physical) = prepared[i].as_ref().expect("active tenants prepared");
-            out[i] = Some(self.finish_clean_outcome(
-                instances[i].problem,
-                logical,
-                physical,
-                samples,
-            ));
+            out[i] =
+                Some(self.finish_clean_outcome(instances[i].problem, logical, physical, samples));
         }
         out
     }
