@@ -4,7 +4,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--clients C] [--structures S]
 //!         [--plans P] [--reads N] [--seed S] [--small]
-//!         [--keep-alive] [--pipeline N]
+//!         [--keep-alive] [--pipeline N] [--retry N]
 //!         [--mixed-sizes] [--tenants T]
 //!         [--chaos-seed N] [--chaos-panic-rate F] [--chaos-kill-rate F]
 //!         [--chaos-backend-failure-rate F] [--chaos-corruption-rate F]
@@ -45,6 +45,18 @@
 //! section (count, mean, p50/p99) so connection churn is visible instead
 //! of smeared into the solve latencies.
 //!
+//! Fleet mode (ISSUE-10): point `--addr` at an `mqo_router` front and pass
+//! `--retry N` to give every request a client-side replay budget. Shed or
+//! failed requests (429/5xx, or a reset connection from a cell dying
+//! mid-solve) are re-sent — honouring the server's `Retry-After` header,
+//! capped at 2 s — and the report gains a `failover` block, separate from
+//! the error ledger: client retries, how many waits honoured `Retry-After`,
+//! how many requests completed only after a retry, plus the router-side
+//! failover/respawn/cache counters scraped from `/metrics`. Because solves
+//! are deterministic by `(problem, seed)`, retries are idempotent; a run
+//! with retries still asserts the zero-loss books — every request ends as
+//! exactly one final outcome.
+//!
 //! Integrity mode (ISSUE-7): `--chaos-corruption-rate` mangles a
 //! deterministic subset of successful answers at the server's API
 //! boundary. The report surfaces the integrity and chain-repair counters,
@@ -63,7 +75,7 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -78,6 +90,7 @@ struct Options {
     small: bool,
     keep_alive: bool,
     pipeline: usize,
+    retry: u32,
     mixed_sizes: bool,
     tenants: usize,
     chaos: ChaosConfig,
@@ -100,6 +113,7 @@ impl Default for Options {
             small: true,
             keep_alive: false,
             pipeline: 1,
+            retry: 0,
             mixed_sizes: false,
             tenants: 0,
             chaos: ChaosConfig::NONE,
@@ -150,6 +164,7 @@ fn parse_options() -> Options {
                 opts.pipeline = num(value("--pipeline"), "--pipeline");
                 opts.keep_alive = true;
             }
+            "--retry" => opts.retry = num(value("--retry"), "--retry"),
             "--mixed-sizes" => opts.mixed_sizes = true,
             "--tenants" => opts.tenants = num(value("--tenants"), "--tenants"),
             "--chaos-seed" => opts.chaos.seed = num(value("--chaos-seed"), "--chaos-seed"),
@@ -197,6 +212,7 @@ fn parse_options() -> Options {
                      --full            12x12 D-Wave 2X graph\n\
                      --keep-alive      one persistent connection per client thread\n\
                      --pipeline N      pipeline N requests per write (implies --keep-alive)\n\
+                     --retry N         client-side replays per shed/failed request (0)\n\
                      --mixed-sizes     cycle structures through paper classes 2-5 plans\n\
                      --tenants T       self-host with chip packing, up to T tenants/cycle (0 = off)\n\
                      --chaos-seed N    seed of all chaos streams (0)\n\
@@ -277,10 +293,13 @@ fn raw_request(addr: SocketAddr, body: &[u8]) -> Vec<u8> {
     raw
 }
 
+/// Outcome of one `connection: close` exchange:
+/// `(status, body, connect_us, request_us, retry_after_secs)`.
+type CloseRoundtrip = (u16, Vec<u8>, u64, u64, Option<u64>);
+
 /// One `connection: close` exchange with the connect cost measured
-/// separately from the request/response exchange: returns
-/// `(status, body, connect_us, request_us)`.
-fn close_roundtrip(addr: SocketAddr, body: &[u8]) -> std::io::Result<(u16, Vec<u8>, u64, u64)> {
+/// separately from the request/response exchange.
+fn close_roundtrip(addr: SocketAddr, body: &[u8]) -> std::io::Result<CloseRoundtrip> {
     use std::io::BufReader;
     let connecting = Instant::now();
     let mut stream = std::net::TcpStream::connect(addr)?;
@@ -301,7 +320,72 @@ fn close_roundtrip(addr: SocketAddr, body: &[u8]) -> std::io::Result<(u16, Vec<u
         parts.body,
         connect_us,
         sent.elapsed().as_micros() as u64,
+        parts.retry_after,
     ))
+}
+
+/// Client-side replay accounting, reported as the `failover` block —
+/// deliberately separate from the error ledger: a retried-then-solved
+/// request is a success with a story, not an error.
+#[derive(Default)]
+struct FailoverStats {
+    /// Replays issued (each extra attempt counts once).
+    retries: AtomicU64,
+    /// Replays whose pause came from a server `Retry-After` header.
+    retry_after_honored: AtomicU64,
+    /// Requests that ended 200 only after at least one replay.
+    completed_after_retry: AtomicU64,
+}
+
+/// Whether a status is worth replaying against an idempotent fleet:
+/// solves are deterministic by `(problem, seed)`, so re-sending a shed or
+/// failed request cannot change the answer it eventually gets.
+fn retryable(status: u16) -> bool {
+    matches!(status, 429 | 500 | 503 | 504)
+}
+
+/// One request with up to `retries` client-side replays beyond the
+/// attempts already spent (`prior_attempts`, for keep-alive hand-offs).
+/// Pauses between attempts honour the server's `Retry-After` (capped at
+/// 2 s); transport errors replay too — a cell dying mid-solve resets the
+/// connection rather than answering.
+fn send_with_retry(
+    addr: SocketAddr,
+    body: &[u8],
+    retries: u32,
+    prior_attempts: u32,
+    stats: &FailoverStats,
+) -> std::io::Result<(u16, Vec<u8>, u64, u64)> {
+    let mut attempt = prior_attempts;
+    loop {
+        let pause = |after: Option<u64>| match after {
+            Some(secs) => {
+                stats.retry_after_honored.fetch_add(1, Ordering::Relaxed);
+                Duration::from_secs(secs).min(Duration::from_secs(2))
+            }
+            None => Duration::from_millis(50),
+        };
+        match close_roundtrip(addr, body) {
+            Ok((status, reply, connect_us, latency_us, retry_after)) => {
+                if retryable(status) && attempt < retries {
+                    attempt += 1;
+                    stats.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(pause(retry_after));
+                    continue;
+                }
+                if status == 200 && attempt > 0 {
+                    stats.completed_after_retry.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok((status, reply, connect_us, latency_us));
+            }
+            Err(_) if attempt < retries => {
+                attempt += 1;
+                stats.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(pause(None));
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Maps one `(status, reply)` exchange to an [`Outcome`], failing the run
@@ -461,10 +545,12 @@ fn main() {
     let (abort_rate, slow_rate) = (opts.conn_abort_rate, opts.slow_rate);
     let keep_alive = opts.keep_alive;
     let pipeline = opts.pipeline.max(1);
+    let retry = opts.retry;
     let bodies = Arc::new(bodies);
     let next = Arc::new(AtomicUsize::new(0));
     let outcomes = Arc::new(Mutex::new(Vec::new()));
     let connects = Arc::new(Mutex::new(Vec::new()));
+    let failover_stats = Arc::new(FailoverStats::default());
     let started = Instant::now();
     let mut handles = Vec::new();
     for _ in 0..opts.clients {
@@ -472,6 +558,7 @@ fn main() {
         let next = Arc::clone(&next);
         let outcomes = Arc::clone(&outcomes);
         let connects = Arc::clone(&connects);
+        let failover_stats = Arc::clone(&failover_stats);
         let total = opts.requests;
         handles.push(std::thread::spawn(move || {
             // In keep-alive mode each client thread holds one persistent
@@ -530,14 +617,27 @@ fn main() {
                     // Pipelined responses share the batch wall clock; book
                     // the amortised per-request latency.
                     let per_request = elapsed / responses.len().max(1) as u64;
-                    let mut out = outcomes.lock().unwrap();
                     for (&i, (status, reply)) in batch.iter().zip(&responses) {
-                        out.push((i, classify(i, *status, reply, per_request, chaos_active)));
+                        if retry > 0 && retryable(*status) {
+                            // The keep-alive attempt already failed once:
+                            // hand the request to the replay path with that
+                            // attempt on the books.
+                            failover_stats.retries.fetch_add(1, Ordering::Relaxed);
+                            let (status, reply, connect_us, latency_us) =
+                                send_with_retry(addr, &bodies[i], retry, 1, &failover_stats)
+                                    .unwrap_or_else(|e| fail(format!("request {i}: {e}")));
+                            connects.lock().unwrap().push(connect_us);
+                            let outcome = classify(i, status, &reply, latency_us, chaos_active);
+                            outcomes.lock().unwrap().push((i, outcome));
+                        } else {
+                            let outcome = classify(i, *status, reply, per_request, chaos_active);
+                            outcomes.lock().unwrap().push((i, outcome));
+                        }
                     }
                 } else {
                     for &i in &batch {
                         let (status, reply, connect_us, latency_us) =
-                            close_roundtrip(addr, &bodies[i])
+                            send_with_retry(addr, &bodies[i], retry, 0, &failover_stats)
                                 .unwrap_or_else(|e| fail(format!("request {i}: {e}")));
                         connects.lock().unwrap().push(connect_us);
                         let outcome = classify(i, status, &reply, latency_us, chaos_active);
@@ -653,6 +753,21 @@ fn main() {
             "mean_us": mean(&connects),
             "p50_us": percentile(&connects, 0.50),
             "p99_us": percentile(&connects, 0.99),
+        }),
+        // Client-side replays and the router's failover counters, apart
+        // from the error ledger: a request that died with one cell and
+        // completed on another is a success with a story, not an error.
+        "failover": serde_json::json!({
+            "client_retries": failover_stats.retries.load(Ordering::Relaxed),
+            "retry_after_honored": failover_stats.retry_after_honored.load(Ordering::Relaxed),
+            "completed_after_retry": failover_stats.completed_after_retry.load(Ordering::Relaxed),
+            "router_failovers": metrics["service"]["failovers"].clone(),
+            "cell_respawns": metrics["service"]["cell_respawns"].clone(),
+            "crash_loops_quarantined": metrics["service"]["crash_loops_quarantined"].clone(),
+            "cell_kills_injected": metrics["service"]["chaos_cell_kills_injected"].clone(),
+            "deadline_budget_exhausted": metrics["service"]["deadline_budget_exhausted"].clone(),
+            "router_cache_hits": metrics["service"]["router_cache_hits"].clone(),
+            "router_cache_misses": metrics["service"]["router_cache_misses"].clone(),
         }),
         "integrity": serde_json::json!({
             "violations": metrics["service"]["integrity_violations"].clone(),

@@ -201,6 +201,27 @@ impl CircuitBreaker {
         self.lock().state
     }
 
+    /// How much of the cooling period an `Open` breaker still has to sit
+    /// out. `None` when the breaker is not open (or breaking is disabled);
+    /// `Some(Duration::ZERO)` once the cooling has elapsed but no probe has
+    /// been admitted yet. Callers use this to compute an honest
+    /// `Retry-After` instead of a constant.
+    #[must_use]
+    pub fn remaining_open(&self) -> Option<Duration> {
+        if self.config.failure_threshold == 0 {
+            return None;
+        }
+        let inner = self.lock();
+        if inner.state != BreakerState::Open {
+            return None;
+        }
+        let open_for = Duration::from_millis(self.config.open_ms);
+        Some(match inner.opened_at {
+            Some(at) => open_for.saturating_sub(at.elapsed()),
+            None => Duration::ZERO,
+        })
+    }
+
     /// Serialisable snapshot of state and transition counters.
     #[must_use]
     pub fn snapshot(&self) -> BreakerSnapshot {
@@ -282,6 +303,40 @@ mod tests {
         b.record_failure();
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.snapshot().opened_total, 2);
+    }
+
+    #[test]
+    fn remaining_open_tracks_the_cooling_interval() {
+        let b = breaker(1, 30_000);
+        assert_eq!(b.remaining_open(), None, "closed breaker has no interval");
+        b.record_failure();
+        let remaining = b.remaining_open().expect("open breaker reports interval");
+        assert!(
+            remaining <= Duration::from_millis(30_000),
+            "never exceeds the configured cooling period"
+        );
+        assert!(
+            remaining >= Duration::from_millis(29_000),
+            "a just-opened breaker has nearly the full period left, got {remaining:?}"
+        );
+        b.record_success();
+        assert_eq!(b.remaining_open(), None, "closing clears the interval");
+
+        let cooled = breaker(1, 0);
+        cooled.record_failure();
+        assert_eq!(
+            cooled.remaining_open(),
+            Some(Duration::ZERO),
+            "elapsed cooling reports zero, not None: the breaker is still open"
+        );
+
+        let disabled = breaker(0, 30_000);
+        disabled.record_failure();
+        assert_eq!(
+            disabled.remaining_open(),
+            None,
+            "disabled breaker never opens"
+        );
     }
 
     #[test]

@@ -46,6 +46,9 @@ pub const STREAM_CHAOS_CONN: u64 = 0x4348_434f_4e4e_0004;
 /// Stream tag for sample-corruption rolls (mangled backend answers at the
 /// API boundary, caught by the integrity gate).
 pub const STREAM_CHAOS_CORRUPT: u64 = 0x4348_434f_5252_0005;
+/// Stream tag for fleet cell-kill rolls (SIGKILL of a supervised
+/// `mqo_serve` cell process mid-drain, DESIGN.md §14).
+pub const STREAM_CHAOS_CELL_KILL: u64 = 0x4348_4345_4c4c_0006;
 
 /// One uniform sample in `[0, 1)` for slot `(a, b)` of `stream` under
 /// `chaos_seed` — the single primitive every chaos decision reduces to.
@@ -178,6 +181,74 @@ impl ChaosConfig {
     }
 }
 
+/// A seeded schedule of cell-process SIGKILLs for fleet kill-chaos.
+///
+/// The schedule is a pure function of `(seed, kills, delay bounds, cell
+/// count)`: kill `k` fires `delay_ms(k)` milliseconds after the supervisor
+/// starts executing the schedule and targets `target_cell(k)`. Two runs
+/// with the same configuration kill the same cells at the same offsets —
+/// the fleet drain tests rely on that to compare recovery behaviour across
+/// runs. A `kills` of zero is inert: the supervisor never consults the
+/// schedule's streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct CellKillSchedule {
+    /// Seed of the kill streams; independent of every other chaos stream.
+    pub seed: u64,
+    /// Total SIGKILLs to deliver over the drain.
+    pub kills: u32,
+    /// Earliest offset of a kill from schedule start, milliseconds.
+    pub min_delay_ms: u64,
+    /// Latest offset of a kill from schedule start, milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl Default for CellKillSchedule {
+    fn default() -> Self {
+        CellKillSchedule {
+            seed: 0,
+            kills: 0,
+            min_delay_ms: 100,
+            max_delay_ms: 2_000,
+        }
+    }
+}
+
+impl CellKillSchedule {
+    /// Whether this schedule can never fire.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.kills == 0
+    }
+
+    /// Validates the delay bounds; the binaries surface violations before
+    /// binding.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.min_delay_ms > self.max_delay_ms {
+            return Err("cell-kill min delay must not exceed max delay");
+        }
+        Ok(())
+    }
+
+    /// Offset of kill `k` from schedule start, milliseconds. Uniform in
+    /// `[min_delay_ms, max_delay_ms]`, pure in `(self.seed, k)`.
+    #[must_use]
+    pub fn delay_ms(&self, k: u32) -> u64 {
+        let span = self.max_delay_ms - self.min_delay_ms;
+        let roll = chaos_roll(self.seed, STREAM_CHAOS_CELL_KILL, u64::from(k), 0);
+        self.min_delay_ms + (roll * (span + 1) as f64) as u64
+    }
+
+    /// Which of `cells` processes kill `k` targets. Pure in
+    /// `(self.seed, k)`; an independent slot of the kill stream so delay
+    /// and target don't alias.
+    #[must_use]
+    pub fn target_cell(&self, k: u32, cells: usize) -> usize {
+        let roll = chaos_roll(self.seed, STREAM_CHAOS_CELL_KILL, u64::from(k), 1);
+        ((roll * cells as f64) as usize).min(cells.saturating_sub(1))
+    }
+}
+
 /// Panic payload message used by injected worker panics, so tests and
 /// operators can tell chaos from genuine bugs in `500` details.
 pub const CHAOS_PANIC_MESSAGE: &str = "chaos: injected worker panic";
@@ -295,6 +366,60 @@ mod tests {
         let other = ChaosConfig { seed: 8, ..cfg };
         let other_schedule: Vec<bool> = (0..200).map(|s| other.worker_panics(s)).collect();
         assert_ne!(schedule, other_schedule, "different chaos seeds differ");
+    }
+
+    #[test]
+    fn cell_kill_schedule_is_deterministic_and_bounded() {
+        let schedule = CellKillSchedule {
+            seed: 42,
+            kills: 8,
+            min_delay_ms: 100,
+            max_delay_ms: 1_500,
+        };
+        assert!(!schedule.is_inert());
+        assert!(schedule.validate().is_ok());
+        let plan: Vec<(u64, usize)> = (0..schedule.kills)
+            .map(|k| (schedule.delay_ms(k), schedule.target_cell(k, 3)))
+            .collect();
+        let again: Vec<(u64, usize)> = (0..schedule.kills)
+            .map(|k| (schedule.delay_ms(k), schedule.target_cell(k, 3)))
+            .collect();
+        assert_eq!(plan, again, "same seed, same kill plan");
+        for &(delay, cell) in &plan {
+            assert!(
+                (100..=1_500).contains(&delay),
+                "delay {delay} out of bounds"
+            );
+            assert!(cell < 3, "target {cell} out of range");
+        }
+        let other = CellKillSchedule {
+            seed: 43,
+            ..schedule
+        };
+        let other_plan: Vec<(u64, usize)> = (0..schedule.kills)
+            .map(|k| (other.delay_ms(k), other.target_cell(k, 3)))
+            .collect();
+        assert_ne!(plan, other_plan, "different seeds, different plans");
+        // Over enough kills every cell is hit at least once.
+        let wide: Vec<usize> = (0..64).map(|k| schedule.target_cell(k, 3)).collect();
+        for cell in 0..3 {
+            assert!(
+                wide.contains(&cell),
+                "cell {cell} never targeted in 64 kills"
+            );
+        }
+    }
+
+    #[test]
+    fn cell_kill_schedule_defaults_are_inert_and_bad_bounds_rejected() {
+        assert!(CellKillSchedule::default().is_inert());
+        assert!(CellKillSchedule::default().validate().is_ok());
+        let bad = CellKillSchedule {
+            min_delay_ms: 500,
+            max_delay_ms: 100,
+            ..CellKillSchedule::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -482,6 +482,9 @@ pub struct ResponseParts {
     /// True when the server announced `connection: close` — the connection
     /// must not be reused for another request.
     pub close: bool,
+    /// Parsed `Retry-After` header (whole seconds), when the server sent
+    /// one on a 429/503 — clients use it to pace their retries.
+    pub retry_after: Option<u64>,
 }
 
 /// Reads one `content-length`-framed response from a client-side reader.
@@ -502,6 +505,7 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ResponseParts> {
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
     let mut content_length = 0usize;
     let mut close = false;
+    let mut retry_after = None;
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
@@ -518,6 +522,8 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ResponseParts> {
                 && value.trim().eq_ignore_ascii_case("close")
             {
                 close = true;
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse().ok();
             }
         }
     }
@@ -527,6 +533,7 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ResponseParts> {
         status,
         body,
         close,
+        retry_after,
     })
 }
 

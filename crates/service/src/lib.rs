@@ -30,8 +30,15 @@
 //! * [`breaker`] — per-backend circuit breakers; a repeatedly failing
 //!   backend is skipped in favour of the next candidate (DESIGN.md §9).
 //! * [`chaos`] — deterministic fault injection for the serving stack:
-//!   seeded worker panics, worker deaths, and backend failures keyed on
-//!   request content, inert by default.
+//!   seeded worker panics, worker deaths, backend failures, and cell-kill
+//!   schedules keyed on request content / seeded streams, inert by default.
+//! * [`supervisor`] — fleet supervision for `mqo_serve` cells run as child
+//!   processes: respawn with exponential backoff, crash-loop quarantine,
+//!   deadline-bounded health probes (DESIGN.md §14).
+//! * [`shard`] — the structure-sharded `mqo_router` front with zero-loss
+//!   failover: bounded in-flight journals, deterministic replay on healthy
+//!   cells within the client's deadline budget, and a response cache for
+//!   idempotent repeats.
 //!
 //! The `mqo_serve` binary wires the layers together; the `loadgen` bench bin
 //! (in `mqo-bench`) replays paper-workload request streams against it.
@@ -48,6 +55,7 @@ pub mod queue;
 pub mod router;
 pub mod server;
 pub mod shard;
+pub mod supervisor;
 
 pub use api::{Backend, Reject, SolveRequest, SolveResponse};
 pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker};
@@ -59,4 +67,9 @@ pub use metrics::{Metrics, MetricsSnapshot};
 pub use queue::{QueueConfig, SolveQueue};
 pub use router::{route, RouteDecision, RouterConfig};
 pub use server::{Server, ServerConfig};
-pub use shard::{structure_key, CellSnapshot, MqoRouter, MqoRouterConfig};
+pub use shard::{
+    next_deadline, structure_key, CellSnapshot, FailoverConfig, MqoRouter, MqoRouterConfig,
+};
+pub use supervisor::{
+    RespawnPolicy, RespawnVerdict, SupervisedCellSnapshot, Supervisor, SupervisorConfig,
+};

@@ -178,6 +178,27 @@ pub struct Metrics {
     pub chaos_backend_failures_injected: AtomicU64,
     /// Chaos: successful answers corrupted at the API boundary.
     pub chaos_corruptions_injected: AtomicU64,
+    /// Chaos: `mqo_serve` cell processes SIGKILLed by the fleet kill
+    /// schedule (router-side supervision chaos, DESIGN.md §14).
+    pub chaos_cell_kills_injected: AtomicU64,
+    /// Supervisor: dead cell processes respawned.
+    pub cell_respawns: AtomicU64,
+    /// Supervisor: cells quarantined after a crash loop (their shard range
+    /// is remapped to healthy cells).
+    pub crash_loops_quarantined: AtomicU64,
+    /// Supervisor: deadline-bounded `/healthz` probes that failed.
+    pub health_probe_failures: AtomicU64,
+    /// Router: requests that completed on a fallback cell after at least
+    /// one failed or 5xx attempt on another cell (transparent replay).
+    pub failovers: AtomicU64,
+    /// Router: replays abandoned because the client's remaining deadline
+    /// budget ran out.
+    pub deadline_budget_exhausted: AtomicU64,
+    /// Router: idempotent `(structure, weights, seed)` repeats answered
+    /// from the router's response cache without touching a cell.
+    pub router_cache_hits: AtomicU64,
+    /// Router: solve requests that had to be forwarded to a cell.
+    pub router_cache_misses: AtomicU64,
     /// Backend answers that failed the integrity gate (infeasible selection
     /// or cost mismatch) — repaired + rejected.
     pub integrity_violations: AtomicU64,
@@ -271,6 +292,14 @@ impl Metrics {
             chaos_kills_injected: load(&self.chaos_kills_injected),
             chaos_backend_failures_injected: load(&self.chaos_backend_failures_injected),
             chaos_corruptions_injected: load(&self.chaos_corruptions_injected),
+            chaos_cell_kills_injected: load(&self.chaos_cell_kills_injected),
+            cell_respawns: load(&self.cell_respawns),
+            crash_loops_quarantined: load(&self.crash_loops_quarantined),
+            health_probe_failures: load(&self.health_probe_failures),
+            failovers: load(&self.failovers),
+            deadline_budget_exhausted: load(&self.deadline_budget_exhausted),
+            router_cache_hits: load(&self.router_cache_hits),
+            router_cache_misses: load(&self.router_cache_misses),
             integrity_violations: load(&self.integrity_violations),
             integrity_repairs: load(&self.integrity_repairs),
             integrity_rejects: load(&self.integrity_rejects),
@@ -369,6 +398,30 @@ pub struct MetricsSnapshot {
     /// Chaos-corrupted answers injected at the API boundary.
     #[serde(default)]
     pub chaos_corruptions_injected: u64,
+    /// Chaos-SIGKILLed cell processes (fleet kill schedule).
+    #[serde(default)]
+    pub chaos_cell_kills_injected: u64,
+    /// Cell processes respawned by the fleet supervisor.
+    #[serde(default)]
+    pub cell_respawns: u64,
+    /// Cells quarantined after a crash loop.
+    #[serde(default)]
+    pub crash_loops_quarantined: u64,
+    /// Failed deadline-bounded `/healthz` probes.
+    #[serde(default)]
+    pub health_probe_failures: u64,
+    /// Requests completed via transparent replay on a fallback cell.
+    #[serde(default)]
+    pub failovers: u64,
+    /// Replays abandoned on an exhausted deadline budget.
+    #[serde(default)]
+    pub deadline_budget_exhausted: u64,
+    /// Router response-cache hits (idempotent repeats, no cell touched).
+    #[serde(default)]
+    pub router_cache_hits: u64,
+    /// Router response-cache misses (request forwarded to a cell).
+    #[serde(default)]
+    pub router_cache_misses: u64,
     /// Answers that failed the integrity gate.
     #[serde(default)]
     pub integrity_violations: u64,

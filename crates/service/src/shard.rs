@@ -1,4 +1,4 @@
-//! The structure-sharded router front (`mqo_router`, DESIGN.md §13).
+//! The structure-sharded router front (`mqo_router`, DESIGN.md §13–§14).
 //!
 //! A thin front process that consistently shards `POST /solve` requests
 //! across N `mqo_serve` *cells* by the instance's QUBO structure
@@ -13,32 +13,83 @@
 //! connections* ([`crate::http::KeepAliveClient`]), so neither accepting nor
 //! forwarding blocks the poll loop.
 //!
-//! Per-cell resilience:
+//! Per-cell resilience (PR 9 + the PR 10 failover layer):
 //!
 //! * every cell has its own [`CircuitBreaker`]; an unreachable cell is
 //!   skipped after `failure_threshold` consecutive failures and its traffic
 //!   falls through to the next healthy cell (consistent order: the probe
 //!   sequence starts at `hash % cells` and walks forward);
+//! * **zero-loss failover**: a connection reset, timeout, or 5xx from a
+//!   dying cell transparently replays the request on the next healthy cell
+//!   — safe because solves are deterministic by `(problem, seed)`, so a
+//!   replayed answer is bit-identical to the one the dying cell would have
+//!   produced. Replays stay inside the client's remaining deadline budget:
+//!   the router subtracts its own elapsed time and forwards a strictly
+//!   decreasing `deadline_ms` upstream ([`next_deadline`]);
+//! * every in-flight request sits in a **bounded per-shard journal**
+//!   ([`FailoverJournal`] semantics): admission beyond the per-shard bound
+//!   answers a typed 429 instead of queueing without limit, and the journal
+//!   draining to zero is the drain invariant the kill-chaos tests assert;
+//! * idempotent repeats (same structure, weights, seed, reads, gauges,
+//!   backend) can be answered from a small router-side **response cache**
+//!   without touching a cell — the cached bytes are the exact bytes of the
+//!   first answer;
+//! * cells **quarantined** by the fleet supervisor
+//!   ([`crate::supervisor::Supervisor`]) are skipped like open breakers:
+//!   the fall-through walk *is* the shard-range remap;
 //! * when a cell recovers (its breaker closes after being open), the router
 //!   replays a bounded set of recent *exemplar* requests whose primary
 //!   shard is that cell — warming the respawned cell's embedding cache
 //!   before live traffic returns to it;
 //! * any HTTP answer from a cell — including typed rejections — counts as
-//!   cell health; only transport errors trip the breaker.
+//!   cell transport health; only transport errors trip the breaker, but
+//!   5xx answers are treated as replayable (the last one is passed through
+//!   verbatim if no cell does better);
+//! * a final `503 backend_unavailable` carries an honest `Retry-After`
+//!   computed from the soonest breaker re-probe, not a constant.
 
 use crate::api::{Reject, SolveRequest};
 use crate::breaker::{BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker};
 use crate::event_loop::{Action, Completer, EventLoop, Handler, LoopConfig, Response};
 use crate::http::{HttpLimits, KeepAliveClient, Request};
 use crate::metrics::{lock_recover, Metrics};
+use crate::supervisor::{Supervisor, SupervisorConfig};
 use mqo_core::logical::LogicalMapping;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Failover policy of the router (DESIGN.md §14).
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverConfig {
+    /// Replay window for requests that carry no `deadline_ms` of their own,
+    /// milliseconds. Requests with a client deadline use that instead.
+    pub budget_ms: u64,
+    /// Outstanding requests allowed per shard (primary cell); admission
+    /// beyond this answers a typed 429. `0` disables the bound.
+    pub journal_depth: usize,
+    /// Maximum passes over the fleet before giving up (at least 1). Each
+    /// pass tries every admissible cell once.
+    pub rounds: u32,
+    /// Pause between passes, milliseconds — gives a respawning cell or a
+    /// cooling breaker a moment before the next pass.
+    pub round_backoff_ms: u64,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            budget_ms: 2_000,
+            journal_depth: 64,
+            rounds: 4,
+            round_backoff_ms: 25,
+        }
+    }
+}
 
 /// Router configuration.
 #[derive(Debug, Clone)]
@@ -59,6 +110,14 @@ pub struct MqoRouterConfig {
     /// Recent requests retained per structure hash for cache warm-up on
     /// cell recovery (0 disables warm-up).
     pub warm_exemplars: usize,
+    /// Response-cache entries for idempotent repeats (0 disables).
+    pub response_cache: usize,
+    /// Replay/journal policy.
+    pub failover: FailoverConfig,
+    /// Spawn and supervise the cells as child processes (respawn on death,
+    /// quarantine on crash loop). `None` routes to externally managed
+    /// cells exactly as before.
+    pub supervisor: Option<SupervisorConfig>,
     /// Client-side byte/count caps.
     pub http: HttpLimits,
     /// Client-side whole-request read deadline, milliseconds.
@@ -85,6 +144,9 @@ impl MqoRouterConfig {
             io_timeout_ms: 10_000,
             breaker: BreakerConfig::default(),
             warm_exemplars: 32,
+            response_cache: 128,
+            failover: FailoverConfig::default(),
+            supervisor: None,
             http: HttpLimits::default(),
             request_deadline_ms: 10_000,
             idle_timeout_ms: 10_000,
@@ -103,6 +165,25 @@ pub fn structure_key(problem: &mqo_core::problem::MqoProblem, epsilon: f64) -> u
     LogicalMapping::new(problem, epsilon)
         .qubo()
         .structure_hash()
+}
+
+/// The forwarded deadline for the next replay attempt: the client's budget
+/// minus the time the router already spent, additionally capped one below
+/// the previously forwarded deadline so the sequence is **strictly
+/// decreasing across hops** even when attempts land in the same
+/// millisecond. `None` means the budget is exhausted — stop replaying.
+#[must_use]
+pub fn next_deadline(budget_ms: u64, elapsed_ms: u64, previous: Option<u64>) -> Option<u64> {
+    let remaining = budget_ms.checked_sub(elapsed_ms)?;
+    let capped = match previous {
+        Some(prev) => remaining.min(prev.saturating_sub(1)),
+        None => remaining,
+    };
+    if capped == 0 {
+        None
+    } else {
+        Some(capped)
+    }
 }
 
 /// One upstream cell: address, connection pool, breaker, counters.
@@ -131,16 +212,190 @@ pub struct CellSnapshot {
     pub warmups: u64,
     /// Idle pooled keep-alive connections to this cell.
     pub pooled: usize,
+    /// Whether the supervisor quarantined this cell (shard range remapped).
+    #[serde(default)]
+    pub quarantined: bool,
+    /// Requests currently journaled against this cell's shard.
+    #[serde(default)]
+    pub journal_outstanding: usize,
 }
 
-/// Shared forwarding state: the cells and the warm-up exemplar store.
+/// The bounded per-shard journal of in-flight forwards. An entry lives
+/// from event-loop admission to response completion (RAII: the guard pops
+/// it even if a forwarder panics), so `outstanding` is an honest gauge of
+/// requests the router has accepted but not yet answered — the drain
+/// invariant of the kill-chaos tests is every shard returning to zero.
+struct FailoverJournal {
+    /// Per-shard ticket → structure hash of the outstanding request.
+    shards: Vec<Mutex<HashMap<u64, u64>>>,
+    depth: usize,
+    next_ticket: AtomicU64,
+    lock_recoveries: AtomicU64,
+}
+
+impl FailoverJournal {
+    fn new(shards: usize, depth: usize) -> Self {
+        FailoverJournal {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            depth,
+            next_ticket: AtomicU64::new(0),
+            lock_recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// Admits one request against `shard`, or `None` when the shard is at
+    /// its journal bound (answer 429, don't queue without limit).
+    fn admit(self: &Arc<Self>, shard: usize, hash: u64) -> Option<JournalGuard> {
+        if self.depth == 0 {
+            return Some(JournalGuard {
+                journal: Arc::clone(self),
+                shard,
+                ticket: None,
+            });
+        }
+        let mut entries = lock_recover(&self.shards[shard], &self.lock_recoveries);
+        if entries.len() >= self.depth {
+            return None;
+        }
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        entries.insert(ticket, hash);
+        Some(JournalGuard {
+            journal: Arc::clone(self),
+            shard,
+            ticket: Some(ticket),
+        })
+    }
+
+    fn outstanding(&self, shard: usize) -> usize {
+        lock_recover(&self.shards[shard], &self.lock_recoveries).len()
+    }
+}
+
+/// RAII journal entry: dropping it (response completed, or the forward
+/// path unwound) removes the request from its shard's journal.
+struct JournalGuard {
+    journal: Arc<FailoverJournal>,
+    shard: usize,
+    ticket: Option<u64>,
+}
+
+impl Drop for JournalGuard {
+    fn drop(&mut self) {
+        if let Some(ticket) = self.ticket {
+            lock_recover(
+                &self.journal.shards[self.shard],
+                &self.journal.lock_recoveries,
+            )
+            .remove(&ticket);
+        }
+    }
+}
+
+#[derive(Default)]
+struct ResponseCacheInner {
+    /// Canonical request bytes → (response body, recency stamp).
+    map: HashMap<Vec<u8>, (String, u64)>,
+    /// Recency stamp → key, oldest first; kept in lockstep with `map`.
+    recency: BTreeMap<u64, Vec<u8>>,
+    tick: u64,
+}
+
+/// A bounded LRU of successful `/solve` answers keyed by the *canonical*
+/// request bytes (the request re-serialised without its `deadline_ms`, so
+/// the key covers structure, weights, seed, reads, gauges, and backend
+/// pin — everything the answer depends on, nothing it doesn't). Safe
+/// because solves are deterministic: a hit returns the exact bytes the
+/// fleet produced for the first occurrence. Same counter/poison pattern as
+/// [`crate::cache::EmbeddingCache`]: a poisoned lock invalidates the whole
+/// cache rather than trusting interrupted LRU bookkeeping.
+struct ResponseCache {
+    inner: Mutex<ResponseCacheInner>,
+    capacity: usize,
+}
+
+impl ResponseCache {
+    fn new(capacity: usize) -> Self {
+        ResponseCache {
+            inner: Mutex::new(ResponseCacheInner::default()),
+            capacity,
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ResponseCacheInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut inner = poisoned.into_inner();
+                inner.map.clear();
+                inner.recency.clear();
+                self.inner.clear_poison();
+                inner
+            }
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<String> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let (body, stamp) = inner.map.get_mut(key)?;
+        let old = std::mem::replace(stamp, tick);
+        let body = body.clone();
+        inner.recency.remove(&old);
+        inner.recency.insert(tick, key.to_vec());
+        Some(body)
+    }
+
+    fn insert(&self, key: &[u8], body: &str) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((_, old)) = inner.map.insert(key.to_vec(), (body.to_string(), tick)) {
+            inner.recency.remove(&old);
+        }
+        inner.recency.insert(tick, key.to_vec());
+        while inner.map.len() > self.capacity {
+            let Some((&oldest, _)) = inner.recency.iter().next() else {
+                break;
+            };
+            let Some(victim) = inner.recency.remove(&oldest) else {
+                break;
+            };
+            inner.map.remove(&victim);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+}
+
+/// Shared forwarding state: the cells, the failover machinery, and the
+/// warm-up exemplar store.
 struct Fleet {
     cells: Vec<Cell>,
     io_timeout: Duration,
-    /// Most-recent request body per structure hash, bounded FIFO; replayed
-    /// into a cell when its breaker closes after being open.
+    /// Most-recent canonical request body per structure hash, bounded FIFO;
+    /// replayed into a cell when its breaker closes after being open.
     exemplars: Mutex<VecDeque<(u64, Vec<u8>)>>,
     warm_exemplars: usize,
+    failover: FailoverConfig,
+    /// Per-cell quarantine flags; shared with the supervisor when one is
+    /// running, all-false otherwise.
+    quarantined: Arc<Vec<AtomicBool>>,
+    journal: Arc<FailoverJournal>,
+    response_cache: ResponseCache,
+    metrics: Arc<Metrics>,
     lock_recoveries: AtomicU64,
 }
 
@@ -166,47 +421,174 @@ impl Fleet {
         }
     }
 
-    /// Forwards one `/solve` body to the shard's cell, falling through to
-    /// the next healthy cell on transport failure. Any HTTP answer is
+    /// `Retry-After` seconds for a request no cell could take: the soonest
+    /// moment any open breaker will admit a probe again (rounded up; at
+    /// least 1 s). Falls back to 1 s when nothing is measurably open.
+    fn retry_after_secs(&self) -> u64 {
+        self.cells
+            .iter()
+            .filter_map(|cell| cell.breaker.remaining_open())
+            .min()
+            .map(|remaining| (remaining.as_millis() as u64).div_ceil(1_000).max(1))
+            .unwrap_or(1)
+    }
+
+    /// Forwards one `/solve` request to the shard's cell, transparently
+    /// replaying on the next healthy cell after a transport failure or a
+    /// 5xx, within the request's deadline budget. Non-5xx HTTP answers are
     /// passed through verbatim.
-    fn forward(&self, hash: u64, body: &[u8]) -> Response {
+    fn forward(&self, hash: u64, request: &SolveRequest, admitted: Instant) -> Response {
+        // Canonical bytes: the request without its deadline. Response-cache
+        // key, warm-up exemplar, and the upstream body for deadline-less
+        // requests are all this serialisation.
+        let canonical = {
+            let mut canon = request.clone();
+            canon.deadline_ms = None;
+            match serde_json::to_string(&canon) {
+                Ok(json) => json.into_bytes(),
+                Err(e) => {
+                    return Response::reject(&Reject::InternalError {
+                        detail: format!("cannot re-serialise request: {e}"),
+                    })
+                }
+            }
+        };
+        if self.response_cache.enabled() {
+            if let Some(body) = self.response_cache.get(&canonical) {
+                Metrics::inc(&self.metrics.router_cache_hits);
+                return Response::json(200, body);
+            }
+            Metrics::inc(&self.metrics.router_cache_misses);
+        }
+
         let n = self.cells.len();
+        let budget = request.deadline_ms;
+        // The replay window: the client's own deadline when it sent one,
+        // the configured failover budget otherwise.
+        let window_ms = budget.unwrap_or(self.failover.budget_ms);
+        let mut last_forwarded: Option<u64> = None;
+        let mut last_5xx: Option<(u16, String)> = None;
+        let mut failed_attempts = 0u32;
+        let mut budget_exhausted = false;
         let mut detail = String::new();
-        for step in 0..n {
-            let idx = (self.primary(hash) + step) % n;
-            let cell = &self.cells[idx];
-            if !cell.breaker.admit() {
+        let mut note = |entry: String| {
+            if detail.len() < 1_024 {
                 if !detail.is_empty() {
                     detail.push_str("; ");
                 }
-                detail.push_str(&format!("{}: breaker open", cell.display));
-                continue;
+                detail.push_str(&entry);
             }
-            let was_unhealthy = cell.breaker.state() != BreakerState::Closed
-                || cell.breaker.snapshot().consecutive_failures > 0;
-            match self.try_cell(cell, body) {
-                Ok((status, resp_body)) => {
-                    cell.breaker.record_success();
-                    Metrics::inc(&cell.forwarded);
-                    self.remember(hash, body);
-                    if was_unhealthy {
-                        self.warm_cell(idx);
-                    }
-                    let body = String::from_utf8(resp_body)
-                        .unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned());
-                    return Response::json(status, body);
+        };
+
+        'rounds: for round in 0..self.failover.rounds.max(1) {
+            if round > 0 {
+                let elapsed = admitted.elapsed().as_millis() as u64;
+                if elapsed.saturating_add(self.failover.round_backoff_ms) >= window_ms {
+                    budget_exhausted = true;
+                    break 'rounds;
                 }
-                Err(e) => {
-                    cell.breaker.record_failure();
-                    Metrics::inc(&cell.failures);
-                    if !detail.is_empty() {
-                        detail.push_str("; ");
+                std::thread::sleep(Duration::from_millis(self.failover.round_backoff_ms));
+            }
+            for step in 0..n {
+                let idx = (self.primary(hash) + step) % n;
+                let cell = &self.cells[idx];
+                if self.quarantined[idx].load(Ordering::SeqCst) {
+                    note(format!("{}: quarantined", cell.display));
+                    continue;
+                }
+                if !cell.breaker.admit() {
+                    note(format!("{}: breaker open", cell.display));
+                    continue;
+                }
+                // Budget check per attempt; the forwarded deadline strictly
+                // decreases across hops.
+                let elapsed = admitted.elapsed().as_millis() as u64;
+                let forwarded_deadline = match budget {
+                    Some(b) => match next_deadline(b, elapsed, last_forwarded) {
+                        Some(d) => {
+                            last_forwarded = Some(d);
+                            Some(d)
+                        }
+                        None => {
+                            budget_exhausted = true;
+                            break 'rounds;
+                        }
+                    },
+                    None => {
+                        if elapsed >= window_ms {
+                            budget_exhausted = true;
+                            break 'rounds;
+                        }
+                        None
                     }
-                    detail.push_str(&format!("{}: {e}", cell.display));
+                };
+                let body: Vec<u8> = match forwarded_deadline {
+                    Some(deadline) => {
+                        let mut fwd = request.clone();
+                        fwd.deadline_ms = Some(deadline);
+                        match serde_json::to_string(&fwd) {
+                            Ok(json) => json.into_bytes(),
+                            Err(_) => canonical.clone(),
+                        }
+                    }
+                    None => canonical.clone(),
+                };
+                let was_unhealthy = cell.breaker.state() != BreakerState::Closed
+                    || cell.breaker.snapshot().consecutive_failures > 0;
+                match self.try_cell(cell, &body) {
+                    Ok((status, resp_body)) => {
+                        cell.breaker.record_success();
+                        let resp_body = String::from_utf8(resp_body)
+                            .unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned());
+                        if status >= 500 {
+                            // The cell answered, but with a server-side
+                            // failure — replayable on another cell; keep the
+                            // answer to pass through verbatim if nothing
+                            // does better.
+                            failed_attempts += 1;
+                            note(format!("{}: upstream {status}", cell.display));
+                            last_5xx = Some((status, resp_body));
+                            continue;
+                        }
+                        Metrics::inc(&cell.forwarded);
+                        self.remember(hash, &canonical);
+                        if was_unhealthy {
+                            self.warm_cell(idx);
+                        }
+                        if failed_attempts > 0 {
+                            Metrics::inc(&self.metrics.failovers);
+                        }
+                        if status == 200 {
+                            self.response_cache.insert(&canonical, &resp_body);
+                        }
+                        return Response::json(status, resp_body);
+                    }
+                    Err(e) => {
+                        cell.breaker.record_failure();
+                        Metrics::inc(&cell.failures);
+                        failed_attempts += 1;
+                        note(format!("{}: {e}", cell.display));
+                    }
                 }
             }
         }
-        Response::reject(&Reject::BackendUnavailable { detail }).with_header("retry-after", "1")
+
+        if budget_exhausted {
+            Metrics::inc(&self.metrics.deadline_budget_exhausted);
+        }
+        // A 5xx a cell actually produced beats a synthetic router error —
+        // pass the last one through verbatim.
+        if let Some((status, body)) = last_5xx {
+            return Response::json(status, body);
+        }
+        if budget_exhausted {
+            return Response::reject(&Reject::DeadlineExceeded {
+                deadline_ms: window_ms,
+            });
+        }
+        let retry_after = self.retry_after_secs();
+        Response::reject(&Reject::BackendUnavailable { detail })
+            .with_header("retry-after", retry_after.to_string())
     }
 
     /// One attempt against one cell over a pooled keep-alive connection;
@@ -250,22 +632,29 @@ impl Fleet {
     fn cell_snapshots(&self) -> Vec<CellSnapshot> {
         self.cells
             .iter()
-            .map(|cell| CellSnapshot {
+            .enumerate()
+            .map(|(idx, cell)| CellSnapshot {
                 addr: cell.display.clone(),
                 breaker: cell.breaker.snapshot(),
                 forwarded: cell.forwarded.load(Ordering::Relaxed),
                 failures: cell.failures.load(Ordering::Relaxed),
                 warmups: cell.warmups.load(Ordering::Relaxed),
                 pooled: lock_recover(&cell.pool, &self.lock_recoveries).len(),
+                quarantined: self.quarantined[idx].load(Ordering::SeqCst),
+                journal_outstanding: self.journal.outstanding(idx),
             })
             .collect()
     }
 }
 
 /// A solve forward in flight from the event loop to a forwarder thread.
+/// Carries its journal guard: the entry pops when the job is dropped,
+/// however the forward ends.
 struct ForwardJob {
     hash: u64,
-    body: Vec<u8>,
+    request: SolveRequest,
+    admitted: Instant,
+    _journal: JournalGuard,
     completer: Completer,
 }
 
@@ -276,6 +665,7 @@ struct RouterHandler {
     forward_tx: mpsc::Sender<ForwardJob>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
+    supervisor: Option<Arc<Supervisor>>,
     epsilon: f64,
 }
 
@@ -287,9 +677,15 @@ impl Handler for RouterHandler {
                 format!(r#"{{"status":"ok","cells":{}}}"#, self.fleet.cells.len()),
             )),
             ("GET", "/metrics") => {
+                let supervisor = self.supervisor.as_ref().map(|s| s.snapshots());
                 let payload = serde_json::json!({
                     "service": self.metrics.snapshot(),
-                    "router": serde_json::json!({ "cells": self.fleet.cell_snapshots() }),
+                    "router": serde_json::json!({
+                        "cells": self.fleet.cell_snapshots(),
+                        "response_cache_len": self.fleet.response_cache.len(),
+                        "journal_depth": self.fleet.failover.journal_depth,
+                    }),
+                    "supervisor": supervisor,
                 });
                 Action::Respond(Response::json(200, payload.to_string()))
             }
@@ -305,9 +701,21 @@ impl Handler for RouterHandler {
                     }
                 };
                 let hash = structure_key(&solve_request.problem, self.epsilon);
+                let shard = self.fleet.primary(hash);
+                let Some(guard) = self.fleet.journal.admit(shard, hash) else {
+                    Metrics::inc(&self.metrics.rejected_queue_full);
+                    return Action::Respond(
+                        Response::reject(&Reject::QueueFull {
+                            depth: self.fleet.failover.journal_depth,
+                        })
+                        .with_header("retry-after", "1"),
+                    );
+                };
                 match self.forward_tx.send(ForwardJob {
                     hash,
-                    body: request.body,
+                    request: solve_request,
+                    admitted: Instant::now(),
+                    _journal: guard,
                     completer,
                 }) {
                     Ok(()) => Action::Pending,
@@ -331,7 +739,7 @@ impl Handler for RouterHandler {
     }
 }
 
-/// A running structure-sharded router.
+/// A running structure-sharded router (optionally supervising its cells).
 pub struct MqoRouter {
     addr: SocketAddr,
     fleet: Arc<Fleet>,
@@ -339,6 +747,8 @@ pub struct MqoRouter {
     shutdown: Arc<AtomicBool>,
     event_loop: Mutex<Option<EventLoop>>,
     forwarders: Mutex<Vec<JoinHandle<()>>>,
+    supervisor: Option<Arc<Supervisor>>,
+    supervisor_report: Mutex<Vec<String>>,
 }
 
 impl std::fmt::Debug for MqoRouter {
@@ -346,13 +756,15 @@ impl std::fmt::Debug for MqoRouter {
         f.debug_struct("MqoRouter")
             .field("addr", &self.addr)
             .field("cells", &self.fleet.cells.len())
+            .field("supervised", &self.supervisor.is_some())
             .finish()
     }
 }
 
 impl MqoRouter {
-    /// Binds the listener, resolves the cells, spawns the event-loop shards
-    /// and the forwarder pool.
+    /// Binds the listener, optionally spawns and readies the supervised
+    /// fleet, resolves the cells, then spawns the event-loop shards and
+    /// the forwarder pool.
     pub fn start(config: MqoRouterConfig) -> io::Result<MqoRouter> {
         if config.cells.is_empty() {
             return Err(io::Error::new(
@@ -360,6 +772,32 @@ impl MqoRouter {
                 "router needs at least one cell",
             ));
         }
+        let metrics = Arc::new(Metrics::default());
+
+        // Supervision first: cells must exist (or be quarantined) before
+        // the router starts answering.
+        let mut supervisor = None;
+        let quarantined: Arc<Vec<AtomicBool>>;
+        if let Some(sup_config) = config.supervisor.clone() {
+            if sup_config.cells != config.cells {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "supervisor cell list must match the router cell list",
+                ));
+            }
+            let sup =
+                Supervisor::start(sup_config, Arc::clone(&metrics)).map_err(io::Error::other)?;
+            sup.wait_ready().map_err(io::Error::other)?;
+            quarantined = sup.quarantine_flags();
+            supervisor = Some(Arc::new(sup));
+        } else {
+            quarantined = Arc::new(
+                (0..config.cells.len())
+                    .map(|_| AtomicBool::new(false))
+                    .collect::<Vec<_>>(),
+            );
+        }
+
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let cells = config
@@ -383,14 +821,22 @@ impl MqoRouter {
                 })
             })
             .collect::<io::Result<Vec<Cell>>>()?;
+        let journal = Arc::new(FailoverJournal::new(
+            cells.len(),
+            config.failover.journal_depth,
+        ));
         let fleet = Arc::new(Fleet {
             cells,
             io_timeout: Duration::from_millis(config.io_timeout_ms.max(1)),
             exemplars: Mutex::new(VecDeque::new()),
             warm_exemplars: config.warm_exemplars,
+            failover: config.failover,
+            quarantined,
+            journal,
+            response_cache: ResponseCache::new(config.response_cache),
+            metrics: Arc::clone(&metrics),
             lock_recoveries: AtomicU64::new(0),
         });
-        let metrics = Arc::new(Metrics::default());
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let (forward_tx, forward_rx) = mpsc::channel::<ForwardJob>();
@@ -413,7 +859,7 @@ impl MqoRouter {
                         };
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                fleet.forward(job.hash, &job.body)
+                                fleet.forward(job.hash, &job.request, job.admitted)
                             }))
                             .unwrap_or_else(|_| {
                                 Response::reject(&Reject::InternalError {
@@ -430,6 +876,7 @@ impl MqoRouter {
             forward_tx,
             metrics: Arc::clone(&metrics),
             shutdown: Arc::clone(&shutdown),
+            supervisor: supervisor.clone(),
             epsilon: config.epsilon,
         });
         let event_loop = EventLoop::spawn(
@@ -454,6 +901,8 @@ impl MqoRouter {
             shutdown,
             event_loop: Mutex::new(Some(event_loop)),
             forwarders: Mutex::new(forwarders),
+            supervisor,
+            supervisor_report: Mutex::new(Vec::new()),
         })
     }
 
@@ -469,10 +918,24 @@ impl MqoRouter {
         &self.metrics
     }
 
-    /// Per-cell health (breaker state, traffic, warm-ups, pool size).
+    /// Per-cell health (breaker state, traffic, warm-ups, pool size,
+    /// quarantine, journal occupancy).
     #[must_use]
     pub fn cells(&self) -> Vec<CellSnapshot> {
         self.fleet.cell_snapshots()
+    }
+
+    /// The fleet supervisor, when this router spawned its own cells.
+    #[must_use]
+    pub fn supervisor(&self) -> Option<&Arc<Supervisor>> {
+        self.supervisor.as_ref()
+    }
+
+    /// How the supervised cells went down; empty before [`MqoRouter::wait`]
+    /// finishes (or when unsupervised).
+    #[must_use]
+    pub fn supervisor_report(&self) -> Vec<String> {
+        lock_recover(&self.supervisor_report, &self.fleet.lock_recoveries).clone()
     }
 
     /// True once a shutdown has been requested.
@@ -482,7 +945,8 @@ impl MqoRouter {
     }
 
     /// Blocks until shutdown is requested, drains the event loop (every
-    /// in-flight forward is answered), then joins the forwarder pool.
+    /// in-flight forward is answered), joins the forwarder pool, then
+    /// drains the supervised cells.
     pub fn wait(&self) {
         while !self.shutdown.load(Ordering::SeqCst) {
             std::thread::sleep(Duration::from_millis(10));
@@ -500,6 +964,10 @@ impl MqoRouter {
                 .collect();
         for handle in handles {
             let _ = handle.join();
+        }
+        if let Some(supervisor) = &self.supervisor {
+            let report = supervisor.shutdown();
+            *lock_recover(&self.supervisor_report, &self.fleet.lock_recoveries) = report;
         }
     }
 
@@ -523,9 +991,10 @@ fn fleet_rx<'a>(
 mod tests {
     use super::*;
     use crate::engine::EngineConfig;
-    use crate::http::roundtrip;
+    use crate::http::{read_response, render_request, roundtrip};
     use crate::server::{Server, ServerConfig};
     use mqo_chimera::graph::ChimeraGraph;
+    use std::io::Write;
 
     fn cell_server() -> Server {
         let mut engine = EngineConfig::new(ChimeraGraph::new(2, 2));
@@ -626,6 +1095,9 @@ mod tests {
         config.breaker.failure_threshold = 1;
         config.breaker.open_ms = 50;
         config.io_timeout_ms = 500;
+        // This test exercises the *uncached* fall-through path: a repeat of
+        // TINY_A must reach a cell, not the response cache.
+        config.response_cache = 0;
         let router = MqoRouter::start(config).expect("bind router");
 
         // Find which cell owns TINY_A's structure, then kill it.
@@ -657,6 +1129,11 @@ mod tests {
             1,
             "survivor answered the fallen-through request"
         );
+        // The fall-through was a transparent failover and is counted.
+        assert!(
+            router.metrics().snapshot().failovers >= 1,
+            "failover counted"
+        );
         router.shutdown();
         survivor.shutdown();
     }
@@ -669,7 +1146,12 @@ mod tests {
         assert_eq!(status, 200);
         let v: serde_json::Value = serde_json::from_slice(&body).unwrap();
         assert_eq!(v["router"]["cells"][0]["breaker"]["state"], "closed");
+        assert_eq!(v["router"]["cells"][0]["quarantined"], false);
         assert!(v["service"]["requests_total"].is_u64());
+        assert!(
+            v["supervisor"].is_null(),
+            "unsupervised router reports no supervisor panel"
+        );
         let (status, body) = roundtrip(router.local_addr(), "GET", "/healthz", b"").unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, br#"{"status":"ok","cells":1}"#);
@@ -689,5 +1171,170 @@ mod tests {
         assert_eq!(router.cells()[0].forwarded, 0);
         router.shutdown();
         cell.shutdown();
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_response_cache_with_identical_bytes() {
+        let cell = cell_server();
+        let router = router_over(&[&cell]);
+        let (status, first) = roundtrip(router.local_addr(), "POST", "/solve", TINY_A).unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&first));
+        let (status, second) = roundtrip(router.local_addr(), "POST", "/solve", TINY_A).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            first, second,
+            "a cache hit returns the exact bytes of the first answer"
+        );
+        let snapshot = router.metrics().snapshot();
+        assert_eq!(snapshot.router_cache_hits, 1);
+        assert_eq!(snapshot.router_cache_misses, 1);
+        assert_eq!(
+            cell.metrics().snapshot().requests_total,
+            1,
+            "the repeat never reached the cell"
+        );
+        // A different deadline must not change the cache key: the answer
+        // depends on (problem, seed, reads, gauges, backend) only.
+        let with_deadline =
+            br#"{"problem": {"queries": [[2,4],[3,1]], "savings": [[1,2,5.0]]}, "seed": 7, "deadline_ms": 9000}"#;
+        let (status, third) =
+            roundtrip(router.local_addr(), "POST", "/solve", with_deadline).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(third, first, "deadline-only variation is the same answer");
+        assert_eq!(router.metrics().snapshot().router_cache_hits, 2);
+        // A different seed is a different answer and must miss.
+        let other_seed =
+            br#"{"problem": {"queries": [[2,4],[3,1]], "savings": [[1,2,5.0]]}, "seed": 8}"#;
+        let (status, _) = roundtrip(router.local_addr(), "POST", "/solve", other_seed).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(router.metrics().snapshot().router_cache_misses, 2);
+        router.shutdown();
+        cell.shutdown();
+    }
+
+    #[test]
+    fn cached_responses_are_bit_identical_to_the_uncached_path() {
+        // Same request through a caching router and a cache-disabled
+        // router over equally configured cells: the solution surface is
+        // identical — the cache changes *where* bytes come from, never
+        // *what* they say.
+        let cell_cached = cell_server();
+        let cell_plain = cell_server();
+        let cached_router = router_over(&[&cell_cached]);
+        let mut plain_config = MqoRouterConfig::new(vec![cell_plain.local_addr().to_string()]);
+        plain_config.response_cache = 0;
+        let plain_router = MqoRouter::start(plain_config).expect("bind router");
+
+        // Prime the cache, then read through it.
+        let (_, _) = roundtrip(cached_router.local_addr(), "POST", "/solve", TINY_B).unwrap();
+        let (status_c, via_cache) =
+            roundtrip(cached_router.local_addr(), "POST", "/solve", TINY_B).unwrap();
+        let (status_p, via_plain) =
+            roundtrip(plain_router.local_addr(), "POST", "/solve", TINY_B).unwrap();
+        assert_eq!((status_c, status_p), (200, 200));
+        assert_eq!(cached_router.metrics().snapshot().router_cache_hits, 1);
+        let c: serde_json::Value = serde_json::from_slice(&via_cache).unwrap();
+        let p: serde_json::Value = serde_json::from_slice(&via_plain).unwrap();
+        for field in ["selection", "cost", "backend", "reads", "qubits_used"] {
+            assert_eq!(c[field], p[field], "{field}");
+        }
+        cached_router.shutdown();
+        plain_router.shutdown();
+        cell_cached.shutdown();
+        cell_plain.shutdown();
+    }
+
+    #[test]
+    fn retry_after_reflects_the_breaker_cooling_interval() {
+        // One unreachable cell with a 30 s breaker: the first request
+        // opens the breaker, the second is rejected while it is open and
+        // must advertise the breaker's remaining cooling time, not "1".
+        let dead = {
+            // Bind-then-drop: a port that connects to nothing.
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let mut config = MqoRouterConfig::new(vec![dead.to_string()]);
+        config.breaker.failure_threshold = 1;
+        config.breaker.open_ms = 30_000;
+        config.io_timeout_ms = 200;
+        config.failover.rounds = 1;
+        let router = MqoRouter::start(config).expect("bind router");
+
+        let (status, _) = roundtrip(router.local_addr(), "POST", "/solve", TINY_A).unwrap();
+        assert_eq!(status, 503, "dead cell yields backend_unavailable");
+        // Second request: the breaker is open, nothing is attempted.
+        let mut stream = std::net::TcpStream::connect(router.local_addr()).unwrap();
+        stream
+            .write_all(&render_request(
+                "POST",
+                "/solve",
+                &router.local_addr().to_string(),
+                TINY_A,
+                true,
+            ))
+            .unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let parts = read_response(&mut reader).unwrap();
+        assert_eq!(parts.status, 503);
+        let retry_after = parts.retry_after.expect("503 carries Retry-After");
+        assert!(
+            (2..=30).contains(&retry_after),
+            "Retry-After tracks the ~30 s breaker interval, got {retry_after}"
+        );
+        router.shutdown();
+    }
+
+    #[test]
+    fn next_deadline_subtracts_elapsed_and_strictly_decreases() {
+        assert_eq!(next_deadline(1_000, 0, None), Some(1_000));
+        assert_eq!(next_deadline(1_000, 400, None), Some(600));
+        assert_eq!(next_deadline(1_000, 1_000, None), None, "budget spent");
+        assert_eq!(next_deadline(1_000, 1_500, None), None, "budget overdrawn");
+        // Same-millisecond replays still strictly decrease.
+        assert_eq!(next_deadline(1_000, 400, Some(600)), Some(599));
+        assert_eq!(next_deadline(1_000, 400, Some(1)), None, "floor reached");
+        // The previous cap never lets the deadline grow back.
+        assert_eq!(next_deadline(1_000, 0, Some(500)), Some(499));
+    }
+
+    #[test]
+    fn journal_bounds_outstanding_requests_per_shard() {
+        let journal = Arc::new(FailoverJournal::new(2, 2));
+        let a = journal.admit(0, 11).expect("first admitted");
+        let _b = journal.admit(0, 12).expect("second admitted");
+        assert!(journal.admit(0, 13).is_none(), "shard 0 at depth");
+        assert!(journal.admit(1, 14).is_some(), "shard 1 unaffected");
+        assert_eq!(journal.outstanding(0), 2);
+        drop(a);
+        assert_eq!(journal.outstanding(0), 1, "guard drop releases the slot");
+        assert!(journal.admit(0, 15).is_some(), "slot reusable");
+        // Depth 0 disables the bound.
+        let unbounded = Arc::new(FailoverJournal::new(1, 0));
+        for i in 0..100 {
+            assert!(unbounded.admit(0, i).is_some());
+        }
+        assert_eq!(
+            unbounded.outstanding(0),
+            0,
+            "disabled journal stores nothing"
+        );
+    }
+
+    #[test]
+    fn response_cache_is_a_bounded_lru() {
+        let cache = ResponseCache::new(2);
+        cache.insert(b"a", "1");
+        cache.insert(b"b", "2");
+        assert_eq!(cache.get(b"a").as_deref(), Some("1"));
+        cache.insert(b"c", "3");
+        assert_eq!(cache.get(b"b"), None, "LRU victim evicted");
+        assert_eq!(cache.get(b"a").as_deref(), Some("1"));
+        assert_eq!(cache.get(b"c").as_deref(), Some("3"));
+        assert_eq!(cache.len(), 2);
+        let disabled = ResponseCache::new(0);
+        disabled.insert(b"a", "1");
+        assert_eq!(disabled.get(b"a"), None);
+        assert_eq!(disabled.len(), 0);
     }
 }
